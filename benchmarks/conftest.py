@@ -1,0 +1,49 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures end to
+end and asserts its qualitative shape. Simulation results are cached
+for the whole session, so configurations shared between figures (the
+NAS/NO and NAS/NAV baselines, for example) are simulated once — the
+reported per-figure time is the *incremental* cost of that figure.
+
+Environment knobs::
+
+    REPRO_BENCH_TIMING  timed instructions per run   (default 10000)
+    REPRO_BENCH_WARMUP  warm-up instructions per run  (default 6000)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+
+def _settings_from_env() -> ExperimentSettings:
+    return ExperimentSettings(
+        timing_instructions=int(
+            os.environ.get("REPRO_BENCH_TIMING", "10000")
+        ),
+        warmup_instructions=int(
+            os.environ.get("REPRO_BENCH_WARMUP", "6000")
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return _settings_from_env()
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment driver once under pytest-benchmark."""
+
+    def run(driver, *args, **kwargs):
+        return benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,24 @@
+"""Ablation A2: MDPT/synonyms vs store sets, and MDPT capacity.
+
+Checks the two synchronizing predictors deliver comparable speedups
+over naive speculation and that the paper's 4K MDPT is not capacity-
+limited on these workloads (256 entries behaves similarly).
+"""
+
+from repro.experiments.ablations import ablation_predictors
+
+
+def test_ablation_predictors(regenerate, settings):
+    report = regenerate(ablation_predictors, settings)
+    print("\n" + report.render())
+
+    for name, record in report.data.items():
+        nav = record["nav"]
+        assert record["SYNC 4K"] >= nav * 0.97, name
+        assert record["SSET 4K"] >= nav * 0.97, name
+        # Store sets and MDPT synchronization land close together.
+        assert abs(record["SSET 4K"] - record["SYNC 4K"]) < (
+            0.15 * record["SYNC 4K"]
+        ), name
+        # A 16x smaller MDPT barely matters at these static footprints.
+        assert record["SYNC 256"] >= record["SYNC 4K"] * 0.9, name

@@ -1,0 +1,23 @@
+"""Ablation A1: squash vs selective invalidation recovery.
+
+The paper's Section 2 argues naive speculation's real cost is squash
+invalidation throwing away unrelated work; with selective invalidation
+the net miss-speculation penalty nearly disappears. This ablation
+quantifies that on the dependence-heavy benchmarks.
+"""
+
+from repro.experiments.ablations import ablation_recovery
+
+
+def test_ablation_recovery(regenerate, settings):
+    report = regenerate(ablation_recovery, settings)
+    print("\n" + report.render())
+
+    for name, record in report.data.items():
+        # Selective recovery never loses to squash recovery.
+        assert record["selective"] >= record["squash"] * 0.99, name
+        # And closes most of the gap to the oracle.
+        gap_squash = record["oracle"] - record["squash"]
+        gap_selective = record["oracle"] - record["selective"]
+        if gap_squash > 0.05:
+            assert gap_selective < gap_squash, name

@@ -1,0 +1,21 @@
+"""Ablation A5: split-window miss-speculation vs distribution degree.
+
+More sub-windows re-introduce more miss-speculation under AS/NAV —
+the quantitative version of Section 3.7's argument.
+"""
+
+from repro.experiments.ablations import ablation_split_geometry
+
+
+def test_ablation_split(regenerate, settings):
+    report = regenerate(ablation_split_geometry, settings)
+    print("\n" + report.render())
+
+    units = sorted(report.data)
+    rates = [report.data[u] for u in units]
+    assert all(rate > 0 for rate in rates), (
+        "every split configuration should miss-speculate"
+    )
+    # The most distributed configuration misses at least as much as
+    # the least distributed one.
+    assert rates[-1] >= rates[0] * 0.8

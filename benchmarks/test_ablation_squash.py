@@ -1,0 +1,20 @@
+"""Ablation A4: naive speculation vs squash refill penalty.
+
+NAV's distance from ORACLE should widen monotonically as squash
+recovery gets more expensive (Section 2's penalty decomposition).
+"""
+
+from repro.experiments.ablations import ablation_squash_penalty
+
+
+def test_ablation_squash(regenerate, settings):
+    report = regenerate(ablation_squash_penalty, settings)
+    print("\n" + report.render())
+
+    penalties = sorted(report.data)
+    ratios = [report.data[p]["nav_vs_oracle"] for p in penalties]
+    # Costlier recovery never helps.
+    for cheap, expensive in zip(ratios, ratios[1:]):
+        assert expensive <= cheap * 1.02
+    # And the spread is visible end to end.
+    assert ratios[-1] < ratios[0]

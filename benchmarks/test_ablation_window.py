@@ -1,0 +1,22 @@
+"""Ablation A3: the load/store-parallelism payoff vs window size.
+
+Extends Figure 1's 64-vs-128 observation across 32..256 entries: the
+oracle-over-NO speedup should grow (weakly) monotonically with window
+size.
+"""
+
+from repro.experiments.ablations import ablation_window
+
+
+def test_ablation_window(regenerate, settings):
+    report = regenerate(ablation_window, settings)
+    print("\n" + report.render())
+
+    sizes = sorted(report.data)
+    speedups = [report.data[s] for s in sizes]
+    assert speedups[-1] > speedups[0], (
+        "payoff should grow from the smallest to the largest window"
+    )
+    # Each step either grows or stays within noise.
+    for a, b in zip(speedups, speedups[1:]):
+        assert b > a * 0.93

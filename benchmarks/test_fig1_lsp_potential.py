@@ -1,0 +1,42 @@
+"""Figure 1: performance potential of load/store parallelism.
+
+Shape claims checked:
+* NAS/ORACLE beats NAS/NO on every benchmark at both window sizes;
+* the 128-entry oracle speedup exceeds the 64-entry one on average
+  ("the ability to extract load/store parallelism becomes increasingly
+  important as the instruction window increases");
+* floating-point programs gain more than integer programs.
+"""
+
+from repro.experiments.figures import figure1
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import FP_BENCHMARKS, INT_BENCHMARKS
+
+
+def test_figure1(regenerate, settings):
+    report = regenerate(figure1, settings)
+    print("\n" + report.render())
+
+    speedup64 = report.data["speedup64"]
+    speedup128 = report.data["speedup128"]
+    for name, value in speedup128.items():
+        assert value > 1.0, f"{name}: oracle should win at 128 entries"
+
+    mean64 = geometric_mean(list(speedup64.values()))
+    mean128 = geometric_mean(list(speedup128.values()))
+    assert mean128 > mean64, (
+        "oracle speedup should grow with window size"
+    )
+
+    int_mean = geometric_mean(
+        [speedup128[b] for b in INT_BENCHMARKS]
+    )
+    fp_mean = geometric_mean(
+        [speedup128[b] for b in FP_BENCHMARKS]
+    )
+    assert fp_mean > int_mean, (
+        "floating-point suite should gain more than integer"
+    )
+    # Magnitudes in the paper's neighbourhood: int ~+55%, fp ~+154%.
+    assert 1.15 < int_mean < 2.3
+    assert 1.3 < fp_mean < 3.4

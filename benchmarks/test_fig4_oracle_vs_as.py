@@ -1,0 +1,31 @@
+"""Figure 4: oracle disambiguation vs address-based scheduling.
+
+Shape claims checked:
+* 0-cycle AS/NAV tracks NAS/ORACLE ("with few exceptions, the 0-cycle
+  AS/NAV and the NAS/ORACLE perform equally well");
+* adding scheduler latency degrades AS/NAV monotonically on average
+  ("once address-based scheduling increases load latency by 1 or more
+  cycles, performance degrades").
+"""
+
+from repro.experiments.figures import figure4
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import ALL_BENCHMARKS
+
+
+def test_figure4(regenerate, settings):
+    report = regenerate(figure4, settings)
+    print("\n" + report.render())
+
+    rel = report.data["relative"]
+    oracle = geometric_mean(
+        [rel["NAS/ORACLE"][b] for b in ALL_BENCHMARKS]
+    )
+    as0 = geometric_mean([rel["AS/NAV 0cy"][b] for b in ALL_BENCHMARKS])
+    as1 = geometric_mean([rel["AS/NAV 1cy"][b] for b in ALL_BENCHMARKS])
+    as2 = geometric_mean([rel["AS/NAV 2cy"][b] for b in ALL_BENCHMARKS])
+
+    # 0-cycle AS/NAV within a few percent of the oracle on average.
+    assert abs(as0 - oracle) / oracle < 0.12
+    # Latency is monotone bad.
+    assert as0 > as1 > as2

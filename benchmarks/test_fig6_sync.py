@@ -1,0 +1,34 @@
+"""Figure 6: speculation/synchronization (NAS/SYNC) vs NAS/NAV.
+
+Shape claims checked:
+* SYNC captures most of the oracle's advantage over naive speculation
+  ("NAS/SYNC offers most of the performance improvements that are
+  possible with NAS/ORACLE");
+* SYNC never loses badly to NAV on any program;
+* SYNC's miss-speculation rates are tiny (Table 4's SYNC column).
+"""
+
+from repro.experiments.figures import figure6
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import ALL_BENCHMARKS
+
+
+def test_figure6(regenerate, settings):
+    report = regenerate(figure6, settings)
+    print("\n" + report.render())
+
+    sync = report.data["sync"]
+    sync_mean = geometric_mean(
+        [sync["relative"][b] for b in ALL_BENCHMARKS]
+    )
+    oracle_mean = geometric_mean(
+        [sync["oracle"][b] for b in ALL_BENCHMARKS]
+    )
+    # SYNC captures most of the oracle-over-NAV gap.
+    captured = (sync_mean - 1) / max(oracle_mean - 1, 1e-9)
+    assert captured > 0.6, (
+        f"SYNC captured only {captured:.0%} of the oracle headroom"
+    )
+    for name in ALL_BENCHMARKS:
+        assert sync["relative"][name] > 0.9, name
+        assert sync["miss"][name] < 1.0, name

@@ -1,0 +1,33 @@
+"""Figure 7 / Section 3.7: split vs continuous windows.
+
+Shape claims checked:
+* with a 0-cycle address-based scheduler and naive speculation, the
+  continuous window has essentially no miss-speculations;
+* the split window miss-speculates on the same traces ("even if the
+  load could inspect preceding store addresses instantaneously, it
+  would not be possible to avoid the miss-speculation").
+"""
+
+from repro.experiments.figures import figure7
+
+_BENCHES = (
+    "129.compress", "126.gcc", "104.hydro2d", "102.swim", "134.perl",
+    "103.su2cor",
+)
+
+
+def test_figure7(regenerate, settings):
+    report = regenerate(figure7, settings, _BENCHES)
+    print("\n" + report.render())
+
+    for name, record in report.data.items():
+        assert record["cont_miss"] < 0.002, (
+            f"{name}: continuous window should not miss-speculate"
+        )
+    with_misses = sum(
+        1 for record in report.data.values()
+        if record["split_miss"] > 0.005
+    )
+    assert with_misses >= len(_BENCHES) - 1, (
+        "split window should miss-speculate on most traces"
+    )

@@ -1,0 +1,33 @@
+"""Section 4 summary: the paper's five quantitative findings.
+
+Checks the direction (and loose magnitude) of every speedup the summary
+quotes, measured vs paper.
+"""
+
+from repro.experiments.figures import summary_findings
+
+
+def test_summary(regenerate, settings):
+    report = regenerate(summary_findings, settings)
+    print("\n" + report.render())
+
+    data = report.data
+    # Finding 1: exploiting load/store parallelism pays, fp more than int.
+    assert data["oracle_over_no_int"]["measured"] > 10
+    assert data["oracle_over_no_fp"]["measured"] > (
+        data["oracle_over_no_int"]["measured"]
+    )
+    # Finding 3: naive speculation recovers part of it.
+    assert data["nav_over_no_int"]["measured"] > 0
+    assert data["nav_over_no_fp"]["measured"] > 15
+    assert data["nav_over_no_fp"]["measured"] < (
+        data["oracle_over_no_fp"]["measured"]
+    )
+    # Finding 2: AS/NAV is a small win over AS/NO.
+    assert -2 < data["asnav_over_asno_int"]["measured"] < 25
+    # Finding 5: SYNC approaches the oracle's gain over NAV.
+    for suite in ("int", "fp"):
+        sync = data[f"sync_over_nav_{suite}"]["measured"]
+        oracle = data[f"oracle_over_nav_{suite}"]["measured"]
+        assert sync > 0.5 * oracle
+        assert sync <= oracle + 3.0

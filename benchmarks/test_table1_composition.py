@@ -1,0 +1,18 @@
+"""Table 1: benchmark execution characteristics.
+
+Regenerates the instruction-mix table and checks every stand-in trace
+matches its Table 1 calibration (load/store fractions within a few
+percentage points).
+"""
+
+from repro.experiments.tables import table1
+from repro.workloads.spec95 import ALL_BENCHMARKS
+
+
+def test_table1(regenerate, settings):
+    report = regenerate(table1, settings)
+    print("\n" + report.render())
+    assert len(report.rows) == len(ALL_BENCHMARKS)
+    for name, record in report.data.items():
+        assert abs(record["loads"] - record["loads_paper"]) < 0.06, name
+        assert abs(record["stores"] - record["stores_paper"]) < 0.06, name

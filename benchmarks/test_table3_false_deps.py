@@ -1,0 +1,29 @@
+"""Table 3: false-dependence fraction (FD) and resolution latency (RL).
+
+Shape claims checked:
+* false dependences delay a large share of loads in every program
+  ("the execution of many loads and in some cases of most loads, is
+  delayed due to false dependences and often for many cycles");
+* floating-point programs show higher FD than integer programs on
+  average (their stores are sparse but their data arrives late).
+"""
+
+from repro.experiments.tables import table3
+from repro.workloads.spec95 import FP_BENCHMARKS, INT_BENCHMARKS
+
+
+def test_table3(regenerate, settings):
+    report = regenerate(table3, settings)
+    print("\n" + report.render())
+
+    for name, record in report.data.items():
+        assert record["fd"] > 20.0, f"{name}: FD unexpectedly low"
+        assert record["rl"] > 3.0, f"{name}: RL unexpectedly low"
+
+    int_fd = sum(
+        report.data[b]["fd"] for b in INT_BENCHMARKS
+    ) / len(INT_BENCHMARKS)
+    fp_fd = sum(
+        report.data[b]["fd"] for b in FP_BENCHMARKS
+    ) / len(FP_BENCHMARKS)
+    assert fp_fd > int_fd

@@ -1,0 +1,32 @@
+"""Table 4: miss-speculation rates under NAS/NAV and NAS/SYNC.
+
+Shape claims checked:
+* naive speculation miss-speculates on a few percent of loads (the
+  paper's range is 0.1%-7.8%);
+* speculation/synchronization reduces that by orders of magnitude
+  ("miss-speculations are virtually non-existent").
+"""
+
+from repro.experiments.tables import table4
+
+
+def test_table4(regenerate, settings):
+    report = regenerate(table4, settings)
+    print("\n" + report.render())
+
+    nav_rates = [record["nav"] for record in report.data.values()]
+    sync_rates = [record["sync"] for record in report.data.values()]
+
+    assert max(nav_rates) < 25.0
+    assert sum(1 for r in nav_rates if r > 0.05) >= 12, (
+        "most benchmarks should show naive miss-speculation"
+    )
+    # SYNC: an order of magnitude lower in aggregate. (The paper's
+    # ratio is larger still; our short traces cannot amortise the
+    # one-violation-per-static-pair training cost the way 100M-
+    # instruction runs do — see EXPERIMENTS.md.)
+    total_nav = sum(nav_rates)
+    total_sync = sum(sync_rates)
+    assert total_sync < total_nav / 10
+    for name, record in report.data.items():
+        assert record["sync"] <= record["nav"] + 1e-9, name

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Write your own workload in assembly and run it through the machine.
+
+The library ships a small MIPS-like assembler and functional VM; any
+program you write produces a trace the timing simulator accepts. This
+example builds a producer/consumer ring buffer — a workload whose
+dependences are real but *predictable per PC* — and shows the MDPT
+(speculation/synchronization) learning them.
+
+Run::
+
+    python examples/custom_workload.py
+"""
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core import simulate
+from repro.vm import run_program
+
+RING_BUFFER = """
+    li   r1, 0x1000       # ring base
+    li   r2, 0            # producer index
+    li   r3, 0            # iteration
+    li   r4, 512          # iterations
+    li   r5, 15           # ring mask (16 slots)
+    li   r9, 0            # checksum
+loop:
+    and  r6, r3, r5       # slot = i & 15
+    slli r6, r6, 2
+    add  r7, r1, r6       # &ring[slot]
+    mul  r8, r3, r3       # produce a value (multi-cycle: late data)
+    sw   r8, 0(r7)        # producer store
+    lw   r10, 0(r7)       # consumer load  <- same slot, same iteration
+    add  r9, r9, r10      # consume
+    addi r3, r3, 1
+    blt  r3, r4, loop
+    halt
+"""
+
+
+def main() -> None:
+    trace = run_program(RING_BUFFER, name="ring_buffer")
+    print(f"assembled and executed: {len(trace):,} dynamic instructions")
+
+    for policy in (
+        SpeculationPolicy.NO,
+        SpeculationPolicy.NAIVE,
+        SpeculationPolicy.SYNC,
+        SpeculationPolicy.ORACLE,
+    ):
+        config = continuous_window_128(SchedulingModel.NAS, policy)
+        result = simulate(config, trace)
+        print(
+            f"  {config.label:11s} IPC={result.ipc:5.2f} "
+            f"miss-spec={result.misspeculation_rate:7.4%} "
+            f"forwards={result.load_forwards}"
+        )
+
+    print(
+        "\nNAS/NAV squashes on the producer->consumer pair every "
+        "iteration;\nNAS/SYNC miss-speculates once, allocates an MDPT "
+        "synonym for the\n(store PC, load PC) pair, and synchronizes "
+        "from then on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Compare every memory dependence speculation policy on one workload.
+
+This is the paper's whole design space on a single benchmark: the two
+scheduling models (with/without an address-based scheduler) crossed
+with the speculation policies of Section 2.1. Pick the workload and
+trace length from the command line::
+
+    python examples/policy_comparison.py 129.compress
+    python examples/policy_comparison.py recurrence --length 4000
+"""
+
+import argparse
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core import Processor
+from repro.stats.format import render_table
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads import get_trace
+
+CONFIGS = (
+    (SchedulingModel.NAS, SpeculationPolicy.NO),
+    (SchedulingModel.NAS, SpeculationPolicy.NAIVE),
+    (SchedulingModel.NAS, SpeculationPolicy.SELECTIVE),
+    (SchedulingModel.NAS, SpeculationPolicy.STORE_BARRIER),
+    (SchedulingModel.NAS, SpeculationPolicy.SYNC),
+    (SchedulingModel.NAS, SpeculationPolicy.ORACLE),
+    (SchedulingModel.AS, SpeculationPolicy.NO),
+    (SchedulingModel.AS, SpeculationPolicy.NAIVE),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="129.compress")
+    parser.add_argument("--length", type=int, default=26_000)
+    parser.add_argument("--warmup", type=int, default=10_000)
+    args = parser.parse_args()
+
+    trace = get_trace(args.workload, args.length)
+    dep_info = compute_dependence_info(trace)
+    warmup = min(args.warmup, max(0, len(trace) - 1000))
+    segments = []
+    if warmup:
+        segments.append(Segment(0, warmup, timing=False))
+    segments.append(Segment(warmup, len(trace), timing=True))
+    plan = SamplingPlan(tuple(segments), len(trace))
+
+    rows = []
+    baseline_ipc = None
+    for scheduling, policy in CONFIGS:
+        config = continuous_window_128(scheduling, policy)
+        result = Processor(config, trace, dep_info).run(plan)
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        rows.append((
+            config.label,
+            f"{result.ipc:.3f}",
+            f"{result.ipc / baseline_ipc - 1:+.1%}",
+            f"{result.misspeculation_rate:.4%}",
+            f"{result.load_forwards}",
+            f"{result.squashed_instructions}",
+        ))
+
+    print(f"workload: {trace.name} ({len(trace):,} instructions, "
+          f"{warmup:,} warm-up)")
+    print(render_table(
+        ("config", "IPC", "vs NAS/NO", "miss-spec", "forwards",
+         "squashed"),
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The paper's Figure 7 story, executed.
+
+The loop ``a[i] = a[i-1] + k`` carries a memory dependence from each
+iteration's store to the next iteration's load. This script runs it on:
+
+1. a *centralized, continuous-window* machine with a 0-cycle
+   address-based scheduler and naive speculation (AS/NAV), and
+2. a *distributed, split-window* machine with the same scheduler,
+
+and shows exactly what Section 3.7 argues: the continuous window's
+program-order fetch means the store's address is always posted before
+the dependent load asks, so nothing miss-speculates — while the split
+window fetches iterations concurrently on different units, the load
+races ahead, and squashes follow.
+
+Run::
+
+    python examples/recurrence_figure7.py
+"""
+
+from repro.config import (
+    continuous_window_128,
+    split_window,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core import simulate
+from repro.splitwindow import simulate_split
+from repro.workloads import kernel_trace
+
+
+def main() -> None:
+    trace = kernel_trace("recurrence", n=1024)
+    print(f"recurrence loop: {len(trace):,} dynamic instructions, "
+          "one true dependence per iteration\n")
+
+    cont = simulate(
+        continuous_window_128(
+            SchedulingModel.AS, SpeculationPolicy.NAIVE
+        ),
+        trace,
+    )
+    split = simulate_split(
+        split_window(
+            SchedulingModel.AS, SpeculationPolicy.NAIVE,
+            num_units=4, task_size=32,
+        ),
+        trace,
+    )
+
+    print("continuous window (AS/NAV, 0-cycle scheduler):")
+    print(f"  IPC              {cont.ipc:.2f}")
+    print(f"  miss-speculations {cont.misspeculations}")
+    print(f"  squashed instrs   {cont.squashed_instructions}")
+
+    print("\nsplit window, 4 units (AS/NAV, 0-cycle scheduler):")
+    print(f"  IPC              {split.ipc:.2f}")
+    print(f"  miss-speculations {split.misspeculations} "
+          f"({split.misspeculation_rate:.1%} of loads)")
+    print(f"  squashed instrs   {split.squashed_instructions}")
+
+    print(
+        "\nSame trace, same 0-cycle address scheduler — only the window "
+        "organisation differs.\nThe split window cannot inspect store "
+        "addresses its other units have not fetched yet."
+    )
+
+
+if __name__ == "__main__":
+    main()

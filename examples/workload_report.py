@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Inspect a workload before simulating it.
+
+Prints a full trace profile (instruction mix, dependence-distance
+histogram, working sets) and an ASCII chart of how every speculation
+policy performs on it — the "know your workload first" workflow.
+
+Run::
+
+    python examples/workload_report.py 147.vortex
+    python examples/workload_report.py histogram
+"""
+
+import argparse
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core import Processor
+from repro.stats.bars import render_bars
+from repro.trace.analysis import profile_trace
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads import get_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="147.vortex")
+    parser.add_argument("--length", type=int, default=24_000)
+    args = parser.parse_args()
+
+    trace = get_trace(args.workload, args.length)
+    print(profile_trace(trace).render())
+
+    dep_info = compute_dependence_info(trace)
+    warm = min(9_000, len(trace) // 3)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False),
+         Segment(warm, len(trace), timing=True)),
+        len(trace),
+    )
+
+    ipcs = {}
+    for policy in (
+        SpeculationPolicy.NO,
+        SpeculationPolicy.NAIVE,
+        SpeculationPolicy.SELECTIVE,
+        SpeculationPolicy.STORE_BARRIER,
+        SpeculationPolicy.SYNC,
+        SpeculationPolicy.STORE_SETS,
+        SpeculationPolicy.ORACLE,
+    ):
+        config = continuous_window_128(SchedulingModel.NAS, policy)
+        ipcs[config.label] = Processor(config, trace, dep_info).run(
+            plan
+        ).ipc
+
+    print("\nIPC by speculation policy (128-entry continuous window):")
+    print(render_bars(ipcs, unit=" IPC"))
+
+
+if __name__ == "__main__":
+    main()

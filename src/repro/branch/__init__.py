@@ -1,0 +1,19 @@
+"""Branch prediction (Table 2): McFarling combined predictor, BTB, RAS."""
+
+from repro.branch.bimodal import BimodalPredictor, SaturatingCounter
+from repro.branch.gselect import GselectPredictor
+from repro.branch.combined import CombinedPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchUnit, BranchPrediction
+
+__all__ = [
+    "BimodalPredictor",
+    "SaturatingCounter",
+    "GselectPredictor",
+    "CombinedPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "BranchPrediction",
+]

@@ -1,0 +1,66 @@
+"""Two-bit saturating-counter (bimodal) direction predictor."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter with a taken/not-taken threshold."""
+
+    __slots__ = ("value", "_maximum", "_threshold")
+
+    def __init__(self, bits: int = 2, initial: int = 1) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self._maximum = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        if not 0 <= initial <= self._maximum:
+            raise ValueError("initial value out of range")
+        self.value = initial
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction: True when in the upper half."""
+        return self.value >= self._threshold
+
+    def update(self, taken: bool) -> None:
+        """Strengthen toward the observed direction."""
+        if taken:
+            if self.value < self._maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+    def reset(self, value: int = 1) -> None:
+        self.value = value
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit counters (Table 2's first predictor)."""
+
+    def __init__(self, entries: int = 64 * 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entry count must be a power of two")
+        self._mask = entries - 1
+        # Counters stored as plain ints for speed; 1 = weakly not-taken.
+        self._counters = bytearray([1]) * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter for *pc* with the resolved direction."""
+        idx = self._index(pc)
+        value = self._counters[idx]
+        if taken:
+            if value < 3:
+                self._counters[idx] = value + 1
+        elif value > 0:
+            self._counters[idx] = value - 1
+
+    @property
+    def entries(self) -> int:
+        return self._mask + 1

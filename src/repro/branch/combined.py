@@ -1,0 +1,54 @@
+"""McFarling combined (tournament) direction predictor.
+
+Table 2: "64K-entry combined predictor. Selector uses 2-bit counters.
+1st predictor: 2-bit counter based. 2nd predictor: Gselect with 5-bit
+global history."
+"""
+
+from __future__ import annotations
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gselect import GselectPredictor
+
+
+class CombinedPredictor:
+    """Selector chooses between a bimodal and a Gselect component."""
+
+    def __init__(
+        self,
+        meta_entries: int = 64 * 1024,
+        bimodal_entries: int = 64 * 1024,
+        gselect_entries: int = 64 * 1024,
+        history_bits: int = 5,
+    ) -> None:
+        if meta_entries & (meta_entries - 1):
+            raise ValueError("selector entry count must be a power of two")
+        self._meta_mask = meta_entries - 1
+        # Selector counters: >= 2 means "trust gselect".
+        self._meta = bytearray([1]) * meta_entries
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gselect = GselectPredictor(gselect_entries, history_bits)
+
+    def _meta_index(self, pc: int) -> int:
+        return (pc >> 2) & self._meta_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        if self._meta[self._meta_index(pc)] >= 2:
+            return self.gselect.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train both components and the selector with the outcome."""
+        bimodal_correct = self.bimodal.predict(pc) == taken
+        gselect_correct = self.gselect.predict(pc) == taken
+        if bimodal_correct != gselect_correct:
+            idx = self._meta_index(pc)
+            value = self._meta[idx]
+            if gselect_correct:
+                if value < 3:
+                    self._meta[idx] = value + 1
+            elif value > 0:
+                self._meta[idx] = value - 1
+        self.bimodal.update(pc, taken)
+        self.gselect.update(pc, taken)

@@ -1,0 +1,54 @@
+"""Gselect direction predictor: PC bits concatenated with global history.
+
+Table 2: "2nd predictor: Gselect with 5-bit global history."
+"""
+
+from __future__ import annotations
+
+
+class GselectPredictor:
+    """Concatenates low PC bits with an h-bit global history register."""
+
+    def __init__(
+        self, entries: int = 64 * 1024, history_bits: int = 5
+    ) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entry count must be a power of two")
+        if not 0 < history_bits < entries.bit_length():
+            raise ValueError("history bits must fit inside the index")
+        self._entries = entries
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._pc_mask = (entries >> history_bits) - 1
+        self._counters = bytearray([1]) * entries
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        pc_bits = (pc >> 2) & self._pc_mask
+        return (pc_bits << self._history_bits) | self._history
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the selected counter, then shift the history register."""
+        idx = self._index(pc)
+        value = self._counters[idx]
+        if taken:
+            if value < 3:
+                self._counters[idx] = value + 1
+        elif value > 0:
+            self._counters[idx] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & (
+            self._history_mask
+        )
+
+    @property
+    def history(self) -> int:
+        """Current global history register contents (for tests)."""
+        return self._history
+
+    @property
+    def entries(self) -> int:
+        return self._entries

@@ -1,0 +1,34 @@
+"""Return-address stack (64 entries per Table 2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular call/return stack; old entries fall off when full."""
+
+    def __init__(self, entries: int = 64) -> None:
+        if entries < 1:
+            raise ValueError("RAS needs at least one entry")
+        self._entries = entries
+        self._stack: List[int] = []
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        self._stack.append(return_address)
+        if len(self._stack) > self._entries:
+            # Overflow discards the oldest entry, like a hardware RAS.
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        """Predicted return target, or None when the stack is empty."""
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()

@@ -1,0 +1,97 @@
+"""Front-end branch unit: direction predictor + BTB + RAS glue.
+
+The timing simulator is trace-driven: the actual outcome of every branch
+is known from functional execution. The branch unit's job is to decide,
+per dynamic branch, whether the front end *would have* predicted it
+correctly — mispredictions turn into fetch-redirect bubbles charged when
+the branch resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.combined import CombinedPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.config.processor import BranchPredictorConfig
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+@dataclass(frozen=True)
+class BranchPrediction:
+    """Outcome of predicting one dynamic branch."""
+
+    predicted_taken: bool
+    predicted_target: Optional[int]
+    correct: bool
+
+
+class BranchUnit:
+    """Predicts and trains on branches as they are fetched."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None):
+        cfg = config or BranchPredictorConfig()
+        self.direction = CombinedPredictor(
+            meta_entries=cfg.meta_entries,
+            bimodal_entries=cfg.bimodal_entries,
+            gselect_entries=cfg.gselect_entries,
+            history_bits=cfg.global_history_bits,
+        )
+        self.btb = BranchTargetBuffer(cfg.btb_entries, cfg.btb_assoc)
+        self.ras = ReturnAddressStack(cfg.ras_entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_train(self, inst: DynInst) -> BranchPrediction:
+        """Predict the dynamic branch *inst* and train with its outcome.
+
+        ``inst.taken`` and ``inst.target`` (from functional execution) are
+        the ground truth. The returned prediction says whether the front
+        end would have steered fetch correctly.
+        """
+        actual_taken = bool(inst.taken)
+        actual_target = inst.target
+
+        if inst.op is OpClass.BRANCH:
+            predicted_taken = self.direction.predict(inst.pc)
+            predicted_target = self.btb.lookup(inst.pc)
+            self.direction.update(inst.pc, actual_taken)
+            if actual_taken and actual_target is not None:
+                self.btb.update(inst.pc, actual_target)
+            correct = predicted_taken == actual_taken and (
+                not actual_taken or predicted_target == actual_target
+            )
+        elif inst.op is OpClass.CALL:
+            predicted_taken = True
+            predicted_target = self.btb.lookup(inst.pc)
+            if actual_target is not None:
+                self.btb.update(inst.pc, actual_target)
+            # Return address: the instruction after the call.
+            self.ras.push(inst.pc + 4)
+            correct = predicted_target == actual_target
+        elif inst.op is OpClass.RETURN:
+            predicted_taken = True
+            predicted_target = self.ras.pop()
+            correct = predicted_target == actual_target
+        elif inst.op is OpClass.JUMP:
+            predicted_taken = True
+            predicted_target = self.btb.lookup(inst.pc)
+            if actual_target is not None:
+                self.btb.update(inst.pc, actual_target)
+            correct = predicted_target == actual_target
+        else:
+            raise ValueError(f"not a branch-class instruction: {inst}")
+
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return BranchPrediction(predicted_taken, predicted_target, correct)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,35 @@
+"""Processor configuration (Table 2 of the paper) and presets."""
+
+from repro.config.processor import (
+    BranchPredictorConfig,
+    CacheConfig,
+    FetchConfig,
+    MainMemoryConfig,
+    MemDepConfig,
+    ProcessorConfig,
+    SchedulingModel,
+    SpeculationPolicy,
+    WindowConfig,
+)
+from repro.config.presets import (
+    continuous_window_128,
+    continuous_window_64,
+    split_window,
+    config_name,
+)
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "FetchConfig",
+    "MainMemoryConfig",
+    "MemDepConfig",
+    "ProcessorConfig",
+    "SchedulingModel",
+    "SpeculationPolicy",
+    "WindowConfig",
+    "continuous_window_128",
+    "continuous_window_64",
+    "split_window",
+    "config_name",
+]

@@ -1,0 +1,18 @@
+"""Cycle-level out-of-order core (centralized, continuous window)."""
+
+from repro.core.result import SimResult
+from repro.core.window import Entry, Window
+from repro.core.processor import Processor, simulate
+from repro.core.timeline import InstructionTimeline, TimelineRecorder
+from repro.core.telemetry import Telemetry
+
+__all__ = [
+    "SimResult",
+    "Entry",
+    "Window",
+    "Processor",
+    "simulate",
+    "InstructionTimeline",
+    "TimelineRecorder",
+    "Telemetry",
+]

@@ -1,0 +1,137 @@
+"""Fetch unit: pulls the trace through the I-cache and branch predictor.
+
+Up to ``width`` instructions per cycle, spanning at most
+``max_blocks_per_cycle`` I-cache blocks. A block that misses stalls
+fetch until the fill returns. A mispredicted branch stops fetch at the
+branch; the processor restarts it ``branch_redirect_penalty`` cycles
+after the branch resolves. Fetched instructions wait
+``front_end_depth`` cycles before entering the window ("a combined 4
+cycles for an instruction to be fetched and placed into the reorder
+buffer").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.branch.unit import BranchUnit
+from repro.config.processor import ProcessorConfig
+from repro.isa.instruction import DynInst
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.cursor import TraceCursor
+
+
+class FetchUnit:
+    """Trace-driven front end."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        cursor: TraceCursor,
+        hierarchy: MemoryHierarchy,
+        branch_unit: BranchUnit,
+    ) -> None:
+        self.config = config
+        self.cursor = cursor
+        self.hierarchy = hierarchy
+        self.branch_unit = branch_unit
+        self._block_shift = config.icache.block_bytes.bit_length() - 1
+        #: (instruction, earliest dispatch cycle), in program order.
+        self.buffer: Deque[Tuple[DynInst, int]] = deque()
+        self._buffer_cap = config.fetch.width * config.fetch.front_end_depth
+        #: Fetch may not run again before this cycle (I-cache miss).
+        self.stalled_until = 0
+        #: Seq of an unresolved mispredicted branch blocking fetch.
+        self.waiting_on_branch: Optional[int] = None
+        #: Recently fetched blocks (block -> ready cycle): models the
+        #: fetch unit combining requests to the same line ("up to 4 fetch
+        #: requests can be active", "combining of up to 4 blocks") so a
+        #: tight loop does not re-probe the I-cache every iteration.
+        self._recent_blocks: dict = {}
+        self._recent_cap = 4 * config.fetch.max_blocks_per_cycle
+
+    @property
+    def done(self) -> bool:
+        return self.cursor.exhausted and not self.buffer
+
+    def resume_after_branch(self, seq: int, cycle: int) -> None:
+        """The mispredicted branch *seq* resolved; redirect fetch."""
+        if self.waiting_on_branch == seq:
+            self.waiting_on_branch = None
+            self.stalled_until = max(
+                self.stalled_until,
+                cycle + self.config.branch_redirect_penalty,
+            )
+
+    def squash(self, seq: int, resume_cycle: int) -> None:
+        """Memory-order violation: refetch from *seq* onward."""
+        while self.buffer and self.buffer[-1][0].seq >= seq:
+            self.buffer.pop()
+        if self.cursor.position > seq:
+            self.cursor.rewind_to(seq)
+        if self.waiting_on_branch is not None and (
+            self.waiting_on_branch >= seq
+        ):
+            self.waiting_on_branch = None
+        self.stalled_until = max(self.stalled_until, resume_cycle)
+
+    def tick(self, cycle: int) -> int:
+        """Fetch up to one cycle's worth of instructions at *cycle*.
+
+        Returns the number of instructions fetched.
+        """
+        if cycle < self.stalled_until or self.waiting_on_branch is not None:
+            return 0
+        fetched = 0
+        blocks_used = 0
+        current_block = None
+        width = self.config.fetch.width
+        while (
+            fetched < width
+            and len(self.buffer) < self._buffer_cap
+            and not self.cursor.exhausted
+        ):
+            inst = self.cursor.peek()
+            block = inst.pc >> self._block_shift
+            if block != current_block:
+                if blocks_used >= self.config.fetch.max_blocks_per_cycle:
+                    break
+                blocks_used += 1
+                current_block = block
+                available = self._recent_blocks.get(block)
+                if available is None:
+                    available = self.hierarchy.fetch(inst.pc, cycle)
+                    self._recent_blocks[block] = available
+                    if len(self._recent_blocks) > self._recent_cap:
+                        oldest = next(iter(self._recent_blocks))
+                        del self._recent_blocks[oldest]
+                if available > cycle + self.config.icache.hit_latency:
+                    # I-cache miss: this block arrives later; stop here.
+                    self.stalled_until = available
+                    break
+            inst = self.cursor.advance()
+            dispatch_at = cycle + self.config.fetch.front_end_depth
+            self.buffer.append((inst, dispatch_at))
+            fetched += 1
+            if inst.is_branch:
+                prediction = self.branch_unit.predict_and_train(inst)
+                if not prediction.correct:
+                    # Wrong path: nothing more until the branch resolves.
+                    self.waiting_on_branch = inst.seq
+                    break
+                if inst.taken:
+                    # A correctly-predicted taken branch still ends the
+                    # current run of sequential PCs within this block.
+                    current_block = None
+        return fetched
+
+    def pop_dispatchable(self, cycle: int) -> Optional[DynInst]:
+        """Next instruction whose front-end latency has elapsed, if any."""
+        if self.buffer and self.buffer[0][1] <= cycle:
+            return self.buffer.popleft()[0]
+        return None
+
+    def next_dispatch_cycle(self) -> Optional[int]:
+        """Cycle the buffered head becomes dispatchable, or None."""
+        return self.buffer[0][1] if self.buffer else None

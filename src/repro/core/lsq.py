@@ -1,0 +1,131 @@
+"""Load/store queue helpers: unexecuted-store tracking and mem pools.
+
+Several speculation policies gate loads on properties of *older stores
+that have not yet executed*: NAS/NO and NAS/SEL wait for all of them,
+NAS/STORE waits for predicted (barrier) ones. Dispatch is in program
+order and squash truncates from the young end, so a sorted list with
+binary-search removal gives O(log n) operations.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Dict, List, Optional
+
+from repro.core.window import Entry
+
+
+class UnexecutedStoreTracker:
+    """Sorted multiset of in-window store seqs that have not executed."""
+
+    def __init__(self) -> None:
+        self._seqs: List[int] = []
+
+    def on_dispatch(self, seq: int) -> None:
+        if self._seqs and seq <= self._seqs[-1]:
+            raise ValueError("stores must dispatch in program order")
+        self._seqs.append(seq)
+
+    def on_execute(self, seq: int) -> None:
+        index = bisect.bisect_left(self._seqs, seq)
+        if index < len(self._seqs) and self._seqs[index] == seq:
+            self._seqs.pop(index)
+
+    def squash(self, from_seq: int) -> None:
+        cut = bisect.bisect_left(self._seqs, from_seq)
+        del self._seqs[cut:]
+
+    def any_older_than(self, seq: int) -> bool:
+        """Is any tracked store older than *seq*?"""
+        return bool(self._seqs) and self._seqs[0] < seq
+
+    def oldest(self) -> Optional[int]:
+        return self._seqs[0] if self._seqs else None
+
+    def __len__(self) -> int:
+        return len(self._seqs)
+
+
+class MemPool:
+    """Seq-ordered pool of memory operations awaiting a port/gate.
+
+    Iteration yields live entries oldest-first without removing them
+    (gates may keep an old load blocked while younger ones proceed).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List = []
+
+    def push(self, entry: Entry) -> None:
+        if entry.in_mem_pool or entry.squashed:
+            return
+        entry.in_mem_pool = True
+        heapq.heappush(self._heap, (entry.seq, entry))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def live_entries(self) -> List[Entry]:
+        """Live entries oldest-first (also prunes squashed ones)."""
+        if not self._heap:
+            return []
+        alive = [
+            (seq, entry) for seq, entry in self._heap if not entry.squashed
+        ]
+        if len(alive) != len(self._heap):
+            self._heap = alive
+            heapq.heapify(self._heap)
+        return [entry for _, entry in sorted(alive)]
+
+    def remove(self, entry: Entry) -> None:
+        """Mark *entry* as no longer pooled (lazily removed)."""
+        entry.in_mem_pool = False
+        self._heap = [
+            (seq, e) for seq, e in self._heap if e is not entry
+        ]
+        heapq.heapify(self._heap)
+
+
+class SynonymTracker:
+    """In-window producer stores per synonym (NAS/SYNC bookkeeping)."""
+
+    def __init__(self) -> None:
+        self._producers: Dict[int, List[Entry]] = {}
+
+    def add_producer(self, synonym: int, entry: Entry) -> None:
+        self._producers.setdefault(synonym, []).append(entry)
+
+    def closest_older_producer(
+        self, synonym: int, seq: int
+    ) -> Optional[Entry]:
+        """Youngest live producer of *synonym* older than *seq*."""
+        best: Optional[Entry] = None
+        for entry in self._producers.get(synonym, ()):
+            if entry.squashed or entry.seq >= seq:
+                continue
+            if best is None or entry.seq > best.seq:
+                best = entry
+        return best
+
+    def retire(self, synonym: Optional[int], entry: Entry) -> None:
+        if synonym is None:
+            return
+        producers = self._producers.get(synonym)
+        if producers and entry in producers:
+            producers.remove(entry)
+            if not producers:
+                del self._producers[synonym]
+
+    def squash(self, from_seq: int) -> None:
+        for synonym in list(self._producers):
+            kept = [
+                e for e in self._producers[synonym] if e.seq < from_seq
+            ]
+            if kept:
+                self._producers[synonym] = kept
+            else:
+                del self._producers[synonym]

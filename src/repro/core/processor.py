@@ -1,0 +1,939 @@
+"""The cycle-level simulator for the centralized, continuous window.
+
+Event-assisted cycle loop: per active cycle the processor processes due
+events (completions, store writes, address posts), commits, issues
+(program-order priority), dispatches and fetches. Idle stretches (e.g.
+cache-miss stalls) are skipped by fast-forwarding to the next event.
+
+The memory dependence speculation policies (Section 2.1 of the paper)
+gate the *memory access* of loads; everything else is common machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.unit import BranchUnit
+from repro.config.processor import (
+    ProcessorConfig,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core.fetch import FetchUnit
+from repro.core.lsq import MemPool, SynonymTracker, UnexecutedStoreTracker
+from repro.core.result import SimResult
+from repro.core.scheduler import FunctionalUnits, ReadyPool
+from repro.core.window import Entry, Window
+from repro.isa.opcodes import OpClass
+from repro.memdep.addr_scheduler import AddressScheduler
+from repro.memdep.oracle import OracleDisambiguator
+from repro.memdep.store_sets import StoreSetPredictor
+from repro.memdep.sync import MDPT
+from repro.memdep.tables import TwoBitPredictorTable
+from repro.memdep.violation import ViolationDetector
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+from repro.trace.cursor import TraceCursor
+from repro.trace.dependences import DependenceInfo, compute_dependence_info
+from repro.trace.events import Trace
+from repro.trace.sampling import SamplingPlan, make_sampling_plan
+
+# Event kinds (heap entries are (cycle, serial, kind, entry)).
+_EV_COMPLETE = 0
+_EV_WRITE = 1
+_EV_READY = 2
+_EV_POST = 3
+
+
+class SimulationStuck(RuntimeError):
+    """The cycle loop can make no further progress (a model bug)."""
+
+
+class Processor:
+    """One simulated machine bound to one trace."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        dep_info: Optional[Dict[int, DependenceInfo]] = None,
+        timeline: Optional["TimelineRecorder"] = None,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        #: Optional pipeview recorder (repro.core.timeline).
+        self.timeline = timeline
+        #: Optional utilisation sampler (repro.core.telemetry).
+        self.telemetry = telemetry
+        self.dep_info = (
+            dep_info if dep_info is not None
+            else compute_dependence_info(trace)
+        )
+        self.oracle = OracleDisambiguator(trace, self.dep_info)
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config.branch)
+
+        memdep = config.memdep
+        self.as_mode = memdep.scheduling is SchedulingModel.AS
+        self.policy = memdep.policy
+        self.predictor: Optional[TwoBitPredictorTable] = None
+        self.mdpt: Optional[MDPT] = None
+        if self.policy in (
+            SpeculationPolicy.SELECTIVE, SpeculationPolicy.STORE_BARRIER
+        ):
+            self.predictor = TwoBitPredictorTable(
+                entries=memdep.predictor_entries,
+                assoc=memdep.predictor_assoc,
+                threshold=memdep.confidence_threshold,
+            )
+        elif self.policy is SpeculationPolicy.SYNC:
+            self.mdpt = MDPT(
+                entries=memdep.predictor_entries,
+                assoc=memdep.predictor_assoc,
+            )
+        self.store_sets: Optional[StoreSetPredictor] = None
+        if self.policy is SpeculationPolicy.STORE_SETS:
+            self.store_sets = StoreSetPredictor(
+                ssit_entries=memdep.predictor_entries,
+                lfst_entries=memdep.lfst_entries,
+            )
+
+        #: Monotonic machine time across segments (caches keep state).
+        self.cycle = 0
+        self._next_flush = memdep.flush_interval
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, plan: Optional[SamplingPlan] = None) -> SimResult:
+        """Simulate the whole trace and return aggregated timing stats.
+
+        With a :class:`SamplingPlan`, timing segments are simulated in
+        detail and functional segments only keep the caches and branch
+        predictors warm (the paper's Section 3.1 methodology).
+        """
+        if plan is None:
+            plan = make_sampling_plan(len(self.trace))
+        total = SimResult(
+            config_label=self.config.label,
+            benchmark=self.trace.name,
+            suite=self.trace.suite,
+        )
+        for segment in plan.segments:
+            if segment.timing:
+                total.merge(self._run_segment(segment.start, segment.stop))
+            else:
+                self._warm_segment(segment.start, segment.stop)
+        self._snapshot_caches(total)
+        return total
+
+    # ------------------------------------------------------------------
+    # functional warm-up (sampling)
+    # ------------------------------------------------------------------
+
+    def _warm_segment(self, start: int, stop: int) -> None:
+        hierarchy = self.hierarchy
+        block_shift = self.config.icache.block_bytes.bit_length() - 1
+        last_block = -1
+        for seq in range(start, stop):
+            inst = self.trace[seq]
+            block = inst.pc >> block_shift
+            if block != last_block:
+                hierarchy.icache.touch(inst.pc)
+                hierarchy.l2.touch(inst.pc)
+                last_block = block
+            if inst.is_branch:
+                self.branch_unit.predict_and_train(inst)
+            elif inst.is_mem:
+                hierarchy.dcache.touch(inst.addr)
+                hierarchy.l2.touch(inst.addr)
+        # Functional intervals advance wall-clock time too (roughly one
+        # instruction per cycle of untimed execution).
+        self.cycle += max(1, (stop - start) // 2)
+
+    # ------------------------------------------------------------------
+    # timing simulation
+    # ------------------------------------------------------------------
+
+    def _run_segment(self, start: int, stop: int) -> SimResult:
+        cfg = self.config
+        stats = SimResult(
+            config_label=cfg.label,
+            benchmark=self.trace.name,
+            suite=self.trace.suite,
+        )
+        self.stats = stats
+        self.window = Window(cfg.window.size)
+        self.cursor = TraceCursor(self.trace, start, stop)
+        self.fetch = FetchUnit(
+            cfg, self.cursor, self.hierarchy, self.branch_unit
+        )
+        self.fetch.stalled_until = self.cycle
+        self.funits = FunctionalUnits(cfg.window)
+        self.ready_pool = ReadyPool()
+        self.load_pool = MemPool()
+        self.store_write_pool = MemPool()
+        self.store_buffer = StoreBuffer(cfg.window.store_buffer_size)
+        self.unexec_stores = UnexecutedStoreTracker()
+        self.barrier_stores = UnexecutedStoreTracker()
+        self.synonyms = SynonymTracker()
+        self.detector = ViolationDetector()
+        self.addr_sched = (
+            AddressScheduler(cfg.memdep.addr_scheduler_latency)
+            if self.as_mode else None
+        )
+        self._events: List = []
+        self._event_serial = 0
+        self._hints: List[int] = []
+        self._progress = False
+
+        start_cycle = self.cycle
+        branch_stats_base = (
+            self.branch_unit.predictions,
+            self.branch_unit.mispredictions,
+        )
+
+        while True:
+            if (
+                self.fetch.done
+                and self.window.empty
+                and not self._events
+            ):
+                break
+            self._advance_clock()
+            self._process_events()
+            self._commit()
+            self._issue()
+            self._dispatch()
+            fetched = self.fetch.tick(self.cycle)
+            if fetched:
+                self._progress = True
+            self._maybe_flush_tables()
+
+        stats.cycles = self.cycle - start_cycle
+        stats.branch_predictions = (
+            self.branch_unit.predictions - branch_stats_base[0]
+        )
+        stats.branch_mispredictions = (
+            self.branch_unit.mispredictions - branch_stats_base[1]
+        )
+        stats.load_forwards = self.store_buffer.forwards
+        return stats
+
+    # -- clock -------------------------------------------------------------
+
+    def _advance_clock(self) -> None:
+        if self._progress or self.ready_pool:
+            self._progress = False
+            self.cycle += 1
+            return
+        candidates = list(self._hints)
+        self._hints.clear()
+        if self._events:
+            candidates.append(self._events[0][0])
+        nxt = self.fetch.next_dispatch_cycle()
+        if nxt is not None:
+            candidates.append(nxt)
+        if (
+            self.fetch.waiting_on_branch is None
+            and not self.cursor.exhausted
+            and len(self.fetch.buffer) < self.fetch._buffer_cap
+        ):
+            candidates.append(self.fetch.stalled_until)
+        if not candidates:
+            raise SimulationStuck(
+                f"no progress possible at cycle {self.cycle} "
+                f"(window={len(self.window)}, "
+                f"loads={len(self.load_pool)}, "
+                f"writes={len(self.store_write_pool)})"
+            )
+        self.cycle = max(self.cycle + 1, min(candidates))
+        self._progress = False
+
+    def _schedule(self, cycle: int, kind: int, entry: Entry) -> None:
+        self._event_serial += 1
+        heapq.heappush(
+            self._events, (cycle, self._event_serial, kind, entry)
+        )
+
+    # -- events -------------------------------------------------------------
+
+    def _process_events(self) -> None:
+        events = self._events
+        while events and events[0][0] <= self.cycle:
+            _, _, kind, entry = heapq.heappop(events)
+            if entry.squashed:
+                continue
+            if kind == _EV_READY:
+                self.ready_pool.push(entry)
+            elif kind == _EV_COMPLETE:
+                self._on_complete(entry)
+            elif kind == _EV_WRITE:
+                self._on_store_write(entry)
+            elif kind == _EV_POST:
+                self._progress = True  # wake gates waiting on visibility
+
+    def _on_complete(self, entry: Entry) -> None:
+        if entry.complete_cycle is not None and (
+            entry.complete_cycle > self.cycle
+        ):
+            # Selective re-execution pushed this completion out; the
+            # stale event fires early — re-arm it at the new time.
+            self._schedule(entry.complete_cycle, _EV_COMPLETE, entry)
+            return
+        entry.executed = True
+        for waiter, is_data in entry.waiters:
+            if waiter.squashed:
+                continue
+            if is_data:
+                waiter.data_pending -= 1
+                waiter.data_ready = max(
+                    waiter.data_ready, entry.complete_cycle
+                )
+            else:
+                waiter.addr_pending -= 1
+                waiter.addr_ready = max(
+                    waiter.addr_ready, entry.complete_cycle
+                )
+            self._maybe_ready(waiter)
+        entry.consumers.extend(entry.waiters)
+        entry.waiters.clear()
+        if entry.inst.is_branch:
+            self.fetch.resume_after_branch(entry.seq, entry.complete_cycle)
+        self._progress = True
+
+    def _on_store_write(self, store: Entry) -> None:
+        if store.write_cycle is not None and (
+            store.write_cycle > self.cycle
+        ):
+            # Pushed out by selective re-execution; re-arm.
+            self._schedule(store.write_cycle, _EV_WRITE, store)
+            return
+        cycle = store.write_cycle
+        store.executed = True
+        self.hierarchy.store(store.inst.addr, cycle)
+        self._progress = True
+
+        violators = [
+            load
+            for load in self.detector.loads_violating(store.seq, cycle)
+            if load.forwarded_from != store.seq
+        ]
+        if self.as_mode:
+            violators = [
+                load for load in violators
+                if not load.stale_equal
+                and self._value_propagated(load, cycle)
+            ]
+        if violators:
+            oldest = min(violators, key=lambda e: e.seq)
+            if self.config.memdep.recovery == "selective":
+                self._selective_reexecute(oldest, store, cycle)
+            else:
+                self._squash_for_violation(oldest, store, cycle)
+
+    def _value_propagated(self, load: Entry, write_cycle: int) -> bool:
+        """Did any consumer of *load* already issue with its stale value?
+
+        If not, hardware can silently re-forward the correct value (the
+        paper's condition (2) for signalling an AS/NAV miss-speculation);
+        the consumers are then held until the corrected value arrives.
+        """
+        consumers = load.consumers + load.waiters
+        propagated = False
+        for waiter, _ in consumers:
+            if waiter.squashed:
+                continue
+            if waiter.issue_cycle is not None and (
+                waiter.issue_cycle <= write_cycle
+            ):
+                propagated = True
+                break
+        if not propagated:
+            # Re-forward: delay not-yet-issued consumers to the fix-up.
+            for waiter, is_data in consumers:
+                if waiter.squashed or waiter.issue_cycle is not None:
+                    continue
+                if is_data:
+                    waiter.data_ready = max(
+                        waiter.data_ready, write_cycle + 1
+                    )
+                else:
+                    waiter.addr_ready = max(
+                        waiter.addr_ready, write_cycle + 1
+                    )
+        return propagated
+
+    def _store_buffer_insert(self, store: Entry, data_ready: int) -> None:
+        buffer = self.store_buffer
+        if buffer.full:
+            head = self.window.head()
+            head_seq = head.seq if head else store.seq
+            for committed in buffer.entries():
+                if committed.seq < head_seq:
+                    buffer.remove(committed.seq)
+                    break
+            else:  # pragma: no cover - capacity equals window size
+                raise SimulationStuck("store buffer wedged")
+        buffer.insert(StoreBufferEntry(
+            seq=store.seq,
+            addr=store.inst.addr,
+            size=store.inst.size,
+            value=store.inst.value,
+            data_ready_cycle=data_ready,
+            drain_cycle=store.write_cycle,
+        ))
+
+    # -- squash -------------------------------------------------------------
+
+    def _squash_for_violation(
+        self, load: Entry, store: Entry, cycle: int
+    ) -> None:
+        stats = self.stats
+        stats.misspeculations += 1
+        seq = load.seq
+        squashed = self.window.squash_from(seq)
+        stats.squashed_instructions += len(squashed)
+        self.unexec_stores.squash(seq)
+        self.barrier_stores.squash(seq)
+        self.synonyms.squash(seq)
+        self.detector.squash(seq)
+        self.store_buffer.squash_younger(seq)
+        if self.addr_sched is not None:
+            self.addr_sched.squash(seq)
+        if self.store_sets is not None:
+            self.store_sets.squash(seq)
+        resume = cycle + self.config.memdep.squash_refill_penalty
+        self.fetch.squash(seq, resume)
+
+        if self.policy is SpeculationPolicy.SELECTIVE:
+            self.predictor.record_misspeculation(load.inst.pc)
+        elif self.policy is SpeculationPolicy.STORE_BARRIER:
+            self.predictor.record_misspeculation(store.inst.pc)
+        elif self.policy is SpeculationPolicy.SYNC:
+            self.mdpt.record_violation(load.inst.pc, store.inst.pc)
+        elif self.policy is SpeculationPolicy.STORE_SETS:
+            self.store_sets.record_violation(load.inst.pc, store.inst.pc)
+
+    def _selective_reexecute(
+        self, load: Entry, store: Entry, cycle: int
+    ) -> None:
+        """Selective invalidation (Section 2's alternative recovery).
+
+        Only the miss-speculated load and the instructions that consumed
+        its value re-execute: the load's completion moves to one cycle
+        after the store's write (re-forward), and new completion times
+        ripple through the dependence edges of already-issued dependents.
+        Unrelated younger instructions are untouched — the work thrown
+        away shrinks from "everything after the load" to the load's
+        forward slice.
+        """
+        stats = self.stats
+        stats.misspeculations += 1
+        latencies = self.config.latencies
+        new_complete: Dict[int, int] = {}
+        reexecuted = 0
+
+        load.forwarded_from = store.seq
+        corrected = max(load.complete_cycle or 0, cycle + 1)
+        if corrected != load.complete_cycle:
+            load.complete_cycle = corrected
+            self._schedule(corrected, _EV_COMPLETE, load)
+        new_complete[load.seq] = corrected
+
+        for entry in self.window:
+            if entry.seq <= load.seq or entry.squashed:
+                continue
+            bump = 0
+            for producer in entry.producers:
+                when = new_complete.get(producer.seq)
+                if when is not None and when > bump:
+                    bump = when
+            if not bump or entry.issue_cycle is None:
+                # Not yet issued: it will naturally pick up the new
+                # operand-ready times through the (bumped) ready fields.
+                if bump:
+                    entry.addr_ready = max(entry.addr_ready, bump)
+                    entry.data_ready = max(entry.data_ready, bump)
+                continue
+            latency = latencies.latency(entry.inst.op)
+            if entry.is_load:
+                latency += 2  # agen + re-access (forward/hit path)
+            corrected = bump + latency
+            old = (
+                entry.write_cycle if entry.is_store
+                else entry.complete_cycle
+            )
+            if old is not None and corrected > old:
+                reexecuted += 1
+                if entry.is_store:
+                    entry.write_cycle = corrected
+                    entry.complete_cycle = corrected
+                    self._schedule(corrected, _EV_WRITE, entry)
+                else:
+                    entry.complete_cycle = corrected
+                    self._schedule(corrected, _EV_COMPLETE, entry)
+                new_complete[entry.seq] = corrected
+        stats.squashed_instructions += reexecuted
+
+    # -- commit -------------------------------------------------------------
+
+    def _commit(self) -> None:
+        stats = self.stats
+        window = self.window
+        budget = self.config.window.issue_width
+        cycle = self.cycle
+        while budget and not window.empty:
+            head = window.head()
+            done_cycle = (
+                head.write_cycle if head.is_store else head.complete_cycle
+            )
+            if done_cycle is None or done_cycle > cycle:
+                break
+            window.commit_head()
+            budget -= 1
+            stats.committed += 1
+            self._progress = True
+            if self.timeline is not None:
+                self.timeline.on_commit(head, cycle)
+            if head.is_load:
+                stats.committed_loads += 1
+                if head.speculative:
+                    stats.speculative_loads += 1
+                if head.fd_class == "false":
+                    stats.false_dependence_loads += 1
+                    if head.fd_resolved_cycle is not None:
+                        stats.false_dependence_latency += (
+                            head.fd_resolved_cycle - head.fd_wait_start
+                        )
+                elif head.fd_class == "true":
+                    stats.true_dependence_loads += 1
+            elif head.is_store:
+                stats.committed_stores += 1
+                self.detector.retire_store(head.seq)
+                self.synonyms.retire(head.sync_synonym, head)
+                if self.addr_sched is not None:
+                    self.addr_sched.remove_store(head.seq)
+                if self.store_sets is not None:
+                    self.store_sets.store_retired(head)
+            elif head.inst.is_branch:
+                stats.committed_branches += 1
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        window = self.window
+        budget = self.config.window.issue_width
+        cycle = self.cycle
+        while budget and not window.full:
+            inst = self.fetch.pop_dispatchable(cycle)
+            if inst is None:
+                break
+            entry = Entry(inst, cycle)
+            window.dispatch(entry)
+            budget -= 1
+            self._progress = True
+            if inst.is_load:
+                self._on_load_dispatch(entry)
+            elif inst.is_store:
+                self._on_store_dispatch(entry)
+            self._maybe_ready(entry)
+
+    def _on_load_dispatch(self, entry: Entry) -> None:
+        info = self.dep_info.get(entry.seq)
+        if info is not None:
+            entry.dep_store_seq = info.store_seq
+            entry.stale_equal = info.stale_equal
+            self.detector.register_load(entry, info.store_seq)
+        if self.policy is SpeculationPolicy.SELECTIVE:
+            entry.predicted_dep = self.predictor.predicts_dependence(
+                entry.inst.pc
+            )
+        elif self.policy is SpeculationPolicy.SYNC:
+            prediction = self.mdpt.predict_load(entry.inst.pc)
+            if prediction is not None:
+                entry.sync_synonym = prediction.synonym
+                entry.sync_wait_store = (
+                    self.synonyms.closest_older_producer(
+                        prediction.synonym, entry.seq
+                    )
+                )
+        elif self.policy is SpeculationPolicy.STORE_SETS:
+            entry.sync_wait_store = self.store_sets.load_dispatched(
+                entry
+            )
+
+    def _on_store_dispatch(self, entry: Entry) -> None:
+        self.unexec_stores.on_dispatch(entry.seq)
+        if self.addr_sched is not None:
+            self.addr_sched.on_store_dispatch(entry.seq)
+        if self.policy is SpeculationPolicy.STORE_BARRIER:
+            if self.predictor.predicts_dependence(entry.inst.pc):
+                entry.barrier = True
+                self.barrier_stores.on_dispatch(entry.seq)
+        elif self.policy is SpeculationPolicy.SYNC:
+            prediction = self.mdpt.predict_store(entry.inst.pc)
+            if prediction is not None:
+                entry.sync_synonym = prediction.synonym
+                self.synonyms.add_producer(prediction.synonym, entry)
+        elif self.policy is SpeculationPolicy.STORE_SETS:
+            # Store-to-store ordering within a set: this store waits for
+            # the set's previous (last fetched) store.
+            entry.sync_wait_store = self.store_sets.store_dispatched(
+                entry
+            )
+
+    # -- readiness ---------------------------------------------------------------
+
+    def _exec_ready_time(self, entry: Entry) -> Optional[int]:
+        """Cycle the entry may go to the execution scheduler, or None."""
+        if entry.is_store and not self.as_mode:
+            if entry.addr_pending or entry.data_pending:
+                return None
+            return max(entry.addr_ready, entry.data_ready)
+        if entry.addr_pending:
+            return None
+        return entry.addr_ready
+
+    def _maybe_ready(self, entry: Entry) -> None:
+        if entry.issue_cycle is not None or entry.in_ready_pool:
+            # Already issued its scheduler phase; stores in AS mode may
+            # still be waiting on data for the write phase.
+            if (
+                entry.is_store and self.as_mode
+                and entry.agen_done is not None
+                and not entry.data_pending
+                and not entry.in_mem_pool
+                and entry.write_cycle is None
+            ):
+                self.store_write_pool.push(entry)
+                self._progress = True
+            return
+        ready_at = self._exec_ready_time(entry)
+        if ready_at is None:
+            return
+        if ready_at <= self.cycle:
+            self.ready_pool.push(entry)
+        else:
+            self._schedule(ready_at, _EV_READY, entry)
+
+    # -- issue -------------------------------------------------------------
+
+    def _issue(self) -> None:
+        funits = self.funits
+        funits.begin_cycle(self.cycle)
+        self._issue_memory()
+        self._issue_exec()
+        if self.telemetry is not None:
+            self.telemetry.sample(
+                occupancy=len(self.window),
+                issued=funits.issued_this_cycle,
+                ports_used=funits.ports_used_this_cycle,
+            )
+
+    def _issue_exec(self) -> None:
+        funits = self.funits
+        pool = self.ready_pool
+        deferred: List[Entry] = []
+        scans = self.config.window.issue_width * 3
+        while funits.issue_slots_left and scans:
+            scans -= 1
+            entry = pool.pop()
+            if entry is None:
+                break
+            ready_at = self._exec_ready_time(entry)
+            if ready_at is None or ready_at > self.cycle:
+                if ready_at is not None:
+                    self._schedule(ready_at, _EV_READY, entry)
+                continue
+            op = entry.inst.op
+            fu_class = (
+                OpClass.IALU
+                if entry.inst.is_mem or entry.inst.is_branch
+                else op
+            )
+            if not funits.can_issue(fu_class):
+                deferred.append(entry)
+                continue
+            if entry.is_store and not self.as_mode:
+                # Store-set ordering: a store waits for its set's
+                # previous store to issue first.
+                wait = entry.sync_wait_store
+                if (
+                    wait is not None
+                    and not wait.squashed
+                    and wait.issue_cycle is None
+                ):
+                    deferred.append(entry)
+                    continue
+                # NAS store: single issue needs a memory port too.
+                if not funits.can_access_memory():
+                    deferred.append(entry)
+                    continue
+                funits.take_issue(fu_class)
+                funits.take_port()
+                self._do_issue_store_nas(entry)
+            elif entry.is_store:
+                funits.take_issue(fu_class)
+                self._do_issue_store_agen_as(entry)
+            elif entry.is_load:
+                funits.take_issue(fu_class)
+                self._do_issue_load_agen(entry)
+            else:
+                funits.take_issue(fu_class)
+                self._do_issue_alu(entry)
+            self._progress = True
+        for entry in deferred:
+            pool.push(entry)
+        if deferred:
+            self._progress = True
+
+    def _do_issue_alu(self, entry: Entry) -> None:
+        entry.issue_cycle = self.cycle
+        latency = self.config.latencies.latency(entry.inst.op)
+        entry.complete_cycle = self.cycle + latency
+        self._schedule(entry.complete_cycle, _EV_COMPLETE, entry)
+
+    def _do_issue_load_agen(self, entry: Entry) -> None:
+        entry.issue_cycle = self.cycle
+        entry.agen_done = self.cycle + 1
+        self.load_pool.push(entry)
+        self._hints.append(entry.agen_done)
+
+    def _do_issue_store_nas(self, entry: Entry) -> None:
+        entry.issue_cycle = self.cycle
+        entry.agen_done = self.cycle + 1
+        # 1 cycle address calculation + 1 cycle to the store buffer.
+        entry.write_cycle = self.cycle + 2
+        entry.complete_cycle = entry.write_cycle
+        # The store has issued: younger loads may now go (they forward
+        # from the store buffer, where the data is available next cycle).
+        self.unexec_stores.on_execute(entry.seq)
+        if entry.barrier:
+            self.barrier_stores.on_execute(entry.seq)
+        self._store_buffer_insert(entry, data_ready=self.cycle + 1)
+        self._schedule(entry.write_cycle, _EV_WRITE, entry)
+
+    def _do_issue_store_agen_as(self, entry: Entry) -> None:
+        entry.issue_cycle = self.cycle
+        entry.agen_done = self.cycle + 1
+        visible = self.addr_sched.post_address(entry, entry.agen_done)
+        entry.posted_cycle = visible
+        self._schedule(visible, _EV_POST, entry)
+        if not entry.data_pending:
+            self.store_write_pool.push(entry)
+
+    # -- memory stage -----------------------------------------------------------
+
+    def _issue_memory(self) -> None:
+        funits = self.funits
+        cycle = self.cycle
+        loads = self.load_pool.live_entries()
+        writes = self.store_write_pool.live_entries()
+        candidates = sorted(loads + writes, key=lambda e: e.seq)
+        for entry in candidates:
+            if not funits.can_access_memory():
+                self._progress = True  # ports exhausted: retry next cycle
+                break
+            if entry.is_store:
+                ready = max(entry.data_ready, entry.agen_done or 0)
+                if ready > cycle:
+                    self._hints.append(ready)
+                    continue
+                funits.take_port()
+                self.store_write_pool.remove(entry)
+                entry.write_cycle = cycle + 1
+                entry.complete_cycle = entry.write_cycle
+                self.unexec_stores.on_execute(entry.seq)
+                if entry.barrier:
+                    self.barrier_stores.on_execute(entry.seq)
+                self._store_buffer_insert(entry, data_ready=cycle + 1)
+                self._schedule(entry.write_cycle, _EV_WRITE, entry)
+                self._progress = True
+            else:
+                open_, hint = self._load_gate(entry)
+                if not open_:
+                    if hint is not None:
+                        self._hints.append(hint)
+                    continue
+                self._note_fd_resolution(entry)
+                funits.take_port()
+                self.load_pool.remove(entry)
+                self._access_memory(entry)
+                self._progress = True
+
+    def _access_memory(self, entry: Entry) -> None:
+        cycle = self.cycle
+        inst = entry.inst
+        entry.mem_issue_cycle = cycle
+        if self.unexec_stores.any_older_than(entry.seq):
+            entry.speculative = True
+        dep_entry = (
+            self.window.get(entry.dep_store_seq)
+            if entry.dep_store_seq is not None else None
+        )
+        if dep_entry is not None and not dep_entry.executed:
+            entry.premature = True
+        buffered, full = self.store_buffer.search(
+            entry.seq, inst.addr, inst.size
+        )
+        if buffered is not None and full:
+            complete = max(cycle + 1, buffered.data_ready_cycle + 1)
+            entry.forwarded_from = buffered.seq
+        elif buffered is not None:
+            # Partial overlap: wait for the store, then read the cache.
+            start = max(cycle, buffered.data_ready_cycle)
+            complete = self.hierarchy.load(inst.addr, start)
+        else:
+            complete = self.hierarchy.load(inst.addr, cycle)
+        entry.complete_cycle = complete
+        self._schedule(complete, _EV_COMPLETE, entry)
+
+    # -- load gates (the paper's policies) ---------------------------------------
+
+    def _load_gate(self, entry: Entry) -> Tuple[bool, Optional[int]]:
+        """May *entry* access memory this cycle?
+
+        Returns ``(open, hint)`` — *hint* is a future cycle worth
+        re-checking at, when known (pure time-based gates); event-driven
+        gates (waiting on a store write) return ``(False, None)``.
+        """
+        cycle = self.cycle
+        if entry.agen_done is None or entry.agen_done > cycle:
+            return False, entry.agen_done
+        if self.as_mode:
+            return self._load_gate_as(entry)
+        policy = self.policy
+        if policy is SpeculationPolicy.NAIVE:
+            return True, None
+        if policy is SpeculationPolicy.NO:
+            return self._gate_wait_all_stores(entry)
+        if policy is SpeculationPolicy.SELECTIVE:
+            if entry.predicted_dep:
+                return self._gate_wait_all_stores(entry)
+            return True, None
+        if policy is SpeculationPolicy.STORE_BARRIER:
+            if self.barrier_stores.any_older_than(entry.seq):
+                self._note_fd_wait(entry)
+                return False, None
+            return True, None
+        if policy in (
+            SpeculationPolicy.SYNC, SpeculationPolicy.STORE_SETS
+        ):
+            wait_store = entry.sync_wait_store
+            if wait_store is None or wait_store.squashed:
+                return True, None
+            if wait_store.executed:
+                return True, None
+            if wait_store.issue_cycle is not None:
+                # Free to issue one cycle after the producer issues.
+                if cycle >= wait_store.issue_cycle + 1:
+                    return True, None
+                return False, wait_store.issue_cycle + 1
+            return False, None
+        if policy is SpeculationPolicy.ORACLE:
+            if entry.dep_store_seq is None:
+                return True, None
+            dep = self.window.get(entry.dep_store_seq)
+            if dep is None or dep.executed:
+                return True, None
+            # Value available one cycle after the producing store issues
+            # (forwarded from the store buffer) — the paper's oracle still
+            # charges the store's own issue timing (Section 3.4.1).
+            if dep.issue_cycle is not None:
+                if cycle >= dep.issue_cycle + 1:
+                    return True, None
+                return False, dep.issue_cycle + 1
+            self._note_fd_wait(entry)
+            return False, None
+        raise AssertionError(f"unhandled policy {policy}")
+
+    def _gate_wait_all_stores(
+        self, entry: Entry
+    ) -> Tuple[bool, Optional[int]]:
+        if self.unexec_stores.any_older_than(entry.seq):
+            self._note_fd_wait(entry)
+            return False, None
+        return True, None
+
+    def _load_gate_as(self, entry: Entry) -> Tuple[bool, Optional[int]]:
+        cycle = self.cycle
+        search_from = entry.agen_done + self.addr_sched.latency
+        if cycle < search_from:
+            return False, search_from
+        if self.policy is SpeculationPolicy.NO:
+            if not self.addr_sched.all_older_posted(entry.seq, cycle):
+                self._note_fd_wait(entry)
+                return False, None
+        match = self.addr_sched.youngest_older_match(
+            entry.seq, entry.inst.addr, entry.inst.size, cycle
+        )
+        if match is not None:
+            # A known true dependence: the load always waits for the
+            # store's data, then forwards from the store buffer.
+            if match.write_cycle is None:
+                return False, None
+            if cycle < match.write_cycle:
+                return False, match.write_cycle
+        return True, None
+
+    # -- Table 3 accounting ---------------------------------------------------
+
+    def _note_fd_wait(self, entry: Entry) -> None:
+        """Record the first cycle a load was blocked by older stores."""
+        if entry.fd_wait_start is not None:
+            return
+        entry.fd_wait_start = self.cycle
+        dep = (
+            self.window.get(entry.dep_store_seq)
+            if entry.dep_store_seq is not None else None
+        )
+        if dep is not None and not dep.executed:
+            entry.fd_class = "true"
+        else:
+            entry.fd_class = "false"
+
+    def _note_fd_resolution(self, entry: Entry) -> None:
+        if entry.fd_wait_start is not None and (
+            entry.fd_resolved_cycle is None
+        ):
+            entry.fd_resolved_cycle = self.cycle
+
+    # -- periodic table flushes ---------------------------------------------------
+
+    def _maybe_flush_tables(self) -> None:
+        if self.cycle < self._next_flush:
+            return
+        interval = self.config.memdep.flush_interval
+        while self._next_flush <= self.cycle:
+            self._next_flush += interval
+        if self.predictor is not None:
+            self.predictor.flush()
+        if self.mdpt is not None:
+            self.mdpt.flush()
+        if self.store_sets is not None:
+            self.store_sets.flush()
+
+    # -- cache stat snapshots ---------------------------------------------------
+
+    def _snapshot_caches(self, stats: SimResult) -> None:
+        stats.dcache_accesses = self.hierarchy.dcache.accesses
+        stats.dcache_misses = self.hierarchy.dcache.misses
+        stats.icache_accesses = self.hierarchy.icache.accesses
+        stats.icache_misses = self.hierarchy.icache.misses
+        stats.l2_accesses = self.hierarchy.l2.accesses
+        stats.l2_misses = self.hierarchy.l2.misses
+
+
+def simulate(
+    config: ProcessorConfig,
+    trace: Trace,
+    plan: Optional[SamplingPlan] = None,
+    dep_info: Optional[Dict[int, DependenceInfo]] = None,
+) -> SimResult:
+    """Convenience wrapper: build a processor for *trace* and run it."""
+    processor = Processor(config, trace, dep_info)
+    return processor.run(plan)

@@ -1,0 +1,109 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimResult:
+    """Everything measured during one timing simulation."""
+
+    config_label: str = ""
+    benchmark: str = ""
+    suite: Optional[str] = None
+
+    cycles: int = 0
+    committed: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+
+    #: Memory dependence miss-speculations (squashes due to violations).
+    misspeculations: int = 0
+    #: Instructions squashed and re-executed due to miss-speculation.
+    squashed_instructions: int = 0
+
+    #: Loads counted as delayed by a *false* dependence (Table 3 "FD").
+    false_dependence_loads: int = 0
+    #: Loads counted as delayed by a *true* dependence.
+    true_dependence_loads: int = 0
+    #: Summed false-dependence resolution latency (Table 3 "RL").
+    false_dependence_latency: int = 0
+
+    branch_predictions: int = 0
+    branch_mispredictions: int = 0
+
+    load_forwards: int = 0
+    speculative_loads: int = 0
+
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def misspeculation_rate(self) -> float:
+        """Miss-speculations per committed load (Table 4's metric)."""
+        if not self.committed_loads:
+            return 0.0
+        return self.misspeculations / self.committed_loads
+
+    @property
+    def false_dependence_fraction(self) -> float:
+        """Fraction of committed loads delayed by a false dependence."""
+        if not self.committed_loads:
+            return 0.0
+        return self.false_dependence_loads / self.committed_loads
+
+    @property
+    def mean_resolution_latency(self) -> float:
+        """Average false-dependence resolution latency in cycles."""
+        if not self.false_dependence_loads:
+            return 0.0
+        return self.false_dependence_latency / self.false_dependence_loads
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if not self.branch_predictions:
+            return 0.0
+        return self.branch_mispredictions / self.branch_predictions
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        if not self.dcache_accesses:
+            return 0.0
+        return self.dcache_misses / self.dcache_accesses
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Relative IPC: ``self.ipc / baseline.ipc``."""
+        if baseline.ipc == 0:
+            raise ZeroDivisionError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def merge(self, other: "SimResult") -> None:
+        """Accumulate *other*'s counters (multi-segment sampling runs)."""
+        for name in (
+            "cycles", "committed", "committed_loads", "committed_stores",
+            "committed_branches", "misspeculations",
+            "squashed_instructions", "false_dependence_loads",
+            "true_dependence_loads", "false_dependence_latency",
+            "branch_predictions", "branch_mispredictions",
+            "load_forwards", "speculative_loads",
+            "dcache_accesses", "dcache_misses",
+            "icache_accesses", "icache_misses",
+            "l2_accesses", "l2_misses",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -1,0 +1,102 @@
+"""Per-cycle machine telemetry: occupancy and bandwidth utilisation.
+
+Attach a :class:`Telemetry` instance to a processor and every simulated
+cycle records window occupancy, instructions issued, and memory ports
+used. The summary answers the capacity questions behind the paper's
+configuration choices — how full the 128-entry window actually runs,
+how much of the 8-wide issue bandwidth a policy can use, and whether
+4 memory ports ever saturate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Telemetry:
+    """Cycle-granularity samples of machine utilisation."""
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self._tick = 0
+        self.cycles_sampled = 0
+        self._occupancy_sum = 0
+        self._occupancy_max = 0
+        self._issued_sum = 0
+        self._ports_sum = 0
+        #: Histogram of instructions issued per sampled cycle.
+        self.issue_histogram: Dict[int, int] = {}
+        #: Histogram of memory ports used per sampled cycle.
+        self.port_histogram: Dict[int, int] = {}
+
+    def sample(
+        self, occupancy: int, issued: int, ports_used: int
+    ) -> None:
+        """Record one cycle's utilisation (subsampled)."""
+        self._tick += 1
+        if self._tick % self.sample_every:
+            return
+        self.cycles_sampled += 1
+        self._occupancy_sum += occupancy
+        if occupancy > self._occupancy_max:
+            self._occupancy_max = occupancy
+        self._issued_sum += issued
+        self._ports_sum += ports_used
+        self.issue_histogram[issued] = (
+            self.issue_histogram.get(issued, 0) + 1
+        )
+        self.port_histogram[ports_used] = (
+            self.port_histogram.get(ports_used, 0) + 1
+        )
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.cycles_sampled:
+            return 0.0
+        return self._occupancy_sum / self.cycles_sampled
+
+    @property
+    def max_occupancy(self) -> int:
+        return self._occupancy_max
+
+    @property
+    def mean_issue(self) -> float:
+        if not self.cycles_sampled:
+            return 0.0
+        return self._issued_sum / self.cycles_sampled
+
+    @property
+    def mean_ports(self) -> float:
+        if not self.cycles_sampled:
+            return 0.0
+        return self._ports_sum / self.cycles_sampled
+
+    def issue_fraction_at_least(self, width: int) -> float:
+        """Fraction of cycles issuing >= *width* instructions."""
+        if not self.cycles_sampled:
+            return 0.0
+        busy = sum(
+            count for issued, count in self.issue_histogram.items()
+            if issued >= width
+        )
+        return busy / self.cycles_sampled
+
+    def render(self, issue_width: int = 8, ports: int = 4) -> str:
+        lines = [
+            f"cycles sampled     {self.cycles_sampled:,}",
+            f"window occupancy   mean {self.mean_occupancy:.1f}, "
+            f"max {self.max_occupancy}",
+            f"issue bandwidth    mean {self.mean_issue:.2f}/{issue_width}",
+            f"memory ports       mean {self.mean_ports:.2f}/{ports}",
+            "issue-width histogram:",
+        ]
+        for width in sorted(self.issue_histogram):
+            count = self.issue_histogram[width]
+            share = count / max(1, self.cycles_sampled)
+            bar = "#" * round(40 * share)
+            lines.append(f"  {width:2d} |{bar:<40s}| {share:5.1%}")
+        return "\n".join(lines)

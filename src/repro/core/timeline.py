@@ -1,0 +1,143 @@
+"""Per-instruction pipeline timelines (a pipeview-style debug aid).
+
+Attach a :class:`TimelineRecorder` to a :class:`~repro.core.Processor`
+and every committed instruction's stage timestamps are captured:
+
+====  =============================================================
+mark  stage
+====  =============================================================
+``D``  dispatch (enters the window)
+``I``  issue (scheduler grants execution / address generation)
+``M``  memory access starts (loads) or store write becomes visible
+``=``  in flight between issue and completion
+``C``  completion (result available)
+``R``  retire (commit)
+====  =============================================================
+
+The renderer draws one row per instruction over a cycle axis — the
+classic way to *see* a load blocked behind a store, a squash bubble, or
+an address-scheduler delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.window import Entry
+
+
+@dataclass(frozen=True)
+class InstructionTimeline:
+    """Stage timestamps of one committed instruction."""
+
+    seq: int
+    pc: int
+    op: str
+    dispatch: int
+    issue: Optional[int]
+    mem_issue: Optional[int]
+    complete: Optional[int]
+    commit: int
+
+    @property
+    def latency(self) -> int:
+        """Dispatch-to-commit residency in cycles."""
+        return self.commit - self.dispatch
+
+
+class TimelineRecorder:
+    """Captures committed-instruction timelines inside a seq range."""
+
+    def __init__(
+        self,
+        start_seq: int = 0,
+        limit: int = 64,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        self.start_seq = start_seq
+        self.limit = limit
+        self.records: List[InstructionTimeline] = []
+
+    @property
+    def full(self) -> bool:
+        return len(self.records) >= self.limit
+
+    def on_commit(self, entry: Entry, cycle: int) -> None:
+        """Called by the processor as each instruction retires."""
+        if self.full or entry.seq < self.start_seq:
+            return
+        complete = (
+            entry.write_cycle if entry.is_store else entry.complete_cycle
+        )
+        mem = entry.mem_issue_cycle
+        if entry.is_store:
+            mem = entry.write_cycle
+        self.records.append(InstructionTimeline(
+            seq=entry.seq,
+            pc=entry.inst.pc,
+            op=entry.inst.op.name,
+            dispatch=entry.dispatch_cycle,
+            issue=entry.issue_cycle,
+            mem_issue=mem,
+            complete=complete,
+            commit=cycle,
+        ))
+
+    def render(self, max_width: int = 100) -> str:
+        """ASCII pipeview of the captured instructions."""
+        if not self.records:
+            return "(no instructions captured)"
+        base = min(r.dispatch for r in self.records)
+        end = max(r.commit for r in self.records)
+        span = end - base + 1
+        scale = max(1, -(-span // max_width))  # cycles per column
+        columns = -(-span // scale)
+
+        def col(cycle: Optional[int]) -> Optional[int]:
+            if cycle is None:
+                return None
+            return min(columns - 1, max(0, (cycle - base) // scale))
+
+        lines = [
+            f"cycles {base}..{end}"
+            + (f" ({scale} cycles/column)" if scale > 1 else "")
+        ]
+        for r in self.records:
+            row = [" "] * columns
+            issue_col = col(r.issue)
+            complete_col = col(r.complete)
+            if issue_col is not None and complete_col is not None:
+                for i in range(issue_col, complete_col + 1):
+                    row[i] = "="
+                # Loads waiting in the LSQ (policy gate / ports) between
+                # address generation and the actual memory access.
+                mem_wait = col(r.mem_issue)
+                if r.op == "LOAD" and mem_wait is not None:
+                    for i in range(issue_col, mem_wait):
+                        row[i] = "-"
+            dispatch_col = col(r.dispatch)
+            if dispatch_col is not None:
+                row[dispatch_col] = "D"
+            if issue_col is not None:
+                row[issue_col] = "I"
+            mem_col = col(r.mem_issue)
+            if mem_col is not None and not (
+                r.op == "STORE" and r.mem_issue == r.complete
+            ):
+                row[mem_col] = "M"
+            if complete_col is not None:
+                row[complete_col] = "C"
+            commit_col = col(r.commit)
+            if commit_col is not None:
+                row[commit_col] = "R"
+            label = f"{r.seq:6d} {r.op:8s}"
+            lines.append(f"{label} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def mean_latency(self) -> float:
+        """Average dispatch-to-commit residency of captured records."""
+        if not self.records:
+            return 0.0
+        return sum(r.latency for r in self.records) / len(self.records)

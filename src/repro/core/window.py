@@ -1,0 +1,208 @@
+"""The instruction window (RUU-style reorder buffer) and its entries.
+
+*Centralized, continuous window*: instructions enter in program order,
+occupy one entry until commit, and all scheduling decisions prefer older
+instructions (program-order priority). Squash invalidation truncates the
+window from the youngest end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import REG_ZERO
+
+
+class Entry:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "inst", "seq", "dispatch_cycle",
+        # operand tracking: 'addr' covers every source except a store's
+        # data operand, which is tracked separately so the two-phase AS
+        # store model (address early, data late) is expressible.
+        "addr_pending", "addr_ready", "data_pending", "data_ready",
+        "issue_cycle", "agen_done", "mem_issue_cycle",
+        "complete_cycle", "write_cycle", "posted_cycle",
+        "executed", "squashed", "in_ready_pool", "in_mem_pool",
+        "waiters", "producers", "consumers",
+        # memory-dependence bookkeeping
+        "dep_store_seq", "stale_equal", "speculative",
+        "forwarded_from", "premature",
+        # policy annotations
+        "sync_synonym", "sync_wait_store", "predicted_dep", "barrier",
+        # Table 3 accounting
+        "fd_wait_start", "fd_class", "fd_resolved_cycle",
+    )
+
+    def __init__(self, inst: DynInst, dispatch_cycle: int) -> None:
+        self.inst = inst
+        self.seq = inst.seq
+        self.dispatch_cycle = dispatch_cycle
+        self.addr_pending = 0
+        self.addr_ready = dispatch_cycle
+        self.data_pending = 0
+        self.data_ready = dispatch_cycle
+        self.issue_cycle: Optional[int] = None
+        self.agen_done: Optional[int] = None
+        self.mem_issue_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        self.write_cycle: Optional[int] = None
+        self.posted_cycle: Optional[int] = None
+        self.executed = False
+        self.squashed = False
+        self.in_ready_pool = False
+        self.in_mem_pool = False
+        self.waiters: List[Tuple["Entry", bool]] = []  # (entry, is_data)
+        #: In-flight producers this entry depended on at dispatch
+        #: (used by selective-invalidation recovery).
+        self.producers: List["Entry"] = []
+        #: Consumers already woken by this entry's completion (kept for
+        #: the AS/NAV value-propagation test).
+        self.consumers: List[Tuple["Entry", bool]] = []
+        self.dep_store_seq: Optional[int] = None
+        self.stale_equal = True
+        self.speculative = False
+        self.forwarded_from: Optional[int] = None
+        self.premature = False
+        self.sync_synonym: Optional[int] = None
+        self.sync_wait_store: Optional["Entry"] = None
+        self.predicted_dep = False
+        self.barrier = False
+        self.fd_wait_start: Optional[int] = None
+        self.fd_class: Optional[str] = None  # "false" | "true" | None
+        self.fd_resolved_cycle: Optional[int] = None
+
+    @property
+    def operands_ready_cycle(self) -> int:
+        """Cycle when every operand (address and data) is available."""
+        return max(self.addr_ready, self.data_ready)
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.op is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "squashed" if self.squashed else (
+            "done" if self.complete_cycle is not None else "inflight"
+        )
+        return f"<Entry seq={self.seq} {self.inst.op.name} {state}>"
+
+
+class Window:
+    """Program-ordered window with a register rename map."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._entries: Deque[Entry] = deque()
+        self._by_seq: Dict[int, Entry] = {}
+        self._last_writer: Dict[int, Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def head(self) -> Optional[Entry]:
+        """Oldest in-flight entry."""
+        return self._entries[0] if self._entries else None
+
+    def get(self, seq: int) -> Optional[Entry]:
+        return self._by_seq.get(seq)
+
+    def dispatch(self, entry: Entry) -> None:
+        """Insert *entry* (program order), wiring producer links.
+
+        For each source register the youngest older in-flight writer is
+        recorded: if it has not completed, *entry* becomes its waiter and
+        the corresponding pending count is incremented; if it has, the
+        operand-ready time absorbs its completion cycle.
+        """
+        if self.full:
+            raise RuntimeError("window overflow")
+        if self._entries and entry.seq <= self._entries[-1].seq:
+            raise ValueError("dispatch must follow program order")
+        inst = entry.inst
+        srcs = inst.srcs
+        for index, src in enumerate(srcs):
+            if src == REG_ZERO:
+                continue
+            # A store's data operand is its second source by convention.
+            is_data = entry.is_store and index == 1
+            producer = self._last_writer.get(src)
+            if producer is None or producer.squashed:
+                continue
+            entry.producers.append(producer)
+            if producer.complete_cycle is not None:
+                if is_data:
+                    entry.data_ready = max(
+                        entry.data_ready, producer.complete_cycle
+                    )
+                else:
+                    entry.addr_ready = max(
+                        entry.addr_ready, producer.complete_cycle
+                    )
+            else:
+                producer.waiters.append((entry, is_data))
+                if is_data:
+                    entry.data_pending += 1
+                else:
+                    entry.addr_pending += 1
+        if inst.dest is not None and inst.dest != REG_ZERO:
+            self._last_writer[inst.dest] = entry
+        self._entries.append(entry)
+        self._by_seq[entry.seq] = entry
+
+    def commit_head(self) -> Entry:
+        """Remove and return the oldest entry."""
+        entry = self._entries.popleft()
+        del self._by_seq[entry.seq]
+        if (
+            entry.inst.dest is not None
+            and self._last_writer.get(entry.inst.dest) is entry
+        ):
+            del self._last_writer[entry.inst.dest]
+        return entry
+
+    def squash_from(self, seq: int) -> List[Entry]:
+        """Invalidate every entry with ``entry.seq >= seq``.
+
+        Returns the squashed entries (youngest first). The rename map is
+        rebuilt from the survivors.
+        """
+        squashed: List[Entry] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            entry = self._entries.pop()
+            entry.squashed = True
+            del self._by_seq[entry.seq]
+            squashed.append(entry)
+        if squashed:
+            self._last_writer = {}
+            for entry in self._entries:
+                dest = entry.inst.dest
+                if dest is not None and dest != REG_ZERO:
+                    self._last_writer[dest] = entry
+        return squashed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_seq.clear()
+        self._last_writer.clear()

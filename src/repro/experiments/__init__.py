@@ -1,0 +1,37 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    run_benchmark,
+    run_matrix,
+    clear_results,
+)
+from repro.experiments.tables import table1, table3, table4
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    summary_findings,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "run_benchmark",
+    "run_matrix",
+    "clear_results",
+    "table1",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "summary_findings",
+]

@@ -1,0 +1,182 @@
+"""Command-line entry point: ``repro-experiments <artifact> [...]``.
+
+Examples::
+
+    repro-experiments table3
+    repro-experiments figure1 figure2 --quick
+    repro-experiments all --timing 20000 --warmup 12000
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    ablation_predictors,
+    ablation_recovery,
+    ablation_split_geometry,
+    ablation_squash_penalty,
+    ablation_window,
+)
+from repro.experiments.figures import (
+    figure1, figure2, figure3, figure4, figure5, figure6, figure7,
+    summary_findings,
+)
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.tables import table1, table3, table4
+
+ARTIFACTS: Dict[str, Callable] = {
+    "table1": table1,
+    "table3": table3,
+    "table4": table4,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "summary": summary_findings,
+    "ablation-recovery": ablation_recovery,
+    "ablation-predictors": ablation_predictors,
+    "ablation-window": ablation_window,
+    "ablation-squash": ablation_squash_penalty,
+    "ablation-split": ablation_split_geometry,
+}
+
+_ORDER = (
+    "table1", "figure1", "table3", "figure2", "table4", "figure3",
+    "figure4", "figure5", "figure6", "figure7", "summary",
+    "ablation-recovery", "ablation-predictors", "ablation-window",
+    "ablation-squash", "ablation-split",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Memory Dependence "
+            "Speculation Tradeoffs in Centralized, Continuous-Window "
+            "Superscalar Processors' (HPCA 2000)."
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which artifacts to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--timing", type=int, default=16_000,
+        help="timed instructions per run (default 16000)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=10_000,
+        help="functional warm-up instructions per run (default 10000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short runs (6000 timed / 4000 warm-up)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR",
+        help="also write each artifact as JSON into DIR",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR",
+        help="also write each artifact's rows as CSV into DIR",
+    )
+    parser.add_argument(
+        "--parallel", type=int, metavar="N", default=0,
+        help="pre-simulate the core configuration matrix with N worker "
+             "processes before rendering artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        settings = ExperimentSettings(6_000, 4_000, args.seed)
+    else:
+        settings = ExperimentSettings(args.timing, args.warmup, args.seed)
+
+    names = list(args.artifacts)
+    if "all" in names:
+        names = list(_ORDER)
+
+    if args.parallel:
+        _prewarm(settings, args.parallel)
+
+    for name in names:
+        started = time.time()
+        report = ARTIFACTS[name](settings)
+        elapsed = time.time() - started
+        print(report.render())
+        print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+        _export(report, name, args.json, args.csv)
+    return 0
+
+
+def _prewarm(settings: ExperimentSettings, workers: int) -> None:
+    """Simulate the configuration matrix shared by the figures, in
+    parallel, so artifact rendering afterwards is mostly cache hits."""
+    from repro.config import (
+        continuous_window_128, continuous_window_64,
+        SchedulingModel, SpeculationPolicy,
+    )
+    from repro.experiments.parallel import run_matrix_parallel
+    from repro.workloads.spec95 import ALL_BENCHMARKS
+
+    nas = SchedulingModel.NAS
+    as_ = SchedulingModel.AS
+    configs = {}
+    for policy in (
+        SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+        SpeculationPolicy.SELECTIVE, SpeculationPolicy.STORE_BARRIER,
+        SpeculationPolicy.SYNC, SpeculationPolicy.ORACLE,
+    ):
+        configs[f"w128 NAS/{policy.value}"] = continuous_window_128(
+            nas, policy
+        )
+    for policy in (SpeculationPolicy.NO, SpeculationPolicy.ORACLE):
+        configs[f"w64 NAS/{policy.value}"] = continuous_window_64(
+            nas, policy
+        )
+    for latency in (0, 1, 2):
+        for policy in (SpeculationPolicy.NO, SpeculationPolicy.NAIVE):
+            configs[f"AS/{policy.value}+{latency}"] = (
+                continuous_window_128(as_, policy, latency)
+            )
+    started = time.time()
+    run_matrix_parallel(
+        ALL_BENCHMARKS, configs, settings, workers=workers
+    )
+    print(
+        f"  [prewarmed {len(configs)}x{len(ALL_BENCHMARKS)} points "
+        f"with {workers} workers in {time.time() - started:.1f}s]\n"
+    )
+
+
+def _export(report, name: str, json_dir, csv_dir) -> None:
+    from repro.experiments.export import report_to_csv, report_to_json
+
+    if json_dir:
+        os.makedirs(json_dir, exist_ok=True)
+        path = os.path.join(json_dir, f"{name}.json")
+        with open(path, "w") as handle:
+            handle.write(report_to_json(report))
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+        path = os.path.join(csv_dir, f"{name}.csv")
+        with open(path, "w") as handle:
+            handle.write(report_to_csv(report))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

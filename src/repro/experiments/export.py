@@ -1,0 +1,91 @@
+"""Export simulation results and reports to CSV / JSON.
+
+The experiment drivers return :class:`ExperimentReport` objects whose
+``data`` payloads are plain dict/float structures; these helpers
+serialise them (and raw :class:`SimResult` collections) for notebooks,
+plotting scripts, or regression tracking.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping
+
+from repro.core.result import SimResult
+from repro.experiments.report import ExperimentReport
+
+#: SimResult counters exported to tabular form, in column order.
+RESULT_FIELDS = (
+    "benchmark", "config_label", "suite",
+    "cycles", "committed", "committed_loads", "committed_stores",
+    "committed_branches", "ipc",
+    "misspeculations", "misspeculation_rate", "squashed_instructions",
+    "false_dependence_loads", "true_dependence_loads",
+    "false_dependence_fraction", "mean_resolution_latency",
+    "branch_predictions", "branch_mispredictions",
+    "branch_misprediction_rate",
+    "load_forwards", "speculative_loads",
+    "dcache_accesses", "dcache_misses", "dcache_miss_rate",
+    "icache_accesses", "icache_misses",
+    "l2_accesses", "l2_misses",
+)
+
+
+def result_row(result: SimResult) -> dict:
+    """One flat dict of every exported field of *result*."""
+    return {field: getattr(result, field) for field in RESULT_FIELDS}
+
+
+def results_to_csv(results: Iterable[SimResult]) -> str:
+    """CSV text with one row per result (stable column order)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=RESULT_FIELDS)
+    writer.writeheader()
+    for result in results:
+        writer.writerow(result_row(result))
+    return buffer.getvalue()
+
+
+def results_to_json(results: Iterable[SimResult], indent: int = 2) -> str:
+    """JSON array of exported result records."""
+    return json.dumps(
+        [result_row(result) for result in results], indent=indent
+    )
+
+
+def report_to_json(report: ExperimentReport, indent: int = 2) -> str:
+    """Serialise a report: identity, rows and the data payload."""
+    return json.dumps(
+        {
+            "experiment": report.experiment,
+            "title": report.title,
+            "headers": list(report.headers),
+            "rows": [list(map(str, row)) for row in report.rows],
+            "notes": list(report.notes),
+            "data": _plain(report.data),
+        },
+        indent=indent,
+    )
+
+
+def report_to_csv(report: ExperimentReport) -> str:
+    """CSV of a report's rendered rows (headers first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(report.headers)
+    for row in report.rows:
+        writer.writerow([str(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def _plain(value):
+    """Recursively coerce report data into JSON-encodable types."""
+    if isinstance(value, Mapping):
+        return {str(key): _plain(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

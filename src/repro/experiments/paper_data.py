@@ -1,0 +1,60 @@
+"""Reference numbers transcribed from the paper.
+
+These are the published measurements our reproduction is compared
+against in EXPERIMENTS.md. Keys are the short benchmark names ("126"
+for 126.gcc) the paper uses in its tables.
+"""
+
+from __future__ import annotations
+
+#: Table 3 — fraction of loads with false dependences (percent), and
+#: average false-dependence resolution latency (cycles), 128-entry
+#: NAS/NO machine.
+PAPER_TABLE3_FD = {
+    "099": 26.4, "124": 59.9, "126": 39.0, "129": 70.3, "130": 44.2,
+    "132": 70.3, "134": 59.8, "147": 67.2, "101": 61.2, "102": 91.0,
+    "103": 79.6, "104": 85.2, "107": 45.4, "110": 45.4, "125": 77.0,
+    "141": 77.5, "145": 88.7, "146": 83.6,
+}
+PAPER_TABLE3_RL = {
+    "099": 13.7, "124": 14.8, "126": 47.3, "129": 18.5, "130": 39.1,
+    "132": 22.9, "134": 39.1, "147": 54.5, "101": 36.3, "102": 5.4,
+    "103": 91.2, "104": 9.7, "107": 26.6, "110": 26.6, "125": 55.6,
+    "141": 78.7, "145": 51.4, "146": 9.7,
+}
+
+#: Table 4 — memory dependence miss-speculation rate (percent of
+#: committed loads) under naive speculation (NAS/NAV) and under
+#: speculation/synchronization (NAS/SYNC).
+PAPER_TABLE4_NAV = {
+    "099": 2.5, "124": 1.0, "126": 1.3, "129": 7.8, "130": 3.2,
+    "132": 0.8, "134": 2.9, "147": 3.2, "101": 1.0, "102": 0.9,
+    "103": 2.4, "104": 5.5, "107": 0.1, "110": 1.4, "125": 0.7,
+    "141": 2.1, "145": 1.4, "146": 2.0,
+}
+PAPER_TABLE4_SYNC = {
+    "099": 0.0301, "124": 0.0030, "126": 0.0028, "129": 0.0034,
+    "130": 0.0035, "132": 0.0090, "134": 0.0029, "147": 0.0286,
+    "101": 0.0001, "102": 0.0017, "103": 0.0741, "104": 0.0740,
+    "107": 0.0019, "110": 0.0039, "125": 0.0009, "141": 0.0148,
+    "145": 0.0096, "146": 0.0034,
+}
+
+#: Section 4 summary — average speedups (percent) by suite.
+PAPER_SUMMARY = {
+    # NAS/ORACLE over NAS/NO, 128-entry window (finding 1).
+    "oracle_over_no_int": 55.0,
+    "oracle_over_no_fp": 154.0,
+    # AS/NAV over AS/NO at 0-cycle scheduler latency (finding 2).
+    "asnav_over_asno_int": 4.6,
+    "asnav_over_asno_fp": 5.3,
+    # NAS/NAV over NAS/NO (finding 3).
+    "nav_over_no_int": 29.0,
+    "nav_over_no_fp": 113.0,
+    # NAS/SYNC over NAS/NAV (finding 5).
+    "sync_over_nav_int": 19.7,
+    "sync_over_nav_fp": 19.1,
+    # NAS/ORACLE over NAS/NAV (finding 5's reference point).
+    "oracle_over_nav_int": 20.9,
+    "oracle_over_nav_fp": 20.4,
+}

@@ -1,0 +1,29 @@
+"""Common report container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.stats.format import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table or figure, renderable as text."""
+
+    experiment: str  # e.g. "Figure 1"
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+    #: Machine-readable payload (per-benchmark series) for tests/plots.
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"{self.experiment}: {self.title}", ""]
+        lines.append(render_table(self.headers, self.rows))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"  {note}" for note in self.notes)
+        return "\n".join(lines)

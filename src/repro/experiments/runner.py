@@ -1,0 +1,208 @@
+"""Shared experiment runner with result caching.
+
+Methodology (DESIGN.md Section 2): every (benchmark, configuration) run
+simulates the same deterministic trace; the first ``warmup`` dynamic
+instructions run functionally (caches and branch predictors learn —
+the paper's sampling methodology), the remaining ``timing`` instructions
+run through the detailed timing model.
+
+Results are memoized per process so that figure drivers sharing
+configurations (most of them share the NAS/NO and NAS/NAV baselines)
+never simulate the same point twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.config.presets import config_name
+from repro.config.processor import ProcessorConfig
+from repro.core.processor import Processor
+from repro.core.result import SimResult
+from repro.splitwindow.processor import SplitWindowProcessor
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment, parse_ratio
+from repro.workloads.catalog import get_trace
+from repro.workloads.spec95 import profile_for
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run lengths for the scaled-down reproduction.
+
+    With ``paper_sampling`` enabled, the region after warm-up is split
+    into alternating timing/functional intervals according to each
+    benchmark's Table 1 "SR" ratio (e.g. 104.hydro2d's "1:10"), scaled
+    to ``observation``-sized windows — the paper's Section 3.1
+    methodology in miniature. The trace is lengthened so the *timed*
+    instruction count stays ``timing_instructions``.
+    """
+
+    timing_instructions: int = 16_000
+    warmup_instructions: int = 10_000
+    seed: int = 0
+    paper_sampling: bool = False
+    observation: int = 2_000
+
+    @property
+    def trace_length(self) -> int:
+        return self.timing_instructions + self.warmup_instructions
+
+
+#: Default settings; ``quick()`` for test-suite-sized runs.
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+def quick_settings() -> ExperimentSettings:
+    """Short runs for smoke tests (shapes hold, noisier values)."""
+    return ExperimentSettings(
+        timing_instructions=6_000, warmup_instructions=4_000
+    )
+
+
+_result_cache: Dict[Tuple, SimResult] = {}
+_dep_cache: Dict[Tuple[str, int, int], dict] = {}
+
+
+def clear_results() -> None:
+    """Drop every cached simulation result."""
+    _result_cache.clear()
+    _dep_cache.clear()
+
+
+def _config_key(config: ProcessorConfig) -> Tuple:
+    memdep = config.memdep
+    return (
+        config_name(config),
+        config.window.size,
+        config.window.issue_width,
+        config.window.memory_ports,
+        config.window.fu_copies,
+        memdep.flush_interval,
+        memdep.recovery,
+        memdep.predictor_entries,
+        memdep.predictor_assoc,
+        memdep.confidence_threshold,
+        memdep.lfst_entries,
+        memdep.squash_refill_penalty,
+        config.split.enabled,
+        config.split.num_units,
+        config.split.task_size,
+    )
+
+
+def run_benchmark(
+    name: str,
+    config: ProcessorConfig,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SimResult:
+    """Simulate one (benchmark, config) point, with caching."""
+    key = (name, settings, _config_key(config))
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    plan = _plan_for(name, settings)
+    trace = get_trace(name, plan.length, settings.seed)
+    info = _dependences_for_length(name, plan.length, settings.seed)
+    if config.split.enabled:
+        # The split-window model has no functional-warm mode; its caches
+        # warm during the run, and comparisons against it use the same
+        # treatment on both sides.
+        result = SplitWindowProcessor(config, trace, info).run()
+    else:
+        result = Processor(config, trace, info).run(plan)
+    _result_cache[key] = result
+    return result
+
+
+def _dependences_for_length(name: str, length: int, seed: int):
+    key = (name, length, seed)
+    info = _dep_cache.get(key)
+    if info is None:
+        trace = get_trace(name, length, seed)
+        info = compute_dependence_info(trace)
+        _dep_cache[key] = info
+    return info
+
+
+def _plan_for(name: str, settings: ExperimentSettings) -> SamplingPlan:
+    """Warm-up segment plus the timed region (optionally SR-sampled)."""
+    warm = settings.warmup_instructions
+    if not settings.paper_sampling:
+        length = settings.trace_length
+        segments = []
+        if warm:
+            segments.append(Segment(0, warm, timing=False))
+        segments.append(Segment(warm, length, timing=True))
+        return SamplingPlan(tuple(segments), length)
+
+    # Paper-style: alternate timing/functional per the benchmark's
+    # Table 1 ratio so that exactly `timing_instructions` are timed.
+    try:
+        ratio_text = profile_for(name).sampling_ratio
+    except KeyError:
+        ratio_text = None
+    timing_ratio, functional_ratio = parse_ratio(ratio_text)
+    observation = settings.observation
+    segments = []
+    if warm:
+        segments.append(Segment(0, warm, timing=False))
+    pos = warm
+    timed = 0
+    while timed < settings.timing_instructions:
+        span = min(
+            observation * timing_ratio,
+            settings.timing_instructions - timed,
+        )
+        segments.append(Segment(pos, pos + span, timing=True))
+        pos += span
+        timed += span
+        if functional_ratio and timed < settings.timing_instructions:
+            func = observation * functional_ratio
+            segments.append(Segment(pos, pos + func, timing=False))
+            pos += func
+    return SamplingPlan(tuple(segments), pos)
+
+
+def run_benchmark_seeds(
+    name: str,
+    config: ProcessorConfig,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    seeds: Tuple[int, ...] = (0, 1, 2),
+) -> list:
+    """One (benchmark, config) point across several workload seeds.
+
+    Each seed generates a statistically-identical but distinct trace;
+    the spread of the returned results bounds workload-generation noise
+    (see :func:`repro.stats.summary.mean_and_spread`).
+    """
+    results = []
+    for seed in seeds:
+        seeded = ExperimentSettings(
+            timing_instructions=settings.timing_instructions,
+            warmup_instructions=settings.warmup_instructions,
+            seed=seed,
+            paper_sampling=settings.paper_sampling,
+            observation=settings.observation,
+        )
+        results.append(run_benchmark(name, config, seeded))
+    return results
+
+
+def run_matrix(
+    benchmarks: Iterable[str],
+    configs: Mapping[str, ProcessorConfig],
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Results for every (benchmark, config) pair.
+
+    Returns ``{config_label: {benchmark: SimResult}}``.
+    """
+    out: Dict[str, Dict[str, SimResult]] = {}
+    for label, config in configs.items():
+        out[label] = {
+            name: run_benchmark(name, config, settings)
+            for name in benchmarks
+        }
+    return out

@@ -1,0 +1,57 @@
+"""MIPS-like instruction-set model used by the simulator.
+
+The paper compiled SPEC'95 for the MIPS-I architecture; we model a
+MIPS-like register file (32 integer, 32 floating point, plus HI/LO/FSR)
+and classify instructions into the functional-unit classes whose
+latencies Table 2 of the paper specifies.
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    is_branch,
+    is_load,
+    is_mem,
+    is_store,
+    MEM_CLASSES,
+    BRANCH_CLASSES,
+)
+from repro.isa.registers import (
+    RegisterFile,
+    REG_ZERO,
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    REG_HI,
+    REG_LO,
+    REG_FSR,
+    TOTAL_REGS,
+    int_reg,
+    fp_reg,
+    register_name,
+)
+from repro.isa.instruction import StaticInst, DynInst
+from repro.isa.latencies import LatencyTable, DEFAULT_LATENCIES
+
+__all__ = [
+    "OpClass",
+    "is_branch",
+    "is_load",
+    "is_mem",
+    "is_store",
+    "MEM_CLASSES",
+    "BRANCH_CLASSES",
+    "RegisterFile",
+    "REG_ZERO",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "REG_HI",
+    "REG_LO",
+    "REG_FSR",
+    "TOTAL_REGS",
+    "int_reg",
+    "fp_reg",
+    "register_name",
+    "StaticInst",
+    "DynInst",
+    "LatencyTable",
+    "DEFAULT_LATENCIES",
+]

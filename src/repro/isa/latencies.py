@@ -1,0 +1,58 @@
+"""Functional-unit execution latencies (Table 2 of the paper).
+
+Integer: 1 cycle except multiplication (4) and division (12).
+Floating point: 2 cycles add/sub/compare, 4 cycles SP multiply, 5 cycles
+DP multiply, 12 cycles SP divide, 15 cycles DP divide. Loads and stores
+take 1 cycle of address generation before entering the memory system;
+branches resolve in 1 cycle once their operands are ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opcodes import OpClass
+
+_TABLE2_LATENCIES: Dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 4,
+    OpClass.IDIV: 12,
+    OpClass.FADD: 2,
+    OpClass.FMUL_SP: 4,
+    OpClass.FMUL_DP: 5,
+    OpClass.FDIV_SP: 12,
+    OpClass.FDIV_DP: 15,
+    OpClass.LOAD: 1,  # address-generation cycle; memory time is separate
+    OpClass.STORE: 1,  # address-generation cycle
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Maps an :class:`OpClass` to its execution latency in cycles."""
+
+    overrides: Dict[OpClass, int] = field(default_factory=dict)
+
+    def latency(self, op: OpClass) -> int:
+        """Execution latency of *op* in cycles (>= 1)."""
+        if op in self.overrides:
+            return self.overrides[op]
+        return _TABLE2_LATENCIES[op]
+
+    def with_override(self, op: OpClass, cycles: int) -> "LatencyTable":
+        """A new table with *op*'s latency replaced by *cycles*."""
+        if cycles < 1:
+            raise ValueError("latency must be at least 1 cycle")
+        merged = dict(self.overrides)
+        merged[op] = cycles
+        return LatencyTable(overrides=merged)
+
+
+#: The paper's Table 2 latencies, with no overrides.
+DEFAULT_LATENCIES = LatencyTable()

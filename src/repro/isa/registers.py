@@ -1,0 +1,102 @@
+"""Architectural register namespace.
+
+The MIPS-I machine the paper targets has 32 integer registers, 32
+floating-point registers, and the HI / LO / FSR special registers
+(Table 2: "32 integer, 32 floating point, HI, LO and FSR"). We flatten
+all of them into a single integer namespace so dependence tracking is a
+plain array lookup:
+
+==========  =============
+indices     registers
+==========  =============
+0 .. 31     integer $0..$31 ($0 hardwired to zero)
+32 .. 63    floating point $f0..$f31
+64          HI
+65          LO
+66          FSR
+==========  =============
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Integer register 0 — hardwired zero, never a real dependence.
+REG_ZERO = 0
+
+REG_HI = NUM_INT_REGS + NUM_FP_REGS  # 64
+REG_LO = REG_HI + 1  # 65
+REG_FSR = REG_LO + 1  # 66
+
+TOTAL_REGS = REG_FSR + 1  # 67
+
+
+def int_reg(n: int) -> int:
+    """Flat index of integer register ``$n``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Flat index of floating-point register ``$f{n}``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register out of range: {n}")
+    return NUM_INT_REGS + n
+
+
+def register_name(index: int) -> str:
+    """Human-readable name for a flat register index."""
+    if 0 <= index < NUM_INT_REGS:
+        return f"$r{index}"
+    if NUM_INT_REGS <= index < NUM_INT_REGS + NUM_FP_REGS:
+        return f"$f{index - NUM_INT_REGS}"
+    if index == REG_HI:
+        return "$hi"
+    if index == REG_LO:
+        return "$lo"
+    if index == REG_FSR:
+        return "$fsr"
+    raise ValueError(f"register index out of range: {index}")
+
+
+class RegisterFile:
+    """Architectural register state for functional execution.
+
+    Used by the functional VM (``repro.vm``) when it executes programs to
+    produce traces. The timing core never consults values — only the
+    dependence structure — so this class is deliberately simple.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[int] = [0] * TOTAL_REGS
+
+    def read(self, index: int) -> int:
+        """Read register *index* (``$r0`` always reads 0)."""
+        if index == REG_ZERO:
+            return 0
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write register *index* (writes to ``$r0`` are discarded)."""
+        if index == REG_ZERO:
+            return
+        if not 0 <= index < TOTAL_REGS:
+            raise ValueError(f"register index out of range: {index}")
+        self._values[index] = int(value)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Name → value mapping of all non-zero registers (debugging)."""
+        return {
+            register_name(i): v
+            for i, v in enumerate(self._values)
+            if v != 0
+        }
+
+    def reset(self) -> None:
+        """Zero every register."""
+        for i in range(TOTAL_REGS):
+            self._values[i] = 0

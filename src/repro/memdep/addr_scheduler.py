@@ -1,0 +1,118 @@
+"""Address-based load/store scheduler (the AS configurations).
+
+Stores post their addresses as soon as their base register is available;
+loads, before accessing memory, search the posted addresses of older
+in-window stores. The scheduler's latency parameter (0, 1 or 2 cycles —
+Figure 3's sweep) delays every search and post, modelling the cost of a
+real associative structure.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+
+class _PostedStore:
+    __slots__ = ("seq", "addr", "size", "posted_cycle", "entry")
+
+    def __init__(self, seq: int, addr: int, size: int,
+                 posted_cycle: int, entry) -> None:
+        self.seq = seq
+        self.addr = addr
+        self.size = size
+        self.posted_cycle = posted_cycle
+        self.entry = entry
+
+
+class AddressScheduler:
+    """Posted-address bookkeeping for in-window stores."""
+
+    def __init__(self, latency: int = 0) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency = latency
+        #: Store seqs dispatched but whose address is not yet posted,
+        #: kept sorted (dispatch is in program order; squash truncates).
+        self._unposted: List[int] = []
+        #: seq -> posted record, for posted in-window stores.
+        self._posted: Dict[int, _PostedStore] = {}
+        #: Posted seqs kept sorted for youngest-older-match searches.
+        self._posted_seqs: List[int] = []
+        self.posts = 0
+        self.searches = 0
+
+    # -- store lifecycle -----------------------------------------------------
+
+    def on_store_dispatch(self, seq: int) -> None:
+        """A store entered the window; its address is not yet known."""
+        if self._unposted and seq <= self._unposted[-1]:
+            raise ValueError("stores must dispatch in program order")
+        self._unposted.append(seq)
+
+    def post_address(self, entry, cycle: int) -> int:
+        """Post a store's computed address; returns its visibility cycle."""
+        seq = entry.seq
+        index = bisect.bisect_left(self._unposted, seq)
+        if index < len(self._unposted) and self._unposted[index] == seq:
+            self._unposted.pop(index)
+        visible = cycle + self.latency
+        record = _PostedStore(
+            seq, entry.inst.addr, entry.inst.size, visible, entry
+        )
+        self._posted[seq] = record
+        bisect.insort(self._posted_seqs, seq)
+        self.posts += 1
+        return visible
+
+    def remove_store(self, seq: int) -> None:
+        """A store left the window (commit)."""
+        if seq in self._posted:
+            del self._posted[seq]
+            index = bisect.bisect_left(self._posted_seqs, seq)
+            if (index < len(self._posted_seqs)
+                    and self._posted_seqs[index] == seq):
+                self._posted_seqs.pop(index)
+
+    def squash(self, from_seq: int) -> None:
+        """Drop every store with seq >= *from_seq*."""
+        cut = bisect.bisect_left(self._unposted, from_seq)
+        del self._unposted[cut:]
+        cut = bisect.bisect_left(self._posted_seqs, from_seq)
+        for seq in self._posted_seqs[cut:]:
+            del self._posted[seq]
+        del self._posted_seqs[cut:]
+
+    # -- load-side queries -----------------------------------------------------
+
+    def all_older_posted(self, seq: int, cycle: int) -> bool:
+        """True when every older store's address is visible at *cycle*."""
+        if self._unposted and self._unposted[0] < seq:
+            return False
+        # Posted but not yet visible (scheduler latency) also blocks.
+        for older_seq in self._posted_seqs:
+            if older_seq >= seq:
+                break
+            if self._posted[older_seq].posted_cycle > cycle:
+                return False
+        return True
+
+    def youngest_older_match(
+        self, seq: int, addr: int, size: int, cycle: int
+    ):
+        """Youngest older *visible* posted store overlapping the access.
+
+        Returns the store's window entry, or None.
+        """
+        self.searches += 1
+        index = bisect.bisect_left(self._posted_seqs, seq)
+        for i in range(index - 1, -1, -1):
+            record = self._posted[self._posted_seqs[i]]
+            if record.posted_cycle > cycle:
+                continue
+            if record.addr < addr + size and addr < record.addr + record.size:
+                return record.entry
+        return None
+
+    def oldest_unposted(self) -> Optional[int]:
+        return self._unposted[0] if self._unposted else None

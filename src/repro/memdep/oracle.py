@@ -1,0 +1,44 @@
+"""Oracle disambiguation: perfect a-priori memory dependence knowledge.
+
+Section 3.2's NAS/ORACLE configuration "identifies load-store dependences
+as soon as instructions are entered into the instruction window". Being
+trace-driven, we extract exactly that information from the trace itself.
+
+Note the paper's caveat (Section 3.4.1): the oracle still makes stores
+wait for both address and data operands before issuing, so a dependent
+load observes the store's address-calculation latency — which is why a
+0-cycle address-based scheduler occasionally beats the "oracle".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.trace.dependences import DependenceInfo, compute_dependence_info
+from repro.trace.events import Trace
+
+
+class OracleDisambiguator:
+    """O(1) queries over a trace's true memory dependences."""
+
+    def __init__(self, trace: Trace,
+                 info: Optional[Dict[int, DependenceInfo]] = None) -> None:
+        self._info = (
+            info if info is not None else compute_dependence_info(trace)
+        )
+
+    def producing_store(self, load_seq: int) -> Optional[int]:
+        """Seq of the youngest older conflicting store, or None."""
+        record = self._info.get(load_seq)
+        return record.store_seq if record else None
+
+    def stale_equal(self, load_seq: int) -> bool:
+        """True if a premature read returns the correct value anyway."""
+        record = self._info.get(load_seq)
+        return record.stale_equal if record else True
+
+    def has_dependence(self, load_seq: int) -> bool:
+        return load_seq in self._info
+
+    def dependent_load_count(self) -> int:
+        return len(self._info)

@@ -1,0 +1,132 @@
+"""Store-set memory dependence predictor (Chrysos & Emer, ISCA 1998).
+
+The paper's reference [4] and the mechanism that later became standard
+in real processors. Implemented here as an *extension* policy so it can
+be compared head-to-head with the paper's speculation/synchronization
+(MDPT + synonyms) scheme:
+
+* **SSIT** (store-set identifier table): PC-indexed, maps loads *and*
+  stores to a store-set ID (SSID).
+* **LFST** (last fetched store table): SSID-indexed, tracks the most
+  recently dispatched store instance of each set.
+
+On a miss-speculation the load and store are assigned to a common set
+(merging rules below). At dispatch a store looks up its SSID, replaces
+the LFST entry, and — when the set already had a live store — inherits
+an ordering dependence on it (store-to-store ordering within a set). A
+load looks up its SSID and waits for the LFST's store instance.
+
+Merging on violation, per the original paper's "simplified merge":
+* neither has a set -> allocate a fresh SSID for both;
+* one has a set -> the other joins it;
+* both have sets -> the store moves to the load's set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class StoreSetPredictor:
+    """SSIT + LFST. Window-entry bookkeeping stays in the core."""
+
+    def __init__(self, ssit_entries: int = 4096,
+                 lfst_entries: int = 256) -> None:
+        if ssit_entries & (ssit_entries - 1):
+            raise ValueError("SSIT entries must be a power of two")
+        if lfst_entries & (lfst_entries - 1):
+            raise ValueError("LFST entries must be a power of two")
+        self._ssit_mask = ssit_entries - 1
+        self._lfst_mask = lfst_entries - 1
+        #: SSIT: pc-index -> SSID or None. Loads and stores share it
+        #: (the original design tags by PC, unified).
+        self._ssit: List[Optional[int]] = [None] * ssit_entries
+        #: LFST: SSID -> window entry of the last fetched store.
+        self._lfst: List = [None] * lfst_entries
+        self._next_ssid = 0
+        self.merges = 0
+        self.allocations = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._ssit_mask
+
+    def _ssid_slot(self, ssid: int) -> int:
+        return ssid & self._lfst_mask
+
+    # -- prediction --------------------------------------------------------
+
+    def ssid_of(self, pc: int) -> Optional[int]:
+        return self._ssit[self._index(pc)]
+
+    def store_dispatched(self, entry) -> Optional[object]:
+        """A store entered the window. Returns the previous last-fetched
+        store of its set (ordering dependence), or None."""
+        ssid = self.ssid_of(entry.inst.pc)
+        if ssid is None:
+            return None
+        slot = self._ssid_slot(ssid)
+        previous = self._lfst[slot]
+        self._lfst[slot] = entry
+        if previous is not None and previous.squashed:
+            previous = None
+        return previous
+
+    def load_dispatched(self, entry) -> Optional[object]:
+        """A load entered the window. Returns the store instance it must
+        wait for (the set's last fetched store), or None."""
+        ssid = self.ssid_of(entry.inst.pc)
+        if ssid is None:
+            return None
+        store = self._lfst[self._ssid_slot(ssid)]
+        if store is None or store.squashed or store.seq >= entry.seq:
+            return None
+        return store
+
+    def store_retired(self, entry) -> None:
+        """Invalidate the LFST slot if it still names *entry*."""
+        ssid = self.ssid_of(entry.inst.pc)
+        if ssid is None:
+            return
+        slot = self._ssid_slot(ssid)
+        if self._lfst[slot] is entry:
+            self._lfst[slot] = None
+
+    def squash(self, from_seq: int) -> None:
+        for slot, store in enumerate(self._lfst):
+            if store is not None and (
+                store.squashed or store.seq >= from_seq
+            ):
+                self._lfst[slot] = None
+
+    # -- training ------------------------------------------------------------
+
+    def record_violation(self, load_pc: int, store_pc: int) -> int:
+        """Assign the pair to a common store set; returns the SSID."""
+        load_idx = self._index(load_pc)
+        store_idx = self._index(store_pc)
+        load_ssid = self._ssit[load_idx]
+        store_ssid = self._ssit[store_idx]
+        if load_ssid is None and store_ssid is None:
+            ssid = self._next_ssid
+            self._next_ssid += 1
+            self.allocations += 1
+        elif load_ssid is None:
+            ssid = store_ssid
+            self.merges += 1
+        else:
+            # Load keeps its set; the store joins it (simplified merge).
+            ssid = load_ssid
+            self.merges += 1
+        self._ssit[load_idx] = ssid
+        self._ssit[store_idx] = ssid
+        return ssid
+
+    def flush(self) -> None:
+        """Periodic invalidation (cyclic clearing in the original)."""
+        for i in range(len(self._ssit)):
+            self._ssit[i] = None
+        for i in range(len(self._lfst)):
+            self._lfst[i] = None
+
+    def occupancy(self) -> int:
+        return sum(1 for s in self._ssit if s is not None)

@@ -1,0 +1,18 @@
+"""Memory hierarchy (Table 2): banked lockup-free caches, store buffer."""
+
+from repro.memory.mshr import MSHRBank, MSHRFile
+from repro.memory.cache import SetAssocCache, AccessResult
+from repro.memory.main_memory import MainMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+
+__all__ = [
+    "MSHRBank",
+    "MSHRFile",
+    "SetAssocCache",
+    "AccessResult",
+    "MainMemory",
+    "MemoryHierarchy",
+    "StoreBuffer",
+    "StoreBufferEntry",
+]

@@ -1,0 +1,159 @@
+"""Banked, lockup-free, set-associative cache with LRU replacement.
+
+Timing model: an access first arbitrates for its bank (each bank services
+one new access per cycle), then probes the tags. Hits complete after the
+configured hit latency. Misses either merge into a pending fill (secondary
+miss, via the MSHRs) or allocate a primary MSHR and request the block from
+the next level; the access completes when the fill returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.config.processor import CacheConfig
+from repro.memory.mshr import MSHRFile
+
+#: Signature of the next level's access function:
+#: (block_address, start_cycle, is_write) -> completion cycle.
+NextLevel = Callable[[int, int, bool], int]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    complete_cycle: int
+    hit: bool
+
+
+class SetAssocCache:
+    """One cache level. Use :meth:`access` for all traffic."""
+
+    def __init__(self, config: CacheConfig, next_level: NextLevel) -> None:
+        self.config = config
+        self._next_level = next_level
+        self._block_shift = config.block_bytes.bit_length() - 1
+        self._bank_mask = config.banks - 1
+        if config.banks & self._bank_mask:
+            raise ValueError("bank count must be a power of two")
+        self._set_mask = config.sets_per_bank - 1
+        # tags[bank][set] = list of block tags in LRU order (front = MRU).
+        self._tags: List[List[List[int]]] = [
+            [[] for _ in range(config.sets_per_bank)]
+            for _ in range(config.banks)
+        ]
+        self._mshrs = MSHRFile(
+            config.banks,
+            config.mshr_primary_per_bank,
+            config.mshr_secondary_per_primary,
+        )
+        # Bank is busy with a new access until this cycle (1 new/cycle).
+        self._bank_free: List[int] = [0] * config.banks
+        self.hits = 0
+        self.misses = 0
+        self.bank_conflicts = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        return addr >> self._block_shift
+
+    def _bank_of(self, block: int) -> int:
+        return block & self._bank_mask
+
+    def _set_of(self, block: int) -> int:
+        return (block >> (self._bank_mask.bit_length())) & self._set_mask
+
+    # -- access -----------------------------------------------------------
+
+    def access(self, addr: int, cycle: int, write: bool = False) -> AccessResult:
+        """Access *addr* starting no earlier than *cycle*.
+
+        Returns the completion cycle (data available / write accepted) and
+        whether the access hit. The tag array is updated (allocate-on-miss
+        for both reads and writes; LRU).
+        """
+        block = self.block_address(addr)
+        bank = self._bank_of(block)
+
+        start = cycle
+        if self._bank_free[bank] > start:
+            self.bank_conflicts += 1
+            start = self._bank_free[bank]
+        self._bank_free[bank] = start + 1
+
+        ways = self._tags[bank][self._set_of(block)]
+        tag = block
+        mshr_bank = self._mshrs.bank(bank)
+        for i, way_tag in enumerate(ways):
+            if way_tag == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                # The tag is installed when the fill is *requested*; if
+                # the fill is still in flight this access merges into it
+                # (a secondary miss) rather than hitting instantly.
+                pending = mshr_bank.lookup(tag, start)
+                if pending is not None:
+                    self.misses += 1
+                    return AccessResult(max(pending, start + 1), False)
+                self.hits += 1
+                return AccessResult(start + self.config.hit_latency, True)
+
+        self.misses += 1
+
+        # Primary miss: request from the next level.
+        fill_done = self._next_level(
+            block << self._block_shift, start + self.config.hit_latency, write
+        )
+        fill_done += self.config.miss_latency - self.config.hit_latency
+        ready = mshr_bank.allocate(tag, fill_done, start)
+        self._install(ways, tag)
+        return AccessResult(max(ready, start + 1), False)
+
+    def _install(self, ways: List[int], tag: int) -> None:
+        if tag in ways:
+            return
+        ways.insert(0, tag)
+        if len(ways) > self.config.assoc:
+            ways.pop()
+
+    def touch(self, addr: int) -> None:
+        """Install the block holding *addr* with no timing side effects.
+
+        Used by functional warm-up: the block becomes resident
+        immediately, without occupying a bank slot or an MSHR.
+        """
+        block = self.block_address(addr)
+        ways = self._tags[self._bank_of(block)][self._set_of(block)]
+        self._install(ways, block)
+
+    # -- introspection ------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True if the block holding *addr* is resident (tests only)."""
+        block = self.block_address(addr)
+        ways = self._tags[self._bank_of(block)][self._set_of(block)]
+        return block in ways
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def mshr_stalls(self) -> int:
+        return self._mshrs.stalls
+
+    @property
+    def mshr_merges(self) -> int:
+        return self._mshrs.merged
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bank_conflicts = 0

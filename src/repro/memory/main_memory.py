@@ -1,0 +1,32 @@
+"""Infinite main memory (Table 2): 34 cycles + 2 cycles per 4-word burst."""
+
+from __future__ import annotations
+
+from repro.config.processor import MainMemoryConfig
+
+
+class MainMemory:
+    """Flat main memory with fixed access plus transfer time."""
+
+    def __init__(
+        self, config: MainMemoryConfig, block_bytes: int = 128
+    ) -> None:
+        self.config = config
+        self.block_bytes = block_bytes
+        self.accesses = 0
+
+    def transfer_cycles(self, bytes_moved: int) -> int:
+        """Burst-transfer time for *bytes_moved* bytes."""
+        words = (bytes_moved + 3) // 4
+        bursts = (words + self.config.transfer_words - 1) // (
+            self.config.transfer_words
+        )
+        return bursts * self.config.cycles_per_transfer
+
+    def access(self, addr: int, cycle: int, write: bool = False) -> int:
+        """Completion cycle for a block access starting at *cycle*."""
+        del addr, write  # flat memory: uniform latency
+        self.accesses += 1
+        return cycle + self.config.base_latency + self.transfer_cycles(
+            self.block_bytes
+        )

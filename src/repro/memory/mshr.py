@@ -1,0 +1,107 @@
+"""Miss-status holding registers (MSHRs) for lockup-free caches.
+
+Table 2 gives per-cache limits on primary misses per bank and secondary
+misses per primary (e.g. the data cache allows "8 primary miss per bank, 8
+secondary misses per primary"). A *primary* miss allocates an MSHR and
+starts a fill; a *secondary* miss to the same block merges into the
+existing MSHR and completes when the fill returns. When every MSHR in a
+bank is busy, further misses stall until one retires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class MSHRBank:
+    """MSHRs of a single cache bank."""
+
+    __slots__ = ("_primary_limit", "_secondary_limit", "_entries",
+                 "merged", "stalls")
+
+    def __init__(self, primary_limit: int, secondary_limit: int) -> None:
+        if primary_limit < 1:
+            raise ValueError("need at least one primary MSHR")
+        if secondary_limit < 0:
+            raise ValueError("secondary limit must be non-negative")
+        self._primary_limit = primary_limit
+        self._secondary_limit = secondary_limit
+        # block address -> (fill ready cycle, merged secondary count)
+        self._entries: Dict[int, Tuple[int, int]] = {}
+        self.merged = 0
+        self.stalls = 0
+
+    def _expire(self, cycle: int) -> None:
+        """Retire entries whose fill has completed by *cycle*."""
+        done = [b for b, (ready, _) in self._entries.items() if ready <= cycle]
+        for block in done:
+            del self._entries[block]
+
+    def lookup(self, block: int, cycle: int) -> Optional[int]:
+        """If *block* has a pending fill, merge and return its ready cycle.
+
+        Returns None if there is no pending fill (or the secondary-merge
+        limit is already reached, in which case the caller must treat the
+        access as needing a stall-and-retry: we model that by returning
+        the ready cycle anyway but counting a stall).
+        """
+        self._expire(cycle)
+        entry = self._entries.get(block)
+        if entry is None:
+            return None
+        ready, merged = entry
+        if merged < self._secondary_limit:
+            self._entries[block] = (ready, merged + 1)
+            self.merged += 1
+            return ready
+        # Secondary limit hit: access must wait for the fill to retire
+        # and then re-issue; approximate as completing one cycle later.
+        self.stalls += 1
+        return ready + 1
+
+    def allocate(self, block: int, ready_cycle: int, cycle: int) -> int:
+        """Allocate a primary MSHR for *block*.
+
+        Returns the cycle at which the fill completes. If the bank is out
+        of primary MSHRs the allocation is delayed until the earliest
+        outstanding fill retires (a structural stall).
+        """
+        self._expire(cycle)
+        delay = 0
+        if len(self._entries) >= self._primary_limit:
+            earliest = min(ready for ready, _ in self._entries.values())
+            delay = max(0, earliest - cycle)
+            self.stalls += 1
+            self._expire(earliest)
+            # If still full (several fills end at the same cycle expire
+            # together), _expire above freed them all.
+        self._entries[block] = (ready_cycle + delay, 0)
+        return ready_cycle + delay
+
+    def outstanding(self, cycle: int) -> int:
+        """Number of fills in flight at *cycle*."""
+        self._expire(cycle)
+        return len(self._entries)
+
+
+class MSHRFile:
+    """Per-bank MSHR banks for one cache."""
+
+    def __init__(
+        self, banks: int, primary_per_bank: int, secondary_per_primary: int
+    ) -> None:
+        self._banks: List[MSHRBank] = [
+            MSHRBank(primary_per_bank, secondary_per_primary)
+            for _ in range(banks)
+        ]
+
+    def bank(self, index: int) -> MSHRBank:
+        return self._banks[index]
+
+    @property
+    def merged(self) -> int:
+        return sum(b.merged for b in self._banks)
+
+    @property
+    def stalls(self) -> int:
+        return sum(b.stalls for b in self._banks)

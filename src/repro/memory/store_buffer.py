@@ -1,0 +1,113 @@
+"""Store buffer with load forwarding (Table 2).
+
+"128-entry. Does not combine store requests to L1 data cache. Combines
+store requests for load forwarding."
+
+Committed and issued-but-not-yet-written stores live here. Loads search
+the buffer youngest-older-than-me first; a full overlap forwards the
+value, a partial overlap forces the load to wait for the store to drain
+(the classic partial-forwarding replay case, modelled as a wait).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class StoreBufferEntry:
+    """One buffered store."""
+
+    seq: int
+    addr: int
+    size: int
+    value: Optional[int]
+    #: Cycle at which the store's data is available for forwarding.
+    data_ready_cycle: int
+    #: Cycle at which the store has drained to the data cache.
+    drain_cycle: Optional[int] = None
+
+
+class StoreBuffer:
+    """Bounded buffer of stores awaiting write-back, with forwarding."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = capacity
+        self._entries: List[StoreBufferEntry] = []
+        self.forwards = 0
+        self.partial_overlaps = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, entry: StoreBufferEntry) -> None:
+        """Insert a store, keeping entries sorted by program order.
+
+        Stores *execute* out of order, so insertion is by binary search
+        on the sequence number rather than append.
+        """
+        if self.full:
+            raise RuntimeError("store buffer overflow")
+        index = bisect.bisect_left(
+            [e.seq for e in self._entries], entry.seq
+        )
+        if (
+            index < len(self._entries)
+            and self._entries[index].seq == entry.seq
+        ):
+            raise ValueError(f"duplicate store seq {entry.seq}")
+        self._entries.insert(index, entry)
+
+    def search(
+        self, seq: int, addr: int, size: int
+    ) -> Tuple[Optional[StoreBufferEntry], bool]:
+        """Find the youngest older store overlapping [addr, addr+size).
+
+        Returns ``(entry, full_overlap)``. ``entry`` is None when no older
+        buffered store overlaps. ``full_overlap`` is True when the store
+        covers every byte of the load (so its value can be forwarded).
+        """
+        for entry in reversed(self._entries):
+            if entry.seq >= seq:
+                continue
+            if entry.addr < addr + size and addr < entry.addr + entry.size:
+                full = entry.addr <= addr and (
+                    entry.addr + entry.size >= addr + size
+                )
+                if full:
+                    self.forwards += 1
+                else:
+                    self.partial_overlaps += 1
+                return entry, full
+        return None, False
+
+    def drain_older_than(self, seq: int) -> None:
+        """Remove entries older than *seq* that have drained (commit)."""
+        self._entries = [
+            e
+            for e in self._entries
+            if e.seq >= seq or e.drain_cycle is None
+        ]
+
+    def remove(self, seq: int) -> None:
+        """Remove the entry with sequence number *seq*, if present."""
+        self._entries = [e for e in self._entries if e.seq != seq]
+
+    def squash_younger(self, seq: int) -> None:
+        """Drop all stores with sequence number >= *seq* (mis-speculation)."""
+        self._entries = [e for e in self._entries if e.seq < seq]
+
+    def entries(self) -> Tuple[StoreBufferEntry, ...]:
+        """Snapshot of buffered stores in program order."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,5 @@
+"""Distributed, split-window processor model (Section 3.7)."""
+
+from repro.splitwindow.processor import SplitWindowProcessor, simulate_split
+
+__all__ = ["SplitWindowProcessor", "simulate_split"]

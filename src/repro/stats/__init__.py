@@ -1,0 +1,21 @@
+"""Statistics helpers: aggregation, geometric means, table rendering."""
+
+from repro.stats.summary import (
+    geometric_mean,
+    average_speedup,
+    mean_and_spread,
+    suite_speedups,
+)
+from repro.stats.format import render_table, format_percent, format_ratio
+from repro.stats.bars import render_bars
+
+__all__ = [
+    "geometric_mean",
+    "average_speedup",
+    "mean_and_spread",
+    "suite_speedups",
+    "render_table",
+    "format_percent",
+    "format_ratio",
+    "render_bars",
+]

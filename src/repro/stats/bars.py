@@ -1,0 +1,50 @@
+"""ASCII bar charts — textual renderings of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+
+def render_bars(
+    values: Mapping[str, float],
+    width: int = 48,
+    unit: str = "",
+    baseline: Optional[float] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    With *baseline*, bars are drawn from the baseline (values below it
+    extend left with ``-`` marks; above with ``#``) — useful for
+    relative-speedup figures whose bars straddle 1.0.
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    label_width = max(len(label) for label in values)
+    lines = []
+    if baseline is None:
+        peak = max(values.values()) or 1.0
+        for label, value in values.items():
+            bar = "#" * max(1 if value > 0 else 0,
+                            round(width * value / peak))
+            lines.append(
+                f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                f"{fmt.format(value)}{unit}"
+            )
+        return "\n".join(lines)
+
+    spread = max(
+        abs(value - baseline) for value in values.values()
+    ) or 1.0
+    half = width // 2
+    for label, value in values.items():
+        magnitude = round(half * abs(value - baseline) / spread)
+        if value >= baseline:
+            bar = " " * half + "#" * magnitude
+        else:
+            bar = " " * (half - magnitude) + "-" * magnitude
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{fmt.format(value)}{unit}"
+        )
+    return "\n".join(lines)

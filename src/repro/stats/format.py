@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.0731 -> '7.3%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """1.197 -> '1.20x'."""
+    return f"{value:.{digits}f}x"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        cells.append([str(c) for c in row])
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(
+            cell.ljust(width) if col == 0 else cell.rjust(width)
+            for col, (cell, width) in enumerate(zip(row, widths))
+        )
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("-" * len(lines[0]))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Aggregate statistics across benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.core.result import SimResult
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional mean for speedup ratios)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def average_speedup(
+    results: Mapping[str, SimResult], baselines: Mapping[str, SimResult]
+) -> float:
+    """Geometric-mean speedup of *results* over *baselines* (same keys)."""
+    ratios = [
+        results[name].ipc / baselines[name].ipc for name in results
+    ]
+    return geometric_mean(ratios)
+
+
+def mean_and_spread(values: Sequence[float]) -> Tuple[float, float]:
+    """Arithmetic mean and sample standard deviation.
+
+    Used for multi-seed runs: report IPC as mean ± spread. A single
+    sample has zero spread by convention.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("no samples")
+    mean = sum(values) / len(values)
+    if len(values) == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, math.sqrt(variance)
+
+
+def suite_speedups(
+    results: Mapping[str, SimResult],
+    baselines: Mapping[str, SimResult],
+    suites: Mapping[str, str],
+) -> Dict[str, float]:
+    """Per-suite ('int'/'fp') geometric-mean speedups."""
+    by_suite: Dict[str, list] = {}
+    for name, result in results.items():
+        suite = suites.get(name, "all")
+        by_suite.setdefault(suite, []).append(
+            result.ipc / baselines[name].ipc
+        )
+    return {
+        suite: geometric_mean(ratios)
+        for suite, ratios in by_suite.items()
+    }

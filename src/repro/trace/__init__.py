@@ -1,0 +1,21 @@
+"""Dynamic-trace infrastructure consumed by the timing simulator."""
+
+from repro.trace.events import Trace
+from repro.trace.cursor import TraceCursor
+from repro.trace.dependences import (
+    compute_true_dependences,
+    dependence_distance_histogram,
+)
+from repro.trace.sampling import SamplingPlan, Segment, make_sampling_plan
+from repro.trace.depgraph import trace_to_dot
+
+__all__ = [
+    "trace_to_dot",
+    "Trace",
+    "TraceCursor",
+    "compute_true_dependences",
+    "dependence_distance_histogram",
+    "SamplingPlan",
+    "Segment",
+    "make_sampling_plan",
+]

@@ -1,0 +1,126 @@
+"""Trace analytics: the measurements used to validate workloads.
+
+Everything here is purely observational — handy when calibrating a
+synthetic workload against a target program profile, or when debugging
+why a policy behaves unexpectedly on a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.trace.dependences import compute_true_dependences
+from repro.trace.events import Trace
+
+
+@dataclass
+class TraceProfile:
+    """A full statistical profile of one trace."""
+
+    name: str
+    instructions: int
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    fp_fraction: float
+    #: Fraction of loads with a true dependence within 128 instructions.
+    dependent_load_fraction: float
+    #: Histogram of load-to-store dependence distances, bucketed.
+    dependence_distance_buckets: Dict[str, int]
+    #: Distinct 32-byte blocks touched by data accesses.
+    data_working_set_blocks: int
+    #: Distinct instruction blocks (static footprint).
+    code_working_set_blocks: int
+    #: Distinct static PCs per op class.
+    static_pcs: Dict[OpClass, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"trace profile: {self.name}",
+            f"  instructions        {self.instructions:,}",
+            f"  loads               {self.load_fraction:.1%}",
+            f"  stores              {self.store_fraction:.1%}",
+            f"  branches            {self.branch_fraction:.1%}",
+            f"  fp compute          {self.fp_fraction:.1%}",
+            f"  dependent loads     {self.dependent_load_fraction:.1%}"
+            " (producer within 128 instructions)",
+            f"  data working set    {self.data_working_set_blocks:,}"
+            " blocks (32B)",
+            f"  code working set    {self.code_working_set_blocks:,}"
+            " blocks (32B)",
+            "  dependence distances:",
+        ]
+        for bucket, count in self.dependence_distance_buckets.items():
+            lines.append(f"    {bucket:>8s}  {count}")
+        return "\n".join(lines)
+
+
+_FP_CLASSES = {
+    OpClass.FADD, OpClass.FMUL_SP, OpClass.FMUL_DP,
+    OpClass.FDIV_SP, OpClass.FDIV_DP,
+}
+
+_DISTANCE_BUCKETS: Tuple[Tuple[str, int], ...] = (
+    ("<8", 8), ("8-31", 32), ("32-127", 128),
+    ("128-511", 512), (">=512", 1 << 62),
+)
+
+
+def profile_trace(trace: Trace, window: int = 128) -> TraceProfile:
+    """Compute a :class:`TraceProfile` for *trace*."""
+    loads = stores = branches = fp_ops = 0
+    data_blocks = set()
+    code_blocks = set()
+    static_pcs: Dict[OpClass, set] = {}
+    for inst in trace:
+        code_blocks.add(inst.pc >> 5)
+        static_pcs.setdefault(inst.op, set()).add(inst.pc)
+        if inst.is_load:
+            loads += 1
+            data_blocks.add(inst.addr >> 5)
+        elif inst.is_store:
+            stores += 1
+            data_blocks.add(inst.addr >> 5)
+        if inst.is_branch:
+            branches += 1
+        if inst.op in _FP_CLASSES:
+            fp_ops += 1
+
+    deps = compute_true_dependences(trace)
+    buckets = {label: 0 for label, _ in _DISTANCE_BUCKETS}
+    close = 0
+    for load_seq, store_seq in deps.items():
+        distance = load_seq - store_seq
+        if distance <= window:
+            close += 1
+        for label, limit in _DISTANCE_BUCKETS:
+            if distance < limit:
+                buckets[label] += 1
+                break
+
+    total = len(trace)
+    return TraceProfile(
+        name=trace.name,
+        instructions=total,
+        load_fraction=loads / total if total else 0.0,
+        store_fraction=stores / total if total else 0.0,
+        branch_fraction=branches / total if total else 0.0,
+        fp_fraction=fp_ops / total if total else 0.0,
+        dependent_load_fraction=close / loads if loads else 0.0,
+        dependence_distance_buckets=buckets,
+        data_working_set_blocks=len(data_blocks),
+        code_working_set_blocks=len(code_blocks),
+        static_pcs={op: len(pcs) for op, pcs in static_pcs.items()},
+    )
+
+
+def compare_profiles(
+    measured: TraceProfile, target_loads: float, target_stores: float
+) -> Dict[str, float]:
+    """Absolute calibration error of the headline fractions."""
+    return {
+        "loads": abs(measured.load_fraction - target_loads),
+        "stores": abs(measured.store_fraction - target_stores),
+    }

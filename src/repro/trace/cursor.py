@@ -1,0 +1,73 @@
+"""A rewindable cursor over a trace.
+
+The fetch stage pulls instructions through a cursor. Squash invalidation
+rewinds the cursor to the miss-speculated instruction so everything after
+it is re-dispatched (Section 2: "invalidating and re-executing all
+instructions following the miss-speculated load").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import DynInst
+from repro.trace.events import Trace
+
+
+class TraceCursor:
+    """Sequential view over a (sub-)range of a trace."""
+
+    def __init__(self, trace: Trace, start: int = 0,
+                 stop: Optional[int] = None) -> None:
+        self._trace = trace
+        if stop is None:
+            stop = len(trace)
+        if not 0 <= start <= stop <= len(trace):
+            raise ValueError("cursor range out of bounds")
+        self._start = start
+        self._stop = stop
+        self._pos = start
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the next instruction to be fetched."""
+        return self._pos
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def stop(self) -> int:
+        return self._stop
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._stop
+
+    def peek(self, offset: int = 0) -> Optional[DynInst]:
+        """Instruction *offset* past the cursor, or None past the end."""
+        index = self._pos + offset
+        if index >= self._stop:
+            return None
+        return self._trace[index]
+
+    def advance(self) -> DynInst:
+        """Consume and return the next instruction."""
+        if self.exhausted:
+            raise StopIteration("trace cursor exhausted")
+        inst = self._trace[self._pos]
+        self._pos += 1
+        return inst
+
+    def rewind_to(self, seq: int) -> None:
+        """Move the cursor back so *seq* is the next instruction fetched."""
+        if not self._start <= seq <= self._pos:
+            raise ValueError(
+                f"cannot rewind to {seq} (cursor at {self._pos}, "
+                f"range starts at {self._start})"
+            )
+        self._pos = seq
+
+    def remaining(self) -> int:
+        return self._stop - self._pos

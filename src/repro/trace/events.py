@@ -1,0 +1,61 @@
+"""The dynamic execution trace: an ordered list of :class:`DynInst`.
+
+A trace comes from functional execution (``repro.vm``) or from the
+synthetic workload generator (``repro.workloads``). Because it is the
+*correct-path* instruction stream, squash recovery is modelled by
+re-dispatching from the squashed instruction onward — memory dependence
+miss-speculation never changes the control path, only timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.isa.instruction import DynInst, TraceSummary
+
+
+@dataclass
+class Trace:
+    """A complete dynamic instruction trace plus provenance metadata."""
+
+    instructions: List[DynInst]
+    name: str = "trace"
+    #: Optional tag: "int" or "fp" (SPEC'95 class) for summary grouping.
+    suite: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for i, inst in enumerate(self.instructions):
+            if inst.seq != i:
+                raise ValueError(
+                    f"trace {self.name}: instruction {i} has seq "
+                    f"{inst.seq}; sequence numbers must be 0..N-1"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, seq: int) -> DynInst:
+        return self.instructions[seq]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def summary(self) -> TraceSummary:
+        """Aggregate composition (load/store/branch fractions)."""
+        summary = TraceSummary()
+        for inst in self.instructions:
+            summary.add(inst)
+        return summary
+
+    def slice(self, start: int, stop: int) -> Sequence[DynInst]:
+        """Instructions with ``start <= seq < stop``."""
+        return self.instructions[start:stop]
+
+    @staticmethod
+    def from_iterable(
+        instructions: Iterable[DynInst],
+        name: str = "trace",
+        suite: Optional[str] = None,
+    ) -> "Trace":
+        return Trace(list(instructions), name=name, suite=suite)

@@ -1,0 +1,85 @@
+"""Trace sampling: alternating timing and functional intervals.
+
+The paper (Section 3.1) simulates an *observation* of 50,000 instructions
+in timing mode, then skips ahead in functional mode according to a
+per-benchmark "timing:functional" ratio (Table 1's "SR" column), keeping
+the I-cache, D-cache and branch predictors warm during functional
+intervals. ``make_sampling_plan`` reproduces that structure for our
+(much shorter) traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A [start, stop) range of trace sequence numbers."""
+
+    start: int
+    stop: int
+    timing: bool  # True = detailed timing, False = functional warm-up
+
+    def __post_init__(self) -> None:
+        if self.start >= self.stop:
+            raise ValueError("segment must be non-empty")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Ordered, non-overlapping segments covering [0, length)."""
+
+    segments: Tuple[Segment, ...]
+    length: int
+
+    def timing_instructions(self) -> int:
+        return sum(len(s) for s in self.segments if s.timing)
+
+    def functional_instructions(self) -> int:
+        return sum(len(s) for s in self.segments if not s.timing)
+
+
+def make_sampling_plan(
+    length: int,
+    timing_ratio: int = 1,
+    functional_ratio: int = 0,
+    observation: int = 50_000,
+) -> SamplingPlan:
+    """Build a plan with *timing_ratio* : *functional_ratio* interleaving.
+
+    A ratio of (1, 2) with observation=O produces segments
+    ``timing[O], functional[2*O], timing[O], ...`` until the trace is
+    covered — the paper's "1:2" sampling. ``functional_ratio=0`` (the
+    paper's "N/A") times the entire trace.
+    """
+    if length < 1:
+        raise ValueError("trace length must be positive")
+    if timing_ratio < 1 or functional_ratio < 0:
+        raise ValueError("ratios must be positive (functional may be 0)")
+    if observation < 1:
+        raise ValueError("observation size must be positive")
+
+    segments: List[Segment] = []
+    pos = 0
+    while pos < length:
+        timing_stop = min(pos + observation * timing_ratio, length)
+        segments.append(Segment(pos, timing_stop, timing=True))
+        pos = timing_stop
+        if functional_ratio and pos < length:
+            func_stop = min(pos + observation * functional_ratio, length)
+            segments.append(Segment(pos, func_stop, timing=False))
+            pos = func_stop
+    return SamplingPlan(tuple(segments), length)
+
+
+def parse_ratio(text: Optional[str]) -> Tuple[int, int]:
+    """Parse a Table 1 "SR" entry: "1:2" -> (1, 2); "N/A"/None -> (1, 0)."""
+    if text is None or text.upper() == "N/A":
+        return (1, 0)
+    left, _, right = text.partition(":")
+    return (int(left), int(right))

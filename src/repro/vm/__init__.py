@@ -1,0 +1,28 @@
+"""A small MIPS-like assembly VM.
+
+Programs written in this assembly are executed *functionally* to produce
+dynamic traces (``repro.trace.Trace``) with real runtime-computed
+addresses, register dependences and branch outcomes — exactly what the
+timing simulator consumes. Used for the hand-written kernels, the
+examples and many tests; the 18 SPEC'95 stand-ins use the synthetic
+generator in ``repro.workloads`` instead.
+"""
+
+from repro.vm.program import Program, VMInst
+from repro.vm.assembler import (
+    AssemblerError,
+    assemble,
+    assemble_with_memory,
+)
+from repro.vm.interpreter import Interpreter, ExecutionLimitExceeded, run_program
+
+__all__ = [
+    "Program",
+    "VMInst",
+    "assemble",
+    "assemble_with_memory",
+    "AssemblerError",
+    "Interpreter",
+    "ExecutionLimitExceeded",
+    "run_program",
+]

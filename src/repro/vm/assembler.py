@@ -1,0 +1,303 @@
+"""Two-pass assembler for the VM's MIPS-like assembly.
+
+Syntax
+------
+* One instruction per line; ``#`` or ``;`` starts a comment.
+* Labels end with ``:`` and may share a line with an instruction.
+* Integer registers: ``r0``..``r31`` (``r0`` is hardwired zero).
+  Floating-point registers: ``f0``..``f31``.
+* Memory operands: ``offset(rBase)``, e.g. ``lw r2, 8(r5)``.
+* Immediates may be decimal or ``0x`` hexadecimal, possibly negative.
+* Data directives: ``.word <addr>, <value> [, <value> ...]`` seeds the
+  initial memory image at consecutive words starting at ``addr``.
+  Collect the image with :func:`assemble_with_memory`.
+
+Mnemonics
+---------
+=============== =========== ==========================================
+mnemonic        class       semantics
+=============== =========== ==========================================
+add/sub/and/or/
+xor/slt/sll/srl IALU        ``rd = rs OP rt``
+addi/andi/ori/
+slti/slli/srli  IALU        ``rd = rs OP imm``
+li              IALU        ``rd = imm``
+mv              IALU        ``rd = rs``
+mul             IMUL        ``rd = rs * rt``
+div             IDIV        ``rd = rs / rt`` (0 if rt == 0)
+fadd/fsub/fcmp  FADD        fp add/sub/compare
+fmul/fmuld      FMUL_SP/DP  fp multiply
+fdiv/fdivd      FDIV_SP/DP  fp divide (0 if divisor == 0)
+lw              LOAD        ``rd = mem[rs + imm]`` (4 bytes)
+flw             LOAD        fp load (4 bytes)
+sw              STORE       ``mem[rs + imm] = rt`` (4 bytes)
+fsw             STORE       fp store (4 bytes)
+beq/bne/blt/bge BRANCH      compare-and-branch to label
+j               JUMP        unconditional jump to label
+jr              JUMP        indirect jump to ``rs``
+call            CALL        ``r31 = pc + 4``; jump to label
+ret             RETURN      jump to ``r31``
+nop             NOP         nothing
+halt            NOP         stops the interpreter (mnemonic "halt")
+=============== =========== ==========================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import fp_reg, int_reg
+from repro.vm.program import Program, VMInst
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+|f\d+)\)$")
+
+_THREE_REG = {
+    "add", "sub", "and", "or", "xor", "slt", "sll", "srl", "mul", "div",
+    "fadd", "fsub", "fcmp", "fmul", "fmuld", "fdiv", "fdivd",
+}
+_TWO_REG_IMM = {"addi", "andi", "ori", "slti", "slli", "srli"}
+_CLASS_OF = {
+    "mul": OpClass.IMUL,
+    "div": OpClass.IDIV,
+    "fadd": OpClass.FADD,
+    "fsub": OpClass.FADD,
+    "fcmp": OpClass.FADD,
+    "fmul": OpClass.FMUL_SP,
+    "fmuld": OpClass.FMUL_DP,
+    "fdiv": OpClass.FDIV_SP,
+    "fdivd": OpClass.FDIV_DP,
+}
+_BRANCHES = {"beq", "bne", "blt", "bge"}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    token = token.strip()
+    try:
+        if token.startswith("r") and token[1:].isdigit():
+            return int_reg(int(token[1:]))
+        if token.startswith("f") and token[1:].isdigit():
+            return fp_reg(int(token[1:]))
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: register out of range {token!r}"
+        ) from None
+    raise AssemblerError(f"line {line_no}: bad register {token!r}")
+
+
+def _parse_imm(token: str, line_no: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad immediate {token!r}"
+        ) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [p.strip() for p in rest.split(",")] if rest.strip() else []
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble *source* into a :class:`Program` (directives ignored)."""
+    return assemble_with_memory(source, name)[0]
+
+
+def assemble_with_memory(
+    source: str, name: str = "program"
+) -> Tuple[Program, Dict[int, int]]:
+    """Assemble *source*; returns the program and its ``.word`` image."""
+    # Pass 1: strip comments, collect labels, directives and raw lines.
+    raw: List[Tuple[int, str]] = []  # (line number, text)
+    labels: Dict[str, int] = {}
+    memory: Dict[int, int] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        code = re.split(r"[#;]", line, maxsplit=1)[0].strip()
+        while True:
+            match = _LABEL_RE.match(code)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(
+                    f"line {line_no}: duplicate label {label!r}"
+                )
+            labels[label] = len(raw) * 4
+            code = code[match.end():].strip()
+        if code.startswith(".word"):
+            _parse_word_directive(code, memory, line_no)
+            continue
+        if code.startswith("."):
+            raise AssemblerError(
+                f"line {line_no}: unknown directive "
+                f"{code.split(None, 1)[0]!r}"
+            )
+        if code:
+            raw.append((line_no, code))
+
+    # Pass 2: encode.
+    instructions: List[VMInst] = []
+    for index, (line_no, code) in enumerate(raw):
+        pc = index * 4
+        parts = code.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        inst = _encode(
+            mnemonic, operands, pc, labels, line_no, code
+        )
+        instructions.append(inst)
+
+    return Program(instructions, labels, name=name), memory
+
+
+def _parse_word_directive(
+    code: str, memory: Dict[int, int], line_no: int
+) -> None:
+    rest = code[len(".word"):].strip()
+    parts = _split_operands(rest)
+    if len(parts) < 2:
+        raise AssemblerError(
+            f"line {line_no}: .word needs an address and at least "
+            "one value"
+        )
+    try:
+        addr = int(parts[0], 0)
+        values = [int(p, 0) for p in parts[1:]]
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad .word operand"
+        ) from None
+    if addr % 4:
+        raise AssemblerError(
+            f"line {line_no}: .word address must be word-aligned"
+        )
+    for offset, value in enumerate(values):
+        memory[addr + 4 * offset] = value & 0xFFFFFFFF
+
+
+def _encode(
+    mnemonic: str,
+    ops: List[str],
+    pc: int,
+    labels: Dict[str, int],
+    line_no: int,
+    text: str,
+) -> VMInst:
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} expects {n} operands, "
+                f"got {len(ops)}"
+            )
+
+    def label_pc(token: str) -> int:
+        if token not in labels:
+            raise AssemblerError(
+                f"line {line_no}: unknown label {token!r}"
+            )
+        return labels[token]
+
+    if mnemonic in _THREE_REG:
+        need(3)
+        dest = _parse_reg(ops[0], line_no)
+        srcs = (_parse_reg(ops[1], line_no), _parse_reg(ops[2], line_no))
+        op = _CLASS_OF.get(mnemonic, OpClass.IALU)
+        return VMInst(pc, mnemonic, op, dest, srcs, 0, text)
+
+    if mnemonic in _TWO_REG_IMM:
+        need(3)
+        dest = _parse_reg(ops[0], line_no)
+        src = _parse_reg(ops[1], line_no)
+        imm = _parse_imm(ops[2], line_no)
+        return VMInst(pc, mnemonic, OpClass.IALU, dest, (src,), imm, text)
+
+    if mnemonic == "li":
+        need(2)
+        dest = _parse_reg(ops[0], line_no)
+        imm = _parse_imm(ops[1], line_no)
+        return VMInst(pc, mnemonic, OpClass.IALU, dest, (), imm, text)
+
+    if mnemonic == "mv":
+        need(2)
+        dest = _parse_reg(ops[0], line_no)
+        src = _parse_reg(ops[1], line_no)
+        return VMInst(pc, mnemonic, OpClass.IALU, dest, (src,), 0, text)
+
+    if mnemonic in ("lw", "flw"):
+        need(2)
+        dest = _parse_reg(ops[0], line_no)
+        match = _MEM_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: bad memory operand {ops[1]!r}"
+            )
+        imm = int(match.group(1), 0)
+        base = _parse_reg(match.group(2), line_no)
+        return VMInst(pc, mnemonic, OpClass.LOAD, dest, (base,), imm, text)
+
+    if mnemonic in ("sw", "fsw"):
+        need(2)
+        value_reg = _parse_reg(ops[0], line_no)
+        match = _MEM_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: bad memory operand {ops[1]!r}"
+            )
+        imm = int(match.group(1), 0)
+        base = _parse_reg(match.group(2), line_no)
+        # Source order convention: (base, value).
+        return VMInst(
+            pc, mnemonic, OpClass.STORE, None, (base, value_reg), imm, text
+        )
+
+    if mnemonic in _BRANCHES:
+        need(3)
+        lhs = _parse_reg(ops[0], line_no)
+        rhs = _parse_reg(ops[1], line_no)
+        target = label_pc(ops[2])
+        return VMInst(
+            pc, mnemonic, OpClass.BRANCH, None, (lhs, rhs), target, text
+        )
+
+    if mnemonic == "j":
+        need(1)
+        return VMInst(
+            pc, mnemonic, OpClass.JUMP, None, (), label_pc(ops[0]), text
+        )
+
+    if mnemonic == "jr":
+        need(1)
+        src = _parse_reg(ops[0], line_no)
+        return VMInst(pc, mnemonic, OpClass.JUMP, None, (src,), 0, text)
+
+    if mnemonic == "call":
+        need(1)
+        return VMInst(
+            pc,
+            mnemonic,
+            OpClass.CALL,
+            int_reg(31),
+            (),
+            label_pc(ops[0]),
+            text,
+        )
+
+    if mnemonic == "ret":
+        need(0)
+        return VMInst(
+            pc, mnemonic, OpClass.RETURN, None, (int_reg(31),), 0, text
+        )
+
+    if mnemonic in ("nop", "halt"):
+        need(0)
+        return VMInst(pc, mnemonic, OpClass.NOP, None, (), 0, text)
+
+    raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,233 @@
+"""Functional interpreter: executes a VM program, emitting a trace.
+
+The interpreter computes real values, addresses and branch outcomes; the
+resulting :class:`~repro.trace.events.Trace` is what the timing simulator
+consumes. Execution stops at a ``halt`` instruction, when the PC falls
+off the end of the program, or at the instruction limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegisterFile
+from repro.trace.events import Trace
+from repro.vm.program import Program, VMInst
+
+_MASK32 = 0xFFFFFFFF
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The program ran past the configured dynamic instruction limit."""
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class Interpreter:
+    """Executes one program functionally."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Dict[int, int]] = None,
+        max_instructions: int = 1_000_000,
+    ) -> None:
+        self.program = program
+        self.registers = RegisterFile()
+        #: Word-addressed memory: byte address (word-aligned) -> value.
+        self.memory: Dict[int, int] = dict(memory or {})
+        self.max_instructions = max_instructions
+
+    # -- memory helpers -----------------------------------------------------
+
+    def _load_word(self, addr: int) -> int:
+        return self.memory.get(addr & ~3, 0)
+
+    def _store_word(self, addr: int, value: int) -> None:
+        self.memory[addr & ~3] = value & _MASK32
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self, name: Optional[str] = None, suite: Optional[str] = None
+    ) -> Trace:
+        """Execute from PC 0 and return the dynamic trace."""
+        trace = []
+        regs = self.registers
+        pc = 0
+        seq = 0
+        end_pc = len(self.program) * 4
+        while 0 <= pc < end_pc:
+            if seq >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"{self.program.name}: exceeded "
+                    f"{self.max_instructions} instructions"
+                )
+            inst = self.program.at(pc)
+            if inst.mnemonic == "halt":
+                break
+            dyn, next_pc = self._step(inst, pc, seq, regs)
+            trace.append(dyn)
+            pc = next_pc
+            seq += 1
+        return Trace(
+            trace, name=name or self.program.name, suite=suite
+        )
+
+    def _step(
+        self, inst: VMInst, pc: int, seq: int, regs: RegisterFile
+    ) -> Tuple[DynInst, int]:
+        m = inst.mnemonic
+        next_pc = pc + 4
+
+        if inst.op in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV,
+                       OpClass.FADD, OpClass.FMUL_SP, OpClass.FMUL_DP,
+                       OpClass.FDIV_SP, OpClass.FDIV_DP):
+            value = self._alu(m, inst, regs)
+            regs.write(inst.dest, value)
+            dyn = DynInst(
+                seq, pc, inst.op, dest=inst.dest, srcs=inst.srcs,
+                value=value,
+            )
+            return dyn, next_pc
+
+        if inst.op is OpClass.LOAD:
+            base = regs.read(inst.srcs[0])
+            addr = (base + inst.imm) & _MASK32
+            value = self._load_word(addr)
+            regs.write(inst.dest, value)
+            dyn = DynInst(
+                seq, pc, OpClass.LOAD, dest=inst.dest, srcs=inst.srcs,
+                addr=addr & ~3, size=4, value=value,
+            )
+            return dyn, next_pc
+
+        if inst.op is OpClass.STORE:
+            base = regs.read(inst.srcs[0])
+            value = regs.read(inst.srcs[1])
+            addr = (base + inst.imm) & _MASK32
+            self._store_word(addr, value)
+            dyn = DynInst(
+                seq, pc, OpClass.STORE, dest=None, srcs=inst.srcs,
+                addr=addr & ~3, size=4, value=value & _MASK32,
+            )
+            return dyn, next_pc
+
+        if inst.op is OpClass.BRANCH:
+            lhs = _signed(regs.read(inst.srcs[0]))
+            rhs = _signed(regs.read(inst.srcs[1]))
+            taken = {
+                "beq": lhs == rhs,
+                "bne": lhs != rhs,
+                "blt": lhs < rhs,
+                "bge": lhs >= rhs,
+            }[m]
+            target = inst.imm if taken else next_pc
+            dyn = DynInst(
+                seq, pc, OpClass.BRANCH, srcs=inst.srcs,
+                taken=taken, target=target,
+            )
+            return dyn, target
+
+        if inst.op is OpClass.JUMP:
+            if m == "jr":
+                target = regs.read(inst.srcs[0]) & _MASK32
+            else:
+                target = inst.imm
+            dyn = DynInst(
+                seq, pc, OpClass.JUMP, srcs=inst.srcs,
+                taken=True, target=target,
+            )
+            return dyn, target
+
+        if inst.op is OpClass.CALL:
+            regs.write(inst.dest, pc + 4)
+            dyn = DynInst(
+                seq, pc, OpClass.CALL, dest=inst.dest,
+                taken=True, target=inst.imm,
+            )
+            return dyn, inst.imm
+
+        if inst.op is OpClass.RETURN:
+            target = regs.read(inst.srcs[0]) & _MASK32
+            dyn = DynInst(
+                seq, pc, OpClass.RETURN, srcs=inst.srcs,
+                taken=True, target=target,
+            )
+            return dyn, target
+
+        if inst.op is OpClass.NOP:
+            dyn = DynInst(seq, pc, OpClass.NOP)
+            return dyn, next_pc
+
+        raise AssertionError(f"unhandled op class {inst.op}")  # pragma: no cover
+
+    def _alu(self, m: str, inst: VMInst, regs: RegisterFile) -> int:
+        read = regs.read
+        if m == "li":
+            return inst.imm & _MASK32
+        if m == "mv":
+            return read(inst.srcs[0])
+        a = read(inst.srcs[0])
+        if m in ("addi", "andi", "ori", "slti", "slli", "srli"):
+            b = inst.imm
+        else:
+            b = read(inst.srcs[1])
+        sa, sb = _signed(a), _signed(b)
+        if m in ("add", "addi", "fadd"):
+            return (a + b) & _MASK32
+        if m in ("sub", "fsub"):
+            return (a - b) & _MASK32
+        if m in ("and", "andi"):
+            return a & b & _MASK32
+        if m in ("or", "ori"):
+            return (a | b) & _MASK32
+        if m == "xor":
+            return (a ^ b) & _MASK32
+        if m in ("slt", "slti"):
+            return int(sa < sb)
+        if m == "fcmp":
+            return int(sa < sb)
+        if m in ("sll", "slli"):
+            return (a << (b & 31)) & _MASK32
+        if m in ("srl", "srli"):
+            return (a & _MASK32) >> (b & 31)
+        if m in ("mul", "fmul", "fmuld"):
+            return (sa * sb) & _MASK32
+        if m in ("div", "fdiv", "fdivd"):
+            if sb == 0:
+                return 0
+            return int(sa / sb) & _MASK32
+        raise AssertionError(f"unhandled ALU mnemonic {m}")  # pragma: no cover
+
+
+def run_program(
+    source_or_program,
+    memory: Optional[Dict[int, int]] = None,
+    max_instructions: int = 1_000_000,
+    name: Optional[str] = None,
+    suite: Optional[str] = None,
+) -> Trace:
+    """Assemble (if needed) and functionally execute, returning the trace.
+
+    ``.word`` directives in assembly source seed the memory image;
+    entries in the explicit *memory* argument take precedence.
+    """
+    from repro.vm.assembler import assemble_with_memory
+
+    if isinstance(source_or_program, str):
+        program, image = assemble_with_memory(
+            source_or_program, name=name or "program"
+        )
+        merged = dict(image)
+        merged.update(memory or {})
+        memory = merged
+    else:
+        program = source_or_program
+    interp = Interpreter(program, memory, max_instructions)
+    return interp.run(name=name, suite=suite)

@@ -1,0 +1,40 @@
+"""Workloads: SPEC'95 stand-in trace generators and assembly kernels.
+
+The paper's experiments ran SPEC'95 binaries; without those binaries (or a
+MIPS compiler and their modified inputs) we substitute, per benchmark, a
+synthetic workload calibrated to Table 1's instruction mix and to the
+dependence/latency structure that drives each paper result (see DESIGN.md
+Section 2 for the substitution argument).
+"""
+
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec95 import (
+    SPEC95_PROFILES,
+    INT_BENCHMARKS,
+    FP_BENCHMARKS,
+    ALL_BENCHMARKS,
+    profile_for,
+)
+from repro.workloads.synthetic import SyntheticProgram
+from repro.workloads.catalog import (
+    get_trace,
+    get_dependences,
+    clear_cache,
+    kernel_trace,
+    KERNEL_NAMES,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "SPEC95_PROFILES",
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "ALL_BENCHMARKS",
+    "profile_for",
+    "SyntheticProgram",
+    "get_trace",
+    "get_dependences",
+    "clear_cache",
+    "kernel_trace",
+    "KERNEL_NAMES",
+]

@@ -1,0 +1,80 @@
+"""Workload catalog: one place to get any trace, with caching.
+
+Traces are deterministic functions of (name, length, seed); the catalog
+memoizes them (and their precomputed dependence analyses) so a benchmark
+suite that runs 16 machine configurations over 18 workloads generates
+each trace once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.trace.dependences import compute_true_dependences
+from repro.trace.events import Trace
+from repro.vm.interpreter import run_program
+from repro.workloads.kernels import KERNELS
+from repro.workloads.spec95 import profile_for
+from repro.workloads.synthetic import SyntheticProgram
+
+#: Default timing-trace length for SPEC'95 stand-ins. The paper simulated
+#: ~100M instructions per program; this is our laptop-scale substitute
+#: (see DESIGN.md Section 2).
+DEFAULT_LENGTH = 30_000
+
+KERNEL_NAMES = tuple(sorted(KERNELS))
+
+_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
+_dep_cache: Dict[int, Dict[int, int]] = {}
+
+
+def get_trace(
+    name: str, length: int = DEFAULT_LENGTH, seed: int = 0
+) -> Trace:
+    """Trace for benchmark *name* ('126.gcc', '126', or a kernel name)."""
+    key = (name, length, seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    if name in KERNELS:
+        trace = kernel_trace(name, max_instructions=length)
+    else:
+        profile = profile_for(name)
+        program = SyntheticProgram(profile, seed=seed)
+        trace = program.generate(length)
+    _trace_cache[key] = trace
+    return trace
+
+
+def kernel_trace(name: str, max_instructions: int = 200_000, **kwargs) -> Trace:
+    """Run kernel *name* on the VM and return its trace.
+
+    Kernel parameters (e.g. ``n=...``) pass through to the kernel factory.
+    """
+    if name not in KERNELS:
+        raise KeyError(
+            f"unknown kernel {name!r}; kernels: {', '.join(KERNEL_NAMES)}"
+        )
+    source, memory = KERNELS[name](**kwargs)
+    return run_program(
+        source,
+        memory=memory,
+        max_instructions=max_instructions,
+        name=name,
+    )
+
+
+def get_dependences(trace: Trace) -> Dict[int, int]:
+    """Memoized :func:`compute_true_dependences` for *trace*."""
+    key = id(trace)
+    deps = _dep_cache.get(key)
+    if deps is None:
+        deps = compute_true_dependences(trace)
+        _dep_cache[key] = deps
+    return deps
+
+
+def clear_cache() -> None:
+    """Drop all cached traces and dependence analyses."""
+    _trace_cache.clear()
+    _dep_cache.clear()

@@ -1,0 +1,45 @@
+"""Hand-written assembly kernels (run on the ``repro.vm`` interpreter).
+
+Each kernel is a function returning ``(source, memory_init)``: assembly
+text plus an initial memory image. They give the test-suite and the
+examples programs whose exact dependence structure is known by
+construction — including the recurrence loop of the paper's Figure 7.
+"""
+
+from repro.workloads.kernels.recurrence import recurrence_loop
+from repro.workloads.kernels.pointer_chase import pointer_chase
+from repro.workloads.kernels.memcopy import memcopy
+from repro.workloads.kernels.stack_calls import stack_calls
+from repro.workloads.kernels.hashtable import hashtable_updates
+from repro.workloads.kernels.reduction import vector_reduction
+from repro.workloads.kernels.matmul import matmul
+from repro.workloads.kernels.btree import btree_lookups
+from repro.workloads.kernels.histogram import histogram
+from repro.workloads.kernels.fibonacci import fibonacci
+
+KERNELS = {
+    "fibonacci": fibonacci,
+    "recurrence": recurrence_loop,
+    "pointer_chase": pointer_chase,
+    "memcopy": memcopy,
+    "stack_calls": stack_calls,
+    "hashtable": hashtable_updates,
+    "reduction": vector_reduction,
+    "matmul": matmul,
+    "btree": btree_lookups,
+    "histogram": histogram,
+}
+
+__all__ = [
+    "KERNELS",
+    "recurrence_loop",
+    "pointer_chase",
+    "memcopy",
+    "stack_calls",
+    "hashtable_updates",
+    "vector_reduction",
+    "matmul",
+    "btree_lookups",
+    "histogram",
+    "fibonacci",
+]

@@ -1,0 +1,86 @@
+"""Binary-search-tree lookups: pointer chasing with branchy control.
+
+Each probe descends the tree by loaded child pointers — load addresses
+arrive late (the anti-streaming case), and the data-dependent branches
+stress the direction predictor. No true memory dependences exist during
+the search phase, so a no-speculation policy loses everything the tree
+could overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+
+def btree_lookups(
+    nodes: int = 255,
+    probes: int = 512,
+    base: int = 0x60000,
+    seed: int = 11,
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for repeated BST lookups.
+
+    Nodes are three words: ``[key, left, right]`` (0 = null). A balanced
+    tree over shuffled keys is materialised in memory; probe keys cycle
+    through a deterministic pseudo-random sequence.
+    """
+    rng = random.Random(seed)
+    keys = list(range(1, nodes + 1))
+    rng.shuffle(keys)
+
+    addr_of = {}
+    next_slot = [0]
+
+    def place(sorted_keys):
+        if not sorted_keys:
+            return 0
+        mid = len(sorted_keys) // 2
+        key = sorted_keys[mid]
+        slot = next_slot[0]
+        next_slot[0] += 1
+        addr = base + slot * 12
+        addr_of[key] = addr
+        left = place(sorted_keys[:mid])
+        right = place(sorted_keys[mid + 1:])
+        memory[addr] = key
+        memory[addr + 4] = left
+        memory[addr + 8] = right
+        return addr
+
+    memory: Dict[int, int] = {}
+    root = place(sorted(keys))
+
+    source = f"""
+        li   r1, {root}        # root
+        li   r2, 0             # probe counter
+        li   r3, {probes}
+        li   r4, 7             # probe key state
+        li   r5, {nodes}
+        li   r9, 0             # hits
+    probe:
+        mul  r4, r4, r4        # key = (key*key + probe) % nodes + 1
+        add  r4, r4, r2
+        div  r6, r4, r5
+        mul  r6, r6, r5
+        sub  r4, r4, r6
+        addi r4, r4, 1
+        mv   r7, r1            # node = root
+    descend:
+        beq  r7, r0, miss
+        lw   r8, 0(r7)         # node.key
+        beq  r8, r4, hit
+        blt  r4, r8, left
+        lw   r7, 8(r7)         # node = node.right
+        j    descend
+    left:
+        lw   r7, 4(r7)         # node = node.left
+        j    descend
+    hit:
+        addi r9, r9, 1
+    miss:
+        addi r2, r2, 1
+        blt  r2, r3, probe
+        halt
+    """
+    return source, memory

@@ -1,0 +1,51 @@
+"""Recursive Fibonacci: deep call trees and stack-carried dependences.
+
+The most demanding return-address-stack workload in the suite: calls
+nest ``n`` deep, and every frame spills the return address and the
+argument to the stack and reloads them after the inner call returns —
+dozens of genuine, short-distance, perfectly-PC-stable memory
+dependences per call, exactly the pattern that made memory dependence
+prediction attractive for integer code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def fibonacci(n: int = 13, stack: int = 0x90000) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image computing ``fib(n)`` recursively.
+
+    Frame layout (grows downward, 12 bytes per frame):
+    ``[saved r31, saved argument, saved fib(n-1)]``.
+    """
+    if not 1 <= n <= 20:
+        raise ValueError("n must be in [1, 20] (call depth)")
+    source = f"""
+        li   r29, {stack}      # stack pointer (grows down)
+        li   r1, {n}           # argument
+        call fib
+        halt
+
+    fib:                       # fib(r1) -> r2
+        li   r3, 2
+        blt  r1, r3, base      # n < 2 -> return n
+        addi r29, r29, -12     # push frame
+        sw   r31, 0(r29)       # save return address   <- reloaded below
+        sw   r1, 4(r29)        # save argument         <- reloaded below
+        addi r1, r1, -1
+        call fib               # fib(n-1)
+        sw   r2, 8(r29)        # save fib(n-1)         <- reloaded below
+        lw   r1, 4(r29)        # reload argument
+        addi r1, r1, -2
+        call fib               # fib(n-2)
+        lw   r4, 8(r29)        # reload fib(n-1)
+        add  r2, r2, r4        # fib(n-1) + fib(n-2)
+        lw   r31, 0(r29)       # reload return address
+        addi r29, r29, 12      # pop frame
+        ret
+    base:
+        mv   r2, r1
+        ret
+    """
+    return source, {}

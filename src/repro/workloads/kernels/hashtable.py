@@ -1,0 +1,57 @@
+"""Hash-table update kernel: read-modify-write with *ambiguous* deps.
+
+Buckets are chosen by a multiplicative hash of the loop index, so two
+nearby iterations only rarely touch the same bucket — loads almost never
+truly depend on recent stores, yet a no-speculation policy must always
+wait. A small fraction of iterations deliberately rehash into the
+previous iteration's bucket to create occasional true dependences (the
+case that punishes naive speculation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def hashtable_updates(
+    updates: int = 1024,
+    buckets: int = 64,
+    base: int = 0x10000,
+    collide_every: int = 16,
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for hashed read-modify-write updates.
+
+    Every ``collide_every``-th iteration reuses the previous iteration's
+    bucket, creating a true store-to-load dependence one iteration apart.
+    """
+    if buckets & (buckets - 1):
+        raise ValueError("buckets must be a power of two")
+    source = f"""
+        li   r1, {base}
+        li   r2, 0              # i
+        li   r3, {updates}
+        li   r4, {buckets - 1}  # mask
+        li   r10, {collide_every}
+        li   r11, 1             # previous bucket index
+    loop:
+        mul  r5, r2, r2         # hash = (i*i + i) & mask
+        add  r5, r5, r2
+        and  r5, r5, r4
+        div  r6, r2, r10        # i / collide_every
+        mul  r6, r6, r10
+        sub  r6, r2, r6         # i % collide_every
+        bne  r6, r0, nocollide
+        mv   r5, r11            # collide: reuse previous bucket
+    nocollide:
+        slli r7, r5, 2
+        add  r8, r1, r7         # &table[bucket]
+        lw   r9, 0(r8)          # read    <- sometimes depends on last store
+        addi r9, r9, 1
+        sw   r9, 0(r8)          # modify-write
+        mv   r11, r5
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    memory = {base + i * 4: 0 for i in range(buckets)}
+    return source, memory

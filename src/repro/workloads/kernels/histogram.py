@@ -1,0 +1,59 @@
+"""Histogram accumulation: data-dependent read-modify-write conflicts.
+
+Bucket indices come from loaded data, so a bucket's read-modify-write
+occasionally collides with the previous iteration's store to the same
+bucket — *ambiguous* dependences that are usually false (different
+buckets) but sometimes true. The distribution's skew controls the
+collision rate, making this the tunable middle ground between
+``memcopy`` (never conflicts) and ``recurrence`` (always conflicts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+
+def histogram(
+    samples: int = 1024,
+    buckets: int = 128,
+    skew: int = 4,
+    data_base: int = 0x70000,
+    hist_base: int = 0x78000,
+    seed: int = 3,
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for histogramming *samples* values.
+
+    ``skew`` > 1 concentrates values on low buckets (more collisions).
+    """
+    if buckets & (buckets - 1):
+        raise ValueError("buckets must be a power of two")
+    rng = random.Random(seed)
+    memory: Dict[int, int] = {}
+    for i in range(samples):
+        value = min(
+            rng.randrange(buckets) for _ in range(skew)
+        )
+        memory[data_base + i * 4] = value
+    for b in range(buckets):
+        memory[hist_base + b * 4] = 0
+
+    source = f"""
+        li   r1, {data_base}
+        li   r2, {hist_base}
+        li   r3, 0             # i
+        li   r4, {samples}
+    loop:
+        slli r5, r3, 2
+        add  r6, r1, r5
+        lw   r7, 0(r6)         # bucket index (data-dependent)
+        slli r7, r7, 2
+        add  r8, r2, r7        # &hist[bucket]
+        lw   r9, 0(r8)         # read   <- sometimes true dependence
+        addi r9, r9, 1
+        sw   r9, 0(r8)         # modify-write
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    return source, memory

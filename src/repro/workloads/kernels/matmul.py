@@ -1,0 +1,63 @@
+"""Tiny dense matrix multiply: the classic FP inner-product loop.
+
+Per inner-loop iteration: two streaming loads feed a multiply-
+accumulate chain; the result row is stored once per middle-loop
+iteration with very late data — the store's value is the end of a long
+FP chain, so the NAS/NO policy stalls the next row's loads behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def matmul(
+    n: int = 12,
+    a_base: int = 0x30000,
+    b_base: int = 0x40000,
+    c_base: int = 0x50000,
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for ``C = A @ B`` over n x n ints."""
+    memory: Dict[int, int] = {}
+    for i in range(n):
+        for j in range(n):
+            memory[a_base + (i * n + j) * 4] = (i + 2 * j + 1) % 17
+            memory[b_base + (i * n + j) * 4] = (3 * i + j + 1) % 13
+    source = f"""
+        li   r1, {a_base}
+        li   r2, {b_base}
+        li   r3, {c_base}
+        li   r4, {n}          # n
+        li   r10, 0           # i
+    iloop:
+        li   r11, 0           # j
+    jloop:
+        li   r12, 0           # k
+        li   f0, 0            # acc
+    kloop:
+        mul  r13, r10, r4     # i*n
+        add  r13, r13, r12    # i*n + k
+        slli r13, r13, 2
+        add  r13, r1, r13
+        flw  f1, 0(r13)       # A[i][k]
+        mul  r14, r12, r4     # k*n
+        add  r14, r14, r11    # k*n + j
+        slli r14, r14, 2
+        add  r14, r2, r14
+        flw  f2, 0(r14)       # B[k][j]
+        fmuld f3, f1, f2
+        fadd f0, f0, f3       # acc += A[i][k]*B[k][j]
+        addi r12, r12, 1
+        blt  r12, r4, kloop
+        mul  r15, r10, r4
+        add  r15, r15, r11
+        slli r15, r15, 2
+        add  r15, r3, r15
+        fsw  f0, 0(r15)       # C[i][j]  <- data is the whole FP chain
+        addi r11, r11, 1
+        blt  r11, r4, jloop
+        addi r10, r10, 1
+        blt  r10, r4, iloop
+        halt
+    """
+    return source, memory

@@ -1,0 +1,36 @@
+"""Word-wise memcpy: abundant load/store parallelism, zero true deps.
+
+The ideal showcase for memory dependence speculation: every load is
+independent of every store (disjoint regions), so NAS/NO's "wait for all
+older stores" policy gives up the entire overlap for nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def memcopy(
+    words: int = 1024, src: int = 0x4000, dst: int = 0x40000
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for ``dst[0:words] = src[0:words]``."""
+    if dst < src + words * 4 and src < dst + words * 4:
+        raise ValueError("source and destination regions overlap")
+    memory = {src + i * 4: (i * 2654435761) & 0xFFFFFFFF
+              for i in range(words)}
+    source = f"""
+        li   r1, {src}
+        li   r2, {dst}
+        li   r3, 0
+        li   r4, {words}
+    loop:
+        slli r5, r3, 2
+        add  r6, r1, r5
+        add  r7, r2, r5
+        lw   r8, 0(r6)
+        sw   r8, 0(r7)
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    return source, memory

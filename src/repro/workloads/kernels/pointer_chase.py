@@ -1,0 +1,48 @@
+"""Linked-list pointer chase: serial load-to-load dependences.
+
+Exercises late-arriving *addresses* (the opposite asymmetry from the
+streaming kernels): each load's address is the previous load's value, so
+no speculation policy can start a load before its predecessor finishes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+
+def pointer_chase(
+    nodes: int = 256, hops: int = 2048, base: int = 0x2000, seed: int = 7
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for chasing a shuffled singly-linked list.
+
+    Each node is two words: ``[next, payload]``. The chase also stores an
+    accumulated checksum every hop so stores interleave with the chase.
+    """
+    rng = random.Random(seed)
+    order = list(range(1, nodes))
+    rng.shuffle(order)
+    order = [0] + order
+    memory: Dict[int, int] = {}
+    for i, node in enumerate(order):
+        nxt = order[(i + 1) % nodes]
+        memory[base + node * 8] = base + nxt * 8
+        memory[base + node * 8 + 4] = node * 13 + 1
+    checksum_addr = base + nodes * 8 + 64
+
+    source = f"""
+        li   r1, {base}          # current node
+        li   r2, 0               # hop counter
+        li   r3, {hops}
+        li   r4, 0               # checksum
+        li   r5, {checksum_addr}
+    loop:
+        lw   r6, 4(r1)           # payload
+        add  r4, r4, r6
+        sw   r4, 0(r5)           # running checksum (same-address stores)
+        lw   r1, 0(r1)           # next   <- serial dependence
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    return source, memory

@@ -1,0 +1,40 @@
+"""The paper's Figure 7 loop: a memory recurrence across iterations.
+
+::
+
+    for i = 1 .. n:
+        a[i] = a[i - 1] + k
+
+Iteration *i*'s ``load a[i-1]`` truly depends on iteration *i-1*'s
+``store a[i]``. Under a continuous window the store's address is computed
+before the load's (program order priority), so an address-based scheduler
+avoids all miss-speculation; under a split window the two iterations may
+live in different sub-windows and the load can run first (Section 3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def recurrence_loop(
+    n: int = 512, base: int = 0x1000, k: int = 3
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for ``a[i] = a[i-1] + k``."""
+    source = f"""
+        li   r1, {base}        # &a[0]
+        li   r2, 1             # i
+        li   r3, {n}           # n
+        li   r4, {k}           # k
+    loop:
+        slli r5, r2, 2         # i * 4
+        add  r6, r1, r5        # &a[i]
+        lw   r7, -4(r6)        # a[i-1]   <- depends on previous store
+        add  r8, r7, r4        # a[i-1] + k
+        sw   r8, 0(r6)         # a[i]     <- feeds next iteration's load
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    """
+    memory = {base: 1}  # a[0]
+    return source, memory

@@ -1,0 +1,39 @@
+"""Floating-point vector reduction with strided spills.
+
+A SPECfp-flavoured kernel: streaming loads feed a floating-point chain
+whose result is spilled every iteration — store data arrives many cycles
+after the store's address is known, the asymmetry that makes NAS/NO so
+expensive on floating-point codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def vector_reduction(
+    elements: int = 1024, src: int = 0x20000, spill: int = 0x80000
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for a multiply-accumulate reduction."""
+    memory = {src + i * 4: (i % 97) + 1 for i in range(elements)}
+    source = f"""
+        li   r1, {src}
+        li   r2, {spill}
+        li   r3, 0
+        li   r4, {elements}
+        li   f0, 0              # accumulator
+        li   f1, 3              # scale
+    loop:
+        slli r5, r3, 2
+        add  r6, r1, r5
+        add  r7, r2, r5
+        flw  f2, 0(r6)          # stream in
+        fmuld f3, f2, f1        # 5-cycle multiply
+        fadd f0, f0, f3         # 2-cycle accumulate
+        fdivd f4, f3, f1        # 15-cycle divide (late store data)
+        fsw  f4, 0(r7)          # spill: address early, data very late
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+    """
+    return source, memory

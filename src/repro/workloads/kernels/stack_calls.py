@@ -1,0 +1,39 @@
+"""Call-heavy kernel: stack argument passing through memory.
+
+The caller stores two arguments to the stack, calls, and the callee loads
+them back — short, perfectly stable memory dependences at fixed static
+PCs. This is the integer-code pattern that memory dependence prediction
+(NAS/SYNC) learns after one miss-speculation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def stack_calls(
+    calls: int = 512, stack: int = 0x8000
+) -> Tuple[str, Dict[int, int]]:
+    """Assembly + memory image for a loop of argument-passing calls."""
+    source = f"""
+        li   r29, {stack}      # stack pointer
+        li   r2, 0             # call counter
+        li   r3, {calls}
+        li   r4, 0             # accumulator
+    loop:
+        add  r5, r2, r4        # arg0
+        slli r6, r2, 1         # arg1
+        sw   r5, 0(r29)        # spill arg0   <- callee reloads
+        sw   r6, 4(r29)        # spill arg1   <- callee reloads
+        call helper
+        add  r4, r4, r7        # use result
+        addi r2, r2, 1
+        blt  r2, r3, loop
+        halt
+    helper:
+        lw   r8, 0(r29)        # reload arg0  <- depends on caller store
+        lw   r9, 4(r29)        # reload arg1  <- depends on caller store
+        add  r7, r8, r9
+        ret
+    """
+    return source, {}

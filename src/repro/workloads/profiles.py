@@ -1,0 +1,125 @@
+"""Workload profile: everything the synthetic generator needs to know.
+
+A profile captures (a) the measurable instruction mix of the original
+SPEC'95 program (Table 1 of the paper) and (b) the latent structural
+parameters — dependence density, dependence distance, store-data latency,
+branch behaviour, working-set size — that produce the paper's per-program
+behaviour (Table 3 false-dependence rates, Table 4 miss-speculation
+rates, and the per-figure speedup shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Calibration of one synthetic SPEC'95 stand-in."""
+
+    # -- identity / Table 1 facts -----------------------------------------
+    name: str
+    suite: str  # "int" or "fp"
+    #: Dynamic instruction count of the original run, in millions.
+    instruction_count_millions: float
+    load_fraction: float
+    store_fraction: float
+    #: Table 1 "SR" sampling ratio, e.g. "1:2"; None for "N/A".
+    sampling_ratio: Optional[str]
+
+    # -- memory dependence structure ---------------------------------------
+    #: Fraction of loads that truly depend on a store within the window.
+    dep_load_fraction: float = 0.04
+    #: Of dependent loads, the share whose producing store is in the same
+    #: loop iteration (short distance — the naive-speculation hazard).
+    dep_same_iter_fraction: float = 0.6
+    #: Iteration lags used for cross-iteration dependences.
+    dep_lags: Tuple[int, ...] = (1, 2)
+    #: Probability that a store silently rewrites the current value.
+    silent_store_fraction: float = 0.02
+
+    # -- store data latency (drives Table 3 resolution latency) ------------
+    #: Length of the compute chain feeding store data registers.
+    chain_length: int = 3
+    #: Fraction of compute-chain operations that are floating point.
+    fp_compute_fraction: float = 0.0
+    #: Fraction of chains that include a divide (long latency tail).
+    divide_fraction: float = 0.0
+    #: Fraction of stores whose data comes via a load from the random
+    #: region (cache-miss-fed stores: very late data).
+    store_data_from_load_fraction: float = 0.0
+
+    # -- branch behaviour ----------------------------------------------------
+    #: Branches per body instruction beyond the loop-closing branch
+    #: (data-dependent "if" branches).
+    data_branch_fraction: float = 0.3
+    #: Probability a data branch is taken (i.i.d. per execution).
+    branch_bias: float = 0.25
+
+    # -- locality --------------------------------------------------------------
+    #: Size of each streaming array region in KiB.
+    stream_region_kb: int = 64
+    #: Size of the randomly-accessed region in KiB.
+    random_region_kb: int = 256
+    #: Fraction of independent loads that hit the random region.
+    random_load_fraction: float = 0.1
+    #: Of random-region accesses, the share that stays in a hot subset
+    #: (real "random" access streams are heavily skewed; without this the
+    #: D-cache miss rate is far above anything SPEC'95 exhibits).
+    random_hot_fraction: float = 0.85
+    #: Fraction of loads whose *address* comes from a previous load
+    #: (pointer-chasing codes): their addresses arrive late, which lowers
+    #: the false-dependence fraction — by address-ready time the older
+    #: stores have usually issued.
+    late_addr_load_fraction: float = 0.0
+    #: Fraction of stores whose address register comes from a load
+    #: (stores through pointers): they post addresses late, which is what
+    #: separates AS/NAV from AS/NO.
+    store_late_addr_fraction: float = 0.05
+
+    # -- program shape -----------------------------------------------------------
+    body_size: int = 24
+    num_loops: int = 4
+    trip_count: int = 48
+    #: Fraction of loops whose body contains a call block (stack-argument
+    #: stores in the caller, matching loads in the callee — the classic
+    #: integer-code source of short memory dependences).
+    call_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"{self.name}: suite must be 'int' or 'fp'")
+        for field_name in (
+            "load_fraction",
+            "store_fraction",
+            "dep_load_fraction",
+            "dep_same_iter_fraction",
+            "fp_compute_fraction",
+            "data_branch_fraction",
+            "branch_bias",
+            "random_load_fraction",
+            "call_fraction",
+            "silent_store_fraction",
+            "divide_fraction",
+            "store_data_from_load_fraction",
+            "random_hot_fraction",
+            "late_addr_load_fraction",
+            "store_late_addr_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{self.name}: {field_name}={value} outside [0, 1]"
+                )
+        if self.load_fraction + self.store_fraction >= 0.9:
+            raise ValueError(f"{self.name}: memory fractions too large")
+        if self.body_size < 8:
+            raise ValueError(f"{self.name}: body too small")
+        if self.trip_count < 2 or self.num_loops < 1:
+            raise ValueError(f"{self.name}: bad loop shape")
+
+    @property
+    def short_name(self) -> str:
+        """Leading numeric part of the SPEC name, e.g. '126' for 126.gcc."""
+        return self.name.split(".")[0]

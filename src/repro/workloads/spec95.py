@@ -1,0 +1,285 @@
+"""Per-benchmark calibrations for the 18 SPEC'95 stand-ins.
+
+Table 1 columns (instruction count, load/store fractions, sampling ratio)
+are copied from the paper. The structural knobs are calibrated so that
+the simulated machine lands in the neighbourhood of the paper's
+per-program measurements:
+
+* Table 4 "NAV" miss-speculation rate ⇒ ``dep_load_fraction`` /
+  ``dep_same_iter_fraction`` (how many loads truly collide with a recent
+  store whose data is still in flight);
+* Table 3 resolution latency ⇒ ``chain_length`` / ``divide_fraction`` /
+  ``store_data_from_load_fraction`` (how late store data arrives);
+* integer-vs-FP speedup asymmetry ⇒ ``fp_compute_fraction``, branch mix,
+  loop shape and working-set sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.profiles import WorkloadProfile
+
+SPEC95_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _add(profile: WorkloadProfile) -> None:
+    SPEC95_PROFILES[profile.name] = profile
+    SPEC95_PROFILES[profile.short_name] = profile
+
+
+# ---------------------------------------------------------------------------
+# SPECint'95
+# ---------------------------------------------------------------------------
+
+_add(WorkloadProfile(
+    name="099.go", suite="int",
+    instruction_count_millions=133.8,
+    load_fraction=0.209, store_fraction=0.073, sampling_ratio=None,
+    dep_load_fraction=0.040, dep_same_iter_fraction=0.65, dep_lags=(1, 3),
+    chain_length=3, divide_fraction=0.08,
+    store_data_from_load_fraction=0.10,
+    data_branch_fraction=0.50, branch_bias=0.35,
+    stream_region_kb=32, random_region_kb=1024, random_load_fraction=0.35,
+    late_addr_load_fraction=0.45, store_late_addr_fraction=0.30,
+    body_size=18, num_loops=6, trip_count=24, call_fraction=0.3,
+))
+
+_add(WorkloadProfile(
+    name="124.m88ksim", suite="int",
+    instruction_count_millions=196.3,
+    load_fraction=0.188, store_fraction=0.096, sampling_ratio="1:1",
+    dep_load_fraction=0.022, dep_same_iter_fraction=0.55, dep_lags=(1, 2),
+    chain_length=3, data_branch_fraction=0.40, branch_bias=0.25,
+    stream_region_kb=48, random_region_kb=256, random_load_fraction=0.15,
+    late_addr_load_fraction=0.20, store_late_addr_fraction=0.25,
+    body_size=20, num_loops=5, trip_count=40, call_fraction=0.5,
+))
+
+_add(WorkloadProfile(
+    name="126.gcc", suite="int",
+    instruction_count_millions=316.9,
+    load_fraction=0.243, store_fraction=0.175, sampling_ratio="1:2",
+    dep_load_fraction=0.030, dep_same_iter_fraction=0.55, dep_lags=(1, 4),
+    chain_length=3, divide_fraction=0.20,
+    store_data_from_load_fraction=0.22,
+    data_branch_fraction=0.45, branch_bias=0.30,
+    stream_region_kb=64, random_region_kb=2048, random_load_fraction=0.25,
+    late_addr_load_fraction=0.30, store_late_addr_fraction=0.25,
+    body_size=22, num_loops=6, trip_count=28, call_fraction=0.5,
+))
+
+_add(WorkloadProfile(
+    name="129.compress", suite="int",
+    instruction_count_millions=153.8,
+    load_fraction=0.217, store_fraction=0.135, sampling_ratio="1:2",
+    dep_load_fraction=0.085, dep_same_iter_fraction=0.70, dep_lags=(1,),
+    chain_length=3, divide_fraction=0.25,
+    store_data_from_load_fraction=0.15,
+    data_branch_fraction=0.35, branch_bias=0.30,
+    stream_region_kb=96, random_region_kb=512, random_load_fraction=0.20,
+    late_addr_load_fraction=0.10, store_late_addr_fraction=0.20,
+    body_size=18, num_loops=3, trip_count=64, call_fraction=0.1,
+))
+
+_add(WorkloadProfile(
+    name="130.li", suite="int",
+    instruction_count_millions=206.5,
+    load_fraction=0.296, store_fraction=0.176, sampling_ratio="1:1",
+    dep_load_fraction=0.060, dep_same_iter_fraction=0.60, dep_lags=(1, 2),
+    chain_length=5, divide_fraction=0.30,
+    store_data_from_load_fraction=0.25,
+    data_branch_fraction=0.40, branch_bias=0.30,
+    stream_region_kb=32, random_region_kb=512, random_load_fraction=0.25,
+    late_addr_load_fraction=0.30, store_late_addr_fraction=0.25,
+    body_size=20, num_loops=5, trip_count=32, call_fraction=0.6,
+))
+
+_add(WorkloadProfile(
+    name="132.ijpeg", suite="int",
+    instruction_count_millions=129.6,
+    load_fraction=0.177, store_fraction=0.087, sampling_ratio=None,
+    dep_load_fraction=0.016, dep_same_iter_fraction=0.45, dep_lags=(2, 4),
+    chain_length=4, data_branch_fraction=0.20, branch_bias=0.20,
+    stream_region_kb=128, random_region_kb=256, random_load_fraction=0.08,
+    late_addr_load_fraction=0.10, store_late_addr_fraction=0.15,
+    body_size=26, num_loops=4, trip_count=96, call_fraction=0.1,
+))
+
+_add(WorkloadProfile(
+    name="134.perl", suite="int",
+    instruction_count_millions=176.8,
+    load_fraction=0.256, store_fraction=0.166, sampling_ratio="1:1",
+    dep_load_fraction=0.055, dep_same_iter_fraction=0.60, dep_lags=(1, 3),
+    chain_length=4, divide_fraction=0.25,
+    store_data_from_load_fraction=0.25,
+    data_branch_fraction=0.45, branch_bias=0.30,
+    stream_region_kb=48, random_region_kb=1024, random_load_fraction=0.20,
+    late_addr_load_fraction=0.30, store_late_addr_fraction=0.25,
+    body_size=20, num_loops=5, trip_count=30, call_fraction=0.6,
+))
+
+_add(WorkloadProfile(
+    name="147.vortex", suite="int",
+    instruction_count_millions=376.9,
+    load_fraction=0.263, store_fraction=0.273, sampling_ratio="1:2",
+    dep_load_fraction=0.060, dep_same_iter_fraction=0.60, dep_lags=(1, 2),
+    chain_length=3, divide_fraction=0.20,
+    store_data_from_load_fraction=0.30,
+    data_branch_fraction=0.35, branch_bias=0.25,
+    stream_region_kb=64, random_region_kb=2048, random_load_fraction=0.25,
+    late_addr_load_fraction=0.25, store_late_addr_fraction=0.15,
+    body_size=22, num_loops=5, trip_count=36, call_fraction=0.5,
+))
+
+# ---------------------------------------------------------------------------
+# SPECfp'95
+# ---------------------------------------------------------------------------
+
+_add(WorkloadProfile(
+    name="101.tomcatv", suite="fp",
+    instruction_count_millions=329.1,
+    load_fraction=0.319, store_fraction=0.088, sampling_ratio="1:2",
+    dep_load_fraction=0.020, dep_same_iter_fraction=0.45, dep_lags=(1, 2),
+    chain_length=6, fp_compute_fraction=0.85,
+    data_branch_fraction=0.05, branch_bias=0.15,
+    stream_region_kb=512, random_region_kb=128, random_load_fraction=0.04,
+    store_late_addr_fraction=0.1,
+    body_size=34, num_loops=4, trip_count=128, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="102.swim", suite="fp",
+    instruction_count_millions=188.8,
+    load_fraction=0.270, store_fraction=0.066, sampling_ratio="1:2",
+    dep_load_fraction=0.018, dep_same_iter_fraction=0.50, dep_lags=(1,),
+    chain_length=2, fp_compute_fraction=0.85,
+    data_branch_fraction=0.03, branch_bias=0.10,
+    stream_region_kb=1024, random_region_kb=64, random_load_fraction=0.02,
+    store_late_addr_fraction=0.08,
+    body_size=36, num_loops=3, trip_count=160, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="103.su2cor", suite="fp",
+    instruction_count_millions=279.9,
+    load_fraction=0.338, store_fraction=0.101, sampling_ratio="1:3",
+    dep_load_fraction=0.050, dep_same_iter_fraction=0.55, dep_lags=(1, 2),
+    chain_length=8, fp_compute_fraction=0.85, divide_fraction=0.30,
+    store_data_from_load_fraction=0.15,
+    data_branch_fraction=0.06, branch_bias=0.15,
+    stream_region_kb=512, random_region_kb=256, random_load_fraction=0.06,
+    store_late_addr_fraction=0.12,
+    body_size=36, num_loops=4, trip_count=96, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="104.hydro2d", suite="fp",
+    instruction_count_millions=1128.9,
+    load_fraction=0.297, store_fraction=0.082, sampling_ratio="1:10",
+    dep_load_fraction=0.100, dep_same_iter_fraction=0.65, dep_lags=(1,),
+    chain_length=3, fp_compute_fraction=0.85,
+    data_branch_fraction=0.05, branch_bias=0.15,
+    stream_region_kb=512, random_region_kb=128, random_load_fraction=0.04,
+    store_late_addr_fraction=0.1,
+    body_size=30, num_loops=4, trip_count=128, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="107.mgrid", suite="fp",
+    instruction_count_millions=95.0,
+    load_fraction=0.466, store_fraction=0.030, sampling_ratio=None,
+    dep_load_fraction=0.003, dep_same_iter_fraction=0.40, dep_lags=(2,),
+    chain_length=5, fp_compute_fraction=0.90,
+    data_branch_fraction=0.03, branch_bias=0.10,
+    stream_region_kb=1024, random_region_kb=64, random_load_fraction=0.02,
+    store_late_addr_fraction=0.08,
+    body_size=40, num_loops=3, trip_count=192, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="110.applu", suite="fp",
+    instruction_count_millions=168.9,
+    load_fraction=0.314, store_fraction=0.079, sampling_ratio="1:1",
+    dep_load_fraction=0.030, dep_same_iter_fraction=0.55, dep_lags=(1, 2),
+    chain_length=5, fp_compute_fraction=0.85,
+    data_branch_fraction=0.05, branch_bias=0.15,
+    stream_region_kb=512, random_region_kb=128, random_load_fraction=0.05,
+    store_late_addr_fraction=0.1,
+    body_size=32, num_loops=4, trip_count=112, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="125.turb3d", suite="fp",
+    instruction_count_millions=1666.6,
+    load_fraction=0.213, store_fraction=0.146, sampling_ratio="1:10",
+    dep_load_fraction=0.015, dep_same_iter_fraction=0.50, dep_lags=(1, 4),
+    chain_length=6, fp_compute_fraction=0.80, divide_fraction=0.20,
+    data_branch_fraction=0.08, branch_bias=0.15,
+    stream_region_kb=384, random_region_kb=256, random_load_fraction=0.06,
+    store_late_addr_fraction=0.12,
+    body_size=30, num_loops=5, trip_count=80, call_fraction=0.1,
+))
+
+_add(WorkloadProfile(
+    name="141.apsi", suite="fp",
+    instruction_count_millions=125.9,
+    load_fraction=0.314, store_fraction=0.134, sampling_ratio=None,
+    dep_load_fraction=0.040, dep_same_iter_fraction=0.55, dep_lags=(1, 2),
+    chain_length=8, fp_compute_fraction=0.85, divide_fraction=0.30,
+    store_data_from_load_fraction=0.10,
+    data_branch_fraction=0.06, branch_bias=0.15,
+    stream_region_kb=384, random_region_kb=256, random_load_fraction=0.05,
+    store_late_addr_fraction=0.1,
+    body_size=34, num_loops=4, trip_count=96, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="145.fpppp", suite="fp",
+    instruction_count_millions=214.2,
+    load_fraction=0.488, store_fraction=0.175, sampling_ratio="1:2",
+    dep_load_fraction=0.030, dep_same_iter_fraction=0.55, dep_lags=(1,),
+    chain_length=7, fp_compute_fraction=0.90, divide_fraction=0.15,
+    store_data_from_load_fraction=0.10,
+    data_branch_fraction=0.03, branch_bias=0.10,
+    stream_region_kb=256, random_region_kb=128, random_load_fraction=0.05,
+    store_late_addr_fraction=0.12,
+    body_size=44, num_loops=3, trip_count=72, call_fraction=0.0,
+))
+
+_add(WorkloadProfile(
+    name="146.wave5", suite="fp",
+    instruction_count_millions=290.8,
+    load_fraction=0.302, store_fraction=0.130, sampling_ratio="1:2",
+    dep_load_fraction=0.040, dep_same_iter_fraction=0.60, dep_lags=(1, 2),
+    chain_length=3, fp_compute_fraction=0.85,
+    data_branch_fraction=0.05, branch_bias=0.15,
+    stream_region_kb=512, random_region_kb=128, random_load_fraction=0.05,
+    store_late_addr_fraction=0.1,
+    body_size=30, num_loops=4, trip_count=120, call_fraction=0.0,
+))
+
+# ---------------------------------------------------------------------------
+
+#: Benchmark display order (matches the paper's tables/figures).
+INT_BENCHMARKS: Tuple[str, ...] = (
+    "099.go", "124.m88ksim", "126.gcc", "129.compress",
+    "130.li", "132.ijpeg", "134.perl", "147.vortex",
+)
+FP_BENCHMARKS: Tuple[str, ...] = (
+    "101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d",
+    "107.mgrid", "110.applu", "125.turb3d", "141.apsi",
+    "145.fpppp", "146.wave5",
+)
+ALL_BENCHMARKS: Tuple[str, ...] = INT_BENCHMARKS + FP_BENCHMARKS
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Look up a profile by full ('126.gcc') or short ('126') name."""
+    try:
+        return SPEC95_PROFILES[name]
+    except KeyError:
+        known = ", ".join(INT_BENCHMARKS + FP_BENCHMARKS)
+        raise KeyError(
+            f"unknown benchmark {name!r}; known benchmarks: {known}"
+        ) from None

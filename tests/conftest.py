@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    continuous_window_128,
+    continuous_window_64,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.trace.dependences import compute_dependence_info
+from repro.workloads.catalog import kernel_trace
+
+
+@pytest.fixture(scope="session")
+def recurrence_trace():
+    """Small Figure-7 recurrence loop trace (true deps every iteration)."""
+    return kernel_trace("recurrence", n=192)
+
+
+@pytest.fixture(scope="session")
+def memcopy_trace():
+    """Dependence-free copy loop trace."""
+    return kernel_trace("memcopy", words=256)
+
+
+@pytest.fixture(scope="session")
+def stack_calls_trace():
+    """Call-heavy kernel with stable short memory dependences."""
+    return kernel_trace("stack_calls", calls=128)
+
+
+@pytest.fixture(scope="session")
+def reduction_trace():
+    """FP kernel with very late store data."""
+    return kernel_trace("reduction", elements=256)
+
+
+@pytest.fixture
+def nas_config():
+    """Factory for 128-entry NAS configs by policy name."""
+
+    def make(policy: str, **kwargs):
+        return continuous_window_128(
+            SchedulingModel.NAS, SpeculationPolicy(policy), **kwargs
+        )
+
+    return make
+
+
+@pytest.fixture
+def as_config():
+    """Factory for 128-entry AS configs by policy name and latency."""
+
+    def make(policy: str, latency: int = 0, **kwargs):
+        return continuous_window_128(
+            SchedulingModel.AS,
+            SpeculationPolicy(policy),
+            addr_scheduler_latency=latency,
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def recurrence_deps(recurrence_trace):
+    return compute_dependence_info(recurrence_trace)

@@ -1,0 +1,66 @@
+"""Unit tests for the bimodal predictor and saturating counters."""
+
+import pytest
+
+from repro.branch.bimodal import BimodalPredictor, SaturatingCounter
+
+
+def test_counter_saturates_high():
+    counter = SaturatingCounter(bits=2, initial=0)
+    for _ in range(10):
+        counter.update(True)
+    assert counter.value == 3 and counter.taken
+
+
+def test_counter_saturates_low():
+    counter = SaturatingCounter(bits=2, initial=3)
+    for _ in range(10):
+        counter.update(False)
+    assert counter.value == 0 and not counter.taken
+
+
+def test_counter_threshold():
+    counter = SaturatingCounter(bits=2, initial=1)
+    assert not counter.taken
+    counter.update(True)
+    assert counter.taken
+
+
+def test_counter_validation():
+    with pytest.raises(ValueError):
+        SaturatingCounter(bits=0)
+    with pytest.raises(ValueError):
+        SaturatingCounter(bits=2, initial=4)
+
+
+def test_bimodal_learns_direction():
+    predictor = BimodalPredictor(entries=1024)
+    pc = 0x400
+    for _ in range(4):
+        predictor.update(pc, True)
+    assert predictor.predict(pc)
+    for _ in range(4):
+        predictor.update(pc, False)
+    assert not predictor.predict(pc)
+
+
+def test_bimodal_indexes_by_pc():
+    predictor = BimodalPredictor(entries=1024)
+    for _ in range(4):
+        predictor.update(0x400, True)
+        predictor.update(0x404, False)
+    assert predictor.predict(0x400)
+    assert not predictor.predict(0x404)
+
+
+def test_bimodal_requires_power_of_two():
+    with pytest.raises(ValueError):
+        BimodalPredictor(entries=1000)
+
+
+def test_bimodal_aliasing_wraps():
+    predictor = BimodalPredictor(entries=16)
+    # PCs 16*4 apart alias to the same counter.
+    for _ in range(4):
+        predictor.update(0, True)
+    assert predictor.predict(16 * 4)

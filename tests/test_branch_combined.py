@@ -1,0 +1,39 @@
+"""Unit tests for the McFarling combined predictor."""
+
+from repro.branch.combined import CombinedPredictor
+
+
+def test_selector_learns_to_prefer_gselect():
+    """On an alternating pattern, gselect wins and the selector should
+    learn to trust it."""
+    predictor = CombinedPredictor(
+        meta_entries=1024, bimodal_entries=1024, gselect_entries=1024
+    )
+    pc = 0x40
+    pattern = [True, False] * 128
+    for outcome in pattern:
+        predictor.update(pc, outcome)
+    correct = 0
+    for outcome in pattern:
+        if predictor.predict(pc) == outcome:
+            correct += 1
+        predictor.update(pc, outcome)
+    assert correct >= len(pattern) * 0.85
+
+
+def test_strongly_biased_branch_predicted():
+    predictor = CombinedPredictor(
+        meta_entries=1024, bimodal_entries=1024, gselect_entries=1024
+    )
+    pc = 0x100
+    for _ in range(8):
+        predictor.update(pc, True)
+    assert predictor.predict(pc)
+
+
+def test_components_accessible():
+    predictor = CombinedPredictor(
+        meta_entries=64, bimodal_entries=64, gselect_entries=64
+    )
+    assert predictor.bimodal.entries == 64
+    assert predictor.gselect.entries == 64

@@ -1,0 +1,44 @@
+"""Unit tests for the Gselect predictor."""
+
+import pytest
+
+from repro.branch.gselect import GselectPredictor
+
+
+def test_learns_history_patterns():
+    """Gselect can learn an alternating pattern a bimodal cannot."""
+    predictor = GselectPredictor(entries=4096, history_bits=5)
+    pc = 0x80
+    outcomes = [True, False] * 64
+    # Train.
+    for outcome in outcomes:
+        predictor.update(pc, outcome)
+    # After training, predictions should track the alternation.
+    correct = 0
+    for outcome in outcomes:
+        if predictor.predict(pc) == outcome:
+            correct += 1
+        predictor.update(pc, outcome)
+    assert correct >= len(outcomes) * 0.9
+
+
+def test_history_register_shifts():
+    predictor = GselectPredictor(entries=1024, history_bits=3)
+    predictor.update(0, True)
+    predictor.update(0, False)
+    predictor.update(0, True)
+    assert predictor.history == 0b101
+
+
+def test_history_register_bounded():
+    predictor = GselectPredictor(entries=1024, history_bits=3)
+    for _ in range(10):
+        predictor.update(0, True)
+    assert predictor.history == 0b111
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GselectPredictor(entries=1000)
+    with pytest.raises(ValueError):
+        GselectPredictor(entries=16, history_bits=10)

@@ -1,0 +1,37 @@
+"""Unit tests for the return-address stack."""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+
+
+def test_push_pop_lifo():
+    ras = ReturnAddressStack(entries=8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+    assert ras.pop() is None
+
+
+def test_overflow_drops_oldest():
+    ras = ReturnAddressStack(entries=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)
+    assert len(ras) == 2
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_clear():
+    ras = ReturnAddressStack(entries=4)
+    ras.push(1)
+    ras.clear()
+    assert ras.pop() is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReturnAddressStack(entries=0)

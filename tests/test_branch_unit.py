@@ -1,0 +1,79 @@
+"""Unit tests for the front-end branch unit."""
+
+import pytest
+
+from repro.branch.unit import BranchUnit
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def _branch(seq, pc, taken, target):
+    return DynInst(seq=seq, pc=pc, op=OpClass.BRANCH, taken=taken,
+                   target=target)
+
+
+def test_repeated_taken_branch_becomes_correct():
+    unit = BranchUnit()
+    results = [
+        unit.predict_and_train(_branch(i, 0x40, True, 0x10)).correct
+        for i in range(8)
+    ]
+    # Early predictions miss (cold counters / BTB); later ones hit.
+    assert not results[0]
+    assert all(results[4:])
+
+
+def test_call_return_pair_predicted_via_ras():
+    unit = BranchUnit()
+    call = DynInst(seq=0, pc=0x100, op=OpClass.CALL, taken=True,
+                   target=0x800)
+    ret = DynInst(seq=1, pc=0x804, op=OpClass.RETURN, taken=True,
+                  target=0x104)
+    unit.predict_and_train(call)  # trains BTB, pushes RAS
+    prediction = unit.predict_and_train(ret)
+    assert prediction.correct  # RAS knows the return address immediately
+
+
+def test_nested_calls_return_in_order():
+    unit = BranchUnit()
+    unit.predict_and_train(
+        DynInst(seq=0, pc=0x10, op=OpClass.CALL, taken=True, target=0x100)
+    )
+    unit.predict_and_train(
+        DynInst(seq=1, pc=0x100, op=OpClass.CALL, taken=True,
+                target=0x200)
+    )
+    inner = unit.predict_and_train(
+        DynInst(seq=2, pc=0x204, op=OpClass.RETURN, taken=True,
+                target=0x104)
+    )
+    outer = unit.predict_and_train(
+        DynInst(seq=3, pc=0x108, op=OpClass.RETURN, taken=True,
+                target=0x14)
+    )
+    assert inner.correct and outer.correct
+
+
+def test_jump_uses_btb():
+    unit = BranchUnit()
+    jump = DynInst(seq=0, pc=0x40, op=OpClass.JUMP, taken=True,
+                   target=0x900)
+    first = unit.predict_and_train(jump)
+    second = unit.predict_and_train(
+        DynInst(seq=1, pc=0x40, op=OpClass.JUMP, taken=True, target=0x900)
+    )
+    assert not first.correct and second.correct
+
+
+def test_non_branch_rejected():
+    unit = BranchUnit()
+    with pytest.raises(ValueError):
+        unit.predict_and_train(DynInst(seq=0, pc=0, op=OpClass.IALU))
+
+
+def test_misprediction_rate_tracked():
+    unit = BranchUnit()
+    for i in range(4):
+        unit.predict_and_train(_branch(i, 0x40, True, 0x10))
+    assert unit.predictions == 4
+    assert 0 < unit.misprediction_rate < 1

@@ -1,0 +1,81 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.runner import clear_results
+
+
+def setup_function(_):
+    clear_results()
+
+
+def test_cli_runs_one_artifact(capsys, monkeypatch):
+    # Shrink the benchmark set so the CLI test stays fast.
+    from repro.experiments import tables
+
+    original = tables.table1
+
+    def small_table1(settings):
+        return original(settings, benchmarks=("132.ijpeg",))
+
+    monkeypatch.setitem(cli.ARTIFACTS, "table1", small_table1)
+    rc = cli.main(["table1", "--quick"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Table 1" in out
+    assert "regenerated in" in out
+
+
+def test_cli_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        cli.main(["not-an-artifact"])
+
+
+def test_cli_settings_flags(monkeypatch):
+    captured = {}
+
+    def fake_table1(settings):
+        captured["settings"] = settings
+        from repro.experiments.report import ExperimentReport
+        return ExperimentReport("Table 1", "t", ("a",), [("x",)])
+
+    monkeypatch.setitem(cli.ARTIFACTS, "table1", fake_table1)
+    cli.main(["table1", "--timing", "1234", "--warmup", "567",
+              "--seed", "9"])
+    assert captured["settings"].timing_instructions == 1234
+    assert captured["settings"].warmup_instructions == 567
+    assert captured["settings"].seed == 9
+
+
+def test_cli_export_flags(monkeypatch, tmp_path):
+    def fake_table1(settings):
+        from repro.experiments.report import ExperimentReport
+        return ExperimentReport(
+            "Table 1", "t", ("a", "b"), [("x", 1)], data={"x": 1}
+        )
+
+    monkeypatch.setitem(cli.ARTIFACTS, "table1", fake_table1)
+    json_dir = tmp_path / "json"
+    csv_dir = tmp_path / "csv"
+    cli.main([
+        "table1", "--quick",
+        "--json", str(json_dir), "--csv", str(csv_dir),
+    ])
+    import json as jsonlib
+    payload = jsonlib.loads((json_dir / "table1.json").read_text())
+    assert payload["experiment"] == "Table 1"
+    assert (csv_dir / "table1.csv").read_text().startswith("a,b")
+
+
+def test_cli_quick_flag(monkeypatch):
+    captured = {}
+
+    def fake_table1(settings):
+        captured["settings"] = settings
+        from repro.experiments.report import ExperimentReport
+        return ExperimentReport("Table 1", "t", ("a",), [("x",)])
+
+    monkeypatch.setitem(cli.ARTIFACTS, "table1", fake_table1)
+    cli.main(["table1", "--quick"])
+    assert captured["settings"].timing_instructions == 6000

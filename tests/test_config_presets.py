@@ -1,0 +1,44 @@
+"""Unit tests for the named machine presets."""
+
+from repro.config.presets import (
+    config_name,
+    continuous_window_128,
+    continuous_window_64,
+    split_window,
+)
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+
+
+def test_64_entry_derivation():
+    """Paper: 'reducing issue width to 4, load/store ports to 2, and all
+    functional units to 2'."""
+    cfg = continuous_window_64()
+    assert cfg.window.size == 64
+    assert cfg.window.issue_width == 4
+    assert cfg.window.memory_ports == 2
+    assert cfg.window.fu_copies == 2
+    # Caches and predictors are unchanged from Table 2.
+    assert cfg.dcache.size_bytes == 32 * 1024
+    assert cfg.branch.btb_entries == 2048
+
+
+def test_128_entry_default():
+    cfg = continuous_window_128(
+        SchedulingModel.AS, SpeculationPolicy.NAIVE, 2
+    )
+    assert cfg.window.size == 128
+    assert cfg.memdep.addr_scheduler_latency == 2
+    assert not cfg.split.enabled
+
+
+def test_split_window_preset():
+    cfg = split_window(num_units=4, task_size=32)
+    assert cfg.split.enabled
+    assert cfg.split.num_units == 4
+    assert cfg.split.task_size == 32
+
+
+def test_config_names():
+    assert config_name(continuous_window_128()) == "w128 NAS/NO"
+    assert config_name(continuous_window_64()) == "w64 NAS/NO"
+    assert config_name(split_window()).startswith("split4 AS/NAV")

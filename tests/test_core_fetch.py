@@ -1,0 +1,90 @@
+"""Unit tests for the fetch unit."""
+
+from repro.branch.unit import BranchUnit
+from repro.config import continuous_window_128
+from repro.core.fetch import FetchUnit
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.cursor import TraceCursor
+from repro.trace.events import Trace
+
+
+def _straightline(n):
+    return Trace([DynInst(seq=i, pc=4 * i, op=OpClass.IALU)
+                  for i in range(n)])
+
+
+def _unit(trace, config=None):
+    config = config or continuous_window_128()
+    hierarchy = MemoryHierarchy(config)
+    cursor = TraceCursor(trace)
+    return FetchUnit(config, cursor, hierarchy, BranchUnit(config.branch))
+
+
+def test_cold_icache_stalls_then_streams():
+    fetch = _unit(_straightline(64))
+    assert fetch.tick(0) == 0  # cold miss stalls
+    assert fetch.stalled_until > 0
+    resumed = fetch.stalled_until
+    fetched = fetch.tick(resumed)
+    assert fetched > 0
+
+
+def test_front_end_depth_delays_dispatch():
+    fetch = _unit(_straightline(16))
+    fetch.stalled_until = 0
+    fetch.hierarchy.warm([], instructions=[i * 4 for i in range(16)])
+    fetched = fetch.tick(10)
+    assert fetched > 0
+    assert fetch.pop_dispatchable(10) is None
+    depth = fetch.config.fetch.front_end_depth
+    assert fetch.pop_dispatchable(10 + depth).seq == 0
+
+
+def test_mispredicted_branch_blocks_fetch():
+    trace = Trace([
+        DynInst(seq=0, pc=0, op=OpClass.BRANCH, taken=True, target=64),
+        DynInst(seq=1, pc=64, op=OpClass.IALU),
+    ])
+    fetch = _unit(trace)
+    fetch.hierarchy.warm([], instructions=[0, 64])
+    fetch.tick(0)
+    assert fetch.waiting_on_branch == 0  # cold predictor mispredicts
+    assert fetch.tick(1) == 0
+    fetch.resume_after_branch(0, cycle=5)
+    assert fetch.waiting_on_branch is None
+    resumed = fetch.stalled_until
+    assert resumed == 5 + fetch.config.branch_redirect_penalty
+    assert fetch.tick(resumed) == 1
+
+
+def test_squash_rewinds_and_refetches():
+    fetch = _unit(_straightline(32))
+    fetch.hierarchy.warm([], instructions=[i * 4 for i in range(32)])
+    fetch.tick(0)
+    while fetch.pop_dispatchable(100) is not None:
+        pass
+    fetch.squash(4, resume_cycle=50)
+    assert fetch.cursor.position == 4
+    assert fetch.stalled_until == 50
+    fetched = fetch.tick(50)
+    assert fetched > 0
+    assert fetch.buffer[0][0].seq == 4
+
+
+def test_fetch_width_bounded():
+    config = continuous_window_128()
+    fetch = _unit(_straightline(64), config)
+    fetch.hierarchy.warm([], instructions=[i * 4 for i in range(64)])
+    assert fetch.tick(0) <= config.fetch.width
+
+
+def test_done_when_cursor_and_buffer_empty():
+    fetch = _unit(_straightline(4))
+    fetch.hierarchy.warm([], instructions=[0, 4, 8, 12])
+    fetch.tick(0)
+    assert not fetch.done
+    while fetch.pop_dispatchable(99) is not None:
+        pass
+    assert fetch.done

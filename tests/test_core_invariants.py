@@ -1,0 +1,86 @@
+"""Structural invariants checked during live simulation.
+
+A guarded FunctionalUnits implementation is injected into a processor
+run; any cycle that over-subscribes issue slots, functional units or
+memory ports fails the test immediately.
+"""
+
+import pytest
+
+from repro.config import (
+    continuous_window_128,
+    continuous_window_64,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core.processor import Processor
+from repro.core.scheduler import FunctionalUnits
+from repro.isa.opcodes import FP_CLASSES
+
+
+class _GuardedFUs(FunctionalUnits):
+    def take_issue(self, op):
+        assert self.issue_slots_left > 0, "issue width exceeded"
+        if op in FP_CLASSES:
+            assert self._fp_used < self.config.fu_copies, "FP FUs over"
+        else:
+            assert self._int_used < self.config.fu_copies, "int FUs over"
+        super().take_issue(op)
+
+    def take_port(self):
+        assert self.ports_left > 0, "memory ports exceeded"
+        super().take_port()
+
+
+@pytest.mark.parametrize("policy", [
+    SpeculationPolicy.NO,
+    SpeculationPolicy.NAIVE,
+    SpeculationPolicy.SYNC,
+    SpeculationPolicy.ORACLE,
+])
+def test_structural_limits_never_exceeded(policy, recurrence_trace):
+    config = continuous_window_128(SchedulingModel.NAS, policy)
+    processor = Processor(config, recurrence_trace)
+    # Install the guard by monkeypatching the class attribute the
+    # processor instantiates per segment.
+    import repro.core.processor as cp
+    saved = cp.FunctionalUnits
+    cp.FunctionalUnits = _GuardedFUs
+    try:
+        result = processor.run()
+    finally:
+        cp.FunctionalUnits = saved
+    assert result.committed == len(recurrence_trace)
+
+
+def test_narrow_machine_limits_hold(memcopy_trace):
+    import repro.core.processor as cp
+    saved = cp.FunctionalUnits
+    cp.FunctionalUnits = _GuardedFUs
+    try:
+        config = continuous_window_64(
+            SchedulingModel.AS, SpeculationPolicy.NAIVE
+        )
+        result = Processor(config, memcopy_trace).run()
+    finally:
+        cp.FunctionalUnits = saved
+    assert result.committed == len(memcopy_trace)
+
+
+def test_window_never_overflows(recurrence_trace):
+    config = continuous_window_64(
+        SchedulingModel.NAS, SpeculationPolicy.NO
+    )
+    processor = Processor(config, recurrence_trace)
+    max_seen = 0
+    original = processor._dispatch
+
+    def watched():
+        nonlocal max_seen
+        original()
+        max_seen = max(max_seen, len(processor.window))
+        assert len(processor.window) <= config.window.size
+
+    processor._dispatch = watched
+    processor.run()
+    assert 0 < max_seen <= config.window.size

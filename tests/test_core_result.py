@@ -1,0 +1,53 @@
+"""Unit tests for SimResult metrics."""
+
+import pytest
+
+from repro.core.result import SimResult
+
+
+def test_ipc():
+    r = SimResult(cycles=100, committed=250)
+    assert r.ipc == 2.5
+    assert SimResult().ipc == 0.0
+
+
+def test_misspeculation_rate():
+    r = SimResult(committed_loads=200, misspeculations=5)
+    assert r.misspeculation_rate == 0.025
+    assert SimResult().misspeculation_rate == 0.0
+
+
+def test_false_dependence_metrics():
+    r = SimResult(
+        committed_loads=100,
+        false_dependence_loads=40,
+        false_dependence_latency=800,
+    )
+    assert r.false_dependence_fraction == 0.4
+    assert r.mean_resolution_latency == 20.0
+    assert SimResult().mean_resolution_latency == 0.0
+
+
+def test_speedup_over():
+    a = SimResult(cycles=100, committed=200)
+    b = SimResult(cycles=100, committed=100)
+    assert a.speedup_over(b) == 2.0
+    with pytest.raises(ZeroDivisionError):
+        a.speedup_over(SimResult())
+
+
+def test_merge_accumulates():
+    a = SimResult(cycles=10, committed=20, committed_loads=5,
+                  misspeculations=1)
+    b = SimResult(cycles=30, committed=40, committed_loads=15,
+                  misspeculations=2)
+    a.merge(b)
+    assert a.cycles == 40 and a.committed == 60
+    assert a.committed_loads == 20 and a.misspeculations == 3
+
+
+def test_rate_helpers():
+    r = SimResult(branch_predictions=100, branch_mispredictions=7,
+                  dcache_accesses=50, dcache_misses=5)
+    assert r.branch_misprediction_rate == 0.07
+    assert r.dcache_miss_rate == 0.1

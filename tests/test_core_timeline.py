@@ -1,0 +1,92 @@
+"""Tests for the pipeline timeline recorder."""
+
+import pytest
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core import Processor, TimelineRecorder
+from repro.core.timeline import InstructionTimeline
+
+
+def _record(trace, limit=32, start_seq=0, policy=SpeculationPolicy.NO):
+    recorder = TimelineRecorder(start_seq=start_seq, limit=limit)
+    Processor(
+        continuous_window_128(SchedulingModel.NAS, policy),
+        trace,
+        timeline=recorder,
+    ).run()
+    return recorder
+
+
+def test_records_stage_order(memcopy_trace):
+    recorder = _record(memcopy_trace)
+    assert len(recorder.records) == 32
+    for r in recorder.records:
+        assert r.dispatch <= r.commit
+        if r.issue is not None:
+            assert r.dispatch <= r.issue
+        if r.complete is not None:
+            assert r.complete <= r.commit
+        assert r.latency >= 0
+
+
+def test_limit_respected(memcopy_trace):
+    recorder = _record(memcopy_trace, limit=5)
+    assert len(recorder.records) == 5
+    assert recorder.full
+
+
+def test_start_seq_filters(memcopy_trace):
+    recorder = _record(memcopy_trace, limit=8, start_seq=100)
+    assert all(r.seq >= 100 for r in recorder.records)
+
+
+def test_commit_is_in_order(memcopy_trace):
+    recorder = _record(memcopy_trace)
+    seqs = [r.seq for r in recorder.records]
+    assert seqs == sorted(seqs)
+    commits = [r.commit for r in recorder.records]
+    assert commits == sorted(commits)
+
+
+def test_render_contains_stage_marks(memcopy_trace):
+    recorder = _record(memcopy_trace, limit=16)
+    text = recorder.render(max_width=60)
+    assert "cycles" in text
+    assert "D" in text and "R" in text
+    assert "LOAD" in text and "STORE" in text
+
+
+def test_render_empty():
+    recorder = TimelineRecorder()
+    assert "no instructions" in recorder.render()
+
+
+def test_mean_latency_positive(recurrence_trace):
+    recorder = _record(recurrence_trace)
+    assert recorder.mean_latency() > 0
+
+
+def test_loads_show_memory_stage(memcopy_trace):
+    recorder = _record(memcopy_trace)
+    loads = [r for r in recorder.records if r.op == "LOAD"]
+    assert loads
+    for r in loads:
+        assert r.mem_issue is not None
+        assert r.issue <= r.mem_issue <= r.complete
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimelineRecorder(limit=0)
+
+
+def test_timeline_dataclass_latency():
+    r = InstructionTimeline(
+        seq=0, pc=0, op="IALU", dispatch=10, issue=11, mem_issue=None,
+        complete=12, commit=14,
+    )
+    assert r.latency == 4

@@ -1,0 +1,117 @@
+"""Unit tests for the instruction window."""
+
+import pytest
+
+from repro.core.window import Entry, Window
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+def _entry(seq, op=OpClass.IALU, dest=None, srcs=(), addr=None, cycle=0):
+    inst = DynInst(seq=seq, pc=4 * seq, op=op, dest=dest, srcs=srcs,
+                   addr=addr)
+    return Entry(inst, cycle)
+
+
+def test_dispatch_links_producer_waiters():
+    window = Window(8)
+    producer = _entry(0, dest=5)
+    window.dispatch(producer)
+    consumer = _entry(1, srcs=(5,))
+    window.dispatch(consumer)
+    assert consumer.addr_pending == 1
+    assert producer.waiters == [(consumer, False)]
+
+
+def test_completed_producer_sets_ready_time():
+    window = Window(8)
+    producer = _entry(0, dest=5)
+    producer.complete_cycle = 42
+    window.dispatch(producer)
+    consumer = _entry(1, srcs=(5,), cycle=10)
+    window.dispatch(consumer)
+    assert consumer.addr_pending == 0
+    assert consumer.addr_ready == 42
+
+
+def test_store_data_operand_tracked_separately():
+    window = Window(8)
+    addr_producer = _entry(0, dest=3)
+    data_producer = _entry(1, dest=4)
+    window.dispatch(addr_producer)
+    window.dispatch(data_producer)
+    store = _entry(2, op=OpClass.STORE, srcs=(3, 4), addr=0x100)
+    window.dispatch(store)
+    assert store.addr_pending == 1
+    assert store.data_pending == 1
+    assert (store, False) in addr_producer.waiters
+    assert (store, True) in data_producer.waiters
+
+
+def test_zero_register_never_a_dependence():
+    window = Window(8)
+    producer = _entry(0, dest=0)  # writes $r0: discarded
+    window.dispatch(producer)
+    consumer = _entry(1, srcs=(0,))
+    window.dispatch(consumer)
+    assert consumer.addr_pending == 0
+
+
+def test_commit_in_order():
+    window = Window(8)
+    a, b = _entry(0), _entry(1)
+    window.dispatch(a)
+    window.dispatch(b)
+    assert window.commit_head() is a
+    assert window.commit_head() is b
+    assert window.empty
+
+
+def test_window_capacity():
+    window = Window(2)
+    window.dispatch(_entry(0))
+    window.dispatch(_entry(1))
+    assert window.full
+    with pytest.raises(RuntimeError):
+        window.dispatch(_entry(2))
+
+
+def test_program_order_enforced():
+    window = Window(8)
+    window.dispatch(_entry(5))
+    with pytest.raises(ValueError):
+        window.dispatch(_entry(3))
+
+
+def test_squash_truncates_and_rebuilds_rename_map():
+    window = Window(8)
+    old_producer = _entry(0, dest=5)
+    window.dispatch(old_producer)
+    new_producer = _entry(1, dest=5)
+    window.dispatch(new_producer)
+    window.dispatch(_entry(2))
+    squashed = window.squash_from(1)
+    assert [e.seq for e in squashed] == [2, 1]
+    assert all(e.squashed for e in squashed)
+    # Rename map now points at the surviving producer of r5.
+    consumer = _entry(3, srcs=(5,))
+    window.dispatch(consumer)
+    assert (consumer, False) in old_producer.waiters
+
+
+def test_redispatch_after_squash():
+    window = Window(8)
+    window.dispatch(_entry(0))
+    window.dispatch(_entry(1))
+    window.squash_from(1)
+    window.dispatch(_entry(1))  # same seq re-enters
+    assert len(window) == 2
+    assert window.get(1) is not None
+
+
+def test_get_by_seq():
+    window = Window(4)
+    entry = _entry(0)
+    window.dispatch(entry)
+    assert window.get(0) is entry
+    assert window.get(9) is None

@@ -1,0 +1,79 @@
+"""Tests for CSV/JSON export helpers."""
+
+import csv
+import io
+import json
+
+from repro.core.result import SimResult
+from repro.experiments.export import (
+    report_to_csv,
+    report_to_json,
+    result_row,
+    results_to_csv,
+    results_to_json,
+    RESULT_FIELDS,
+)
+from repro.experiments.report import ExperimentReport
+
+
+def _result():
+    return SimResult(
+        config_label="NAS/NO", benchmark="x", suite="int",
+        cycles=100, committed=150, committed_loads=40,
+        misspeculations=2,
+    )
+
+
+def test_result_row_covers_all_fields():
+    row = result_row(_result())
+    assert set(row) == set(RESULT_FIELDS)
+    assert row["ipc"] == 1.5
+    assert row["misspeculation_rate"] == 0.05
+
+
+def test_csv_round_trip():
+    text = results_to_csv([_result(), _result()])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["benchmark"] == "x"
+    assert float(rows[0]["ipc"]) == 1.5
+
+
+def test_json_round_trip():
+    data = json.loads(results_to_json([_result()]))
+    assert data[0]["config_label"] == "NAS/NO"
+    assert data[0]["cycles"] == 100
+
+
+def _report():
+    return ExperimentReport(
+        experiment="Table X",
+        title="test",
+        headers=("a", "b"),
+        rows=[("p", 1), ("q", 2)],
+        notes=["note"],
+        data={"p": {"v": 1.5}, "nested": [1, 2]},
+    )
+
+
+def test_report_json():
+    data = json.loads(report_to_json(_report()))
+    assert data["experiment"] == "Table X"
+    assert data["rows"] == [["p", "1"], ["q", "2"]]
+    assert data["data"]["p"]["v"] == 1.5
+    assert data["data"]["nested"] == [1, 2]
+
+
+def test_report_csv():
+    rows = list(csv.reader(io.StringIO(report_to_csv(_report()))))
+    assert rows[0] == ["a", "b"]
+    assert rows[1] == ["p", "1"]
+
+
+def test_non_serialisable_data_coerced():
+    report = ExperimentReport(
+        experiment="E", title="t", headers=("h",), rows=[("r",)],
+        data={"obj": object()},
+    )
+    data = json.loads(report_to_json(report))
+    assert isinstance(data["data"]["obj"], str)

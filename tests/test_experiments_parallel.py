@@ -1,0 +1,64 @@
+"""Tests for the multiprocess runner."""
+
+import pytest
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.experiments.parallel import run_matrix_parallel
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_results,
+    run_benchmark,
+)
+
+_SETTINGS = ExperimentSettings(
+    timing_instructions=1200, warmup_instructions=800
+)
+_CONFIGS = {
+    "NO": continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NO
+    ),
+    "ORACLE": continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.ORACLE
+    ),
+}
+_BENCHES = ("132.ijpeg", "107.mgrid")
+
+
+def setup_function(_):
+    clear_results()
+
+
+def test_parallel_matches_serial():
+    parallel = run_matrix_parallel(
+        _BENCHES, _CONFIGS, _SETTINGS, workers=2
+    )
+    clear_results()
+    for label in _CONFIGS:
+        for name in _BENCHES:
+            serial = run_benchmark(name, _CONFIGS[label], _SETTINGS)
+            assert parallel[label][name].ipc == pytest.approx(
+                serial.ipc
+            ), (label, name)
+            assert (
+                parallel[label][name].cycles == serial.cycles
+            )
+
+
+def test_single_worker_fallback():
+    result = run_matrix_parallel(
+        _BENCHES, _CONFIGS, _SETTINGS, workers=1
+    )
+    assert set(result) == set(_CONFIGS)
+    assert set(result["NO"]) == set(_BENCHES)
+
+
+def test_parallel_seeds_serial_cache():
+    run_matrix_parallel(("132.ijpeg",), _CONFIGS, _SETTINGS, workers=2)
+    # A subsequent serial call should hit the cache (identical object).
+    first = run_benchmark("132.ijpeg", _CONFIGS["NO"], _SETTINGS)
+    second = run_benchmark("132.ijpeg", _CONFIGS["NO"], _SETTINGS)
+    assert first is second

@@ -1,0 +1,126 @@
+"""Tests for the figure/table drivers (on a reduced benchmark set)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    summary_findings,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import ExperimentSettings, clear_results
+from repro.experiments.tables import table1, table3, table4
+
+_SETTINGS = ExperimentSettings(
+    timing_instructions=2500, warmup_instructions=1500
+)
+# One integer and one floating-point benchmark keep driver tests fast.
+_BENCHES = ("129.compress", "102.swim")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_results()
+    yield
+    clear_results()
+
+
+def test_table1_reports_composition():
+    report = table1(_SETTINGS, _BENCHES)
+    assert isinstance(report, ExperimentReport)
+    assert len(report.rows) == 2
+    for name in _BENCHES:
+        measured = report.data[name]
+        assert measured["loads"] == pytest.approx(
+            measured["loads_paper"], abs=0.06
+        )
+
+
+def test_table3_reports_fd_and_rl():
+    report = table3(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        assert 0 < report.data[name]["fd"] <= 100
+        assert report.data[name]["rl"] > 0
+
+
+def test_table4_sync_below_nav():
+    report = table4(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        assert report.data[name]["sync"] <= report.data[name]["nav"]
+
+
+def test_figure1_oracle_wins_and_scales():
+    report = figure1(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        assert report.data["speedup128"][name] > 1.0
+    rendered = report.render()
+    assert "Figure 1" in rendered and "129.compress" in rendered
+
+
+def test_figure2_nav_between_no_and_oracle():
+    report = figure2(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        ipc = report.data["ipc"][name]
+        assert ipc["NO"] <= ipc["ORACLE"] * 1.02
+        assert ipc["NAV"] >= ipc["NO"] * 0.85
+
+
+def test_figure3_latency_monotonic():
+    report = figure3(_SETTINGS, _BENCHES)
+    assert report.data["base_ipc"]["102.swim"] > 0
+    # Higher scheduler latency should not increase the relative win.
+    rel = report.data["relative"]
+    assert set(rel) == {0, 1, 2}
+
+
+def test_figure4_relative_to_as_no():
+    report = figure4(_SETTINGS, _BENCHES)
+    rel = report.data["relative"]
+    assert set(rel) == {
+        "NAS/ORACLE", "AS/NAV 0cy", "AS/NAV 1cy", "AS/NAV 2cy",
+    }
+    for name in _BENCHES:
+        # Latency only hurts.
+        assert rel["AS/NAV 0cy"][name] >= rel["AS/NAV 2cy"][name] * 0.97
+
+
+def test_summary_findings_driver():
+    report = summary_findings(_SETTINGS, _BENCHES)
+    assert "oracle_over_no_int" in report.data
+    for record in report.data.values():
+        assert "measured" in record and "paper" in record
+    assert "measured" in report.render()
+
+
+def test_figure5_has_both_policies():
+    report = figure5(_SETTINGS, _BENCHES)
+    assert set(report.data["sel"]["relative"]) == set(_BENCHES)
+    assert set(report.data["store"]["relative"]) == set(_BENCHES)
+
+
+def test_figure6_sync_improves_over_nav():
+    report = figure6(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        assert report.data["sync"]["relative"][name] > 0.9
+        # SYNC's residual miss-speculation is small (short runs leave a
+        # few training violations).
+        assert report.data["sync"]["miss"][name] < 2.5
+
+
+def test_figure7_split_misspeculates_continuous_does_not():
+    report = figure7(_SETTINGS, _BENCHES)
+    for name in _BENCHES:
+        assert report.data[name]["cont_miss"] < 0.005
+        assert report.data[name]["split_miss"] > 0.0
+
+
+def test_report_rendering_is_text():
+    report = table1(_SETTINGS, _BENCHES)
+    text = report.render()
+    assert "Table 1" in text
+    assert "\n" in text

@@ -1,0 +1,90 @@
+"""Tests for the experiment runner (caching, warm-up plan)."""
+
+from repro.config import (
+    continuous_window_128,
+    split_window,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_results,
+    run_benchmark,
+    run_matrix,
+)
+
+_SETTINGS = ExperimentSettings(
+    timing_instructions=1500, warmup_instructions=1000
+)
+
+
+def setup_function(_):
+    clear_results()
+
+
+def test_run_benchmark_commits_timed_instructions():
+    cfg = continuous_window_128()
+    result = run_benchmark("132.ijpeg", cfg, _SETTINGS)
+    assert result.committed == _SETTINGS.timing_instructions
+    assert result.cycles > 0
+
+
+def test_result_caching():
+    cfg = continuous_window_128()
+    a = run_benchmark("132.ijpeg", cfg, _SETTINGS)
+    b = run_benchmark("132.ijpeg", cfg, _SETTINGS)
+    assert a is b
+    clear_results()
+    c = run_benchmark("132.ijpeg", cfg, _SETTINGS)
+    assert c is not a
+
+
+def test_distinct_configs_not_conflated():
+    no = run_benchmark("132.ijpeg", continuous_window_128(), _SETTINGS)
+    oracle = run_benchmark(
+        "132.ijpeg",
+        continuous_window_128(
+            SchedulingModel.NAS, SpeculationPolicy.ORACLE
+        ),
+        _SETTINGS,
+    )
+    assert no is not oracle
+    assert oracle.ipc >= no.ipc
+
+
+def test_split_config_routed_to_split_model():
+    result = run_benchmark(
+        "132.ijpeg",
+        split_window(SchedulingModel.AS, SpeculationPolicy.NAIVE),
+        _SETTINGS,
+    )
+    assert result.config_label.startswith("split")
+    assert result.committed == _SETTINGS.trace_length
+
+
+def test_run_benchmark_seeds_vary_but_agree():
+    from repro.experiments.runner import run_benchmark_seeds
+    from repro.stats import mean_and_spread
+
+    results = run_benchmark_seeds(
+        "132.ijpeg", continuous_window_128(), _SETTINGS, seeds=(0, 1, 2)
+    )
+    assert len(results) == 3
+    ipcs = [r.ipc for r in results]
+    # Different seeds give different traces...
+    assert len(set(ipcs)) > 1
+    # ...but statistically similar machines.
+    mean, spread = mean_and_spread(ipcs)
+    assert spread < 0.4 * mean
+
+
+def test_run_matrix_shape():
+    configs = {
+        "NO": continuous_window_128(),
+        "ORACLE": continuous_window_128(
+            SchedulingModel.NAS, SpeculationPolicy.ORACLE
+        ),
+    }
+    matrix = run_matrix(("132.ijpeg", "107.mgrid"), configs, _SETTINGS)
+    assert set(matrix) == {"NO", "ORACLE"}
+    assert set(matrix["NO"]) == {"132.ijpeg", "107.mgrid"}

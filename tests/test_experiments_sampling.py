@@ -1,0 +1,62 @@
+"""Tests for paper-style (Table 1 "SR") sampling in the runner."""
+
+from repro.config import continuous_window_128
+from repro.experiments.runner import (
+    ExperimentSettings,
+    _plan_for,
+    clear_results,
+    run_benchmark,
+)
+
+
+def setup_function(_):
+    clear_results()
+
+
+def test_plan_without_paper_sampling_is_warm_plus_timed():
+    settings = ExperimentSettings(4000, 1000)
+    plan = _plan_for("126.gcc", settings)
+    assert len(plan.segments) == 2
+    assert plan.timing_instructions() == 4000
+
+
+def test_paper_plan_alternates_by_ratio():
+    settings = ExperimentSettings(
+        4000, 1000, paper_sampling=True, observation=500
+    )
+    # 104.hydro2d's ratio is 1:10.
+    plan = _plan_for("104.hydro2d", settings)
+    kinds = [s.timing for s in plan.segments]
+    assert kinds[0] is False  # warm-up
+    assert kinds[1] is True and kinds[2] is False
+    assert plan.timing_instructions() == 4000
+    # 1:10 ratio: the functional share dwarfs the timed share.
+    assert plan.functional_instructions() > 4000
+
+
+def test_na_ratio_times_continuously():
+    settings = ExperimentSettings(
+        3000, 500, paper_sampling=True, observation=500
+    )
+    # 099.go's ratio is N/A -> no functional interleaving after warm-up.
+    plan = _plan_for("099.go", settings)
+    assert plan.timing_instructions() == 3000
+    assert plan.functional_instructions() == 500
+
+
+def test_run_benchmark_with_paper_sampling():
+    settings = ExperimentSettings(
+        1500, 500, paper_sampling=True, observation=300
+    )
+    result = run_benchmark(
+        "104.hydro2d", continuous_window_128(), settings
+    )
+    assert result.committed == 1500
+
+
+def test_kernel_names_fall_back_to_continuous():
+    settings = ExperimentSettings(
+        1000, 200, paper_sampling=True, observation=250
+    )
+    plan = _plan_for("recurrence", settings)
+    assert plan.timing_instructions() == 1000

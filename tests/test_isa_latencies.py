@@ -1,0 +1,32 @@
+"""Unit tests for the Table 2 latency table."""
+
+import pytest
+
+from repro.isa.latencies import DEFAULT_LATENCIES, LatencyTable
+from repro.isa.opcodes import OpClass
+
+
+def test_table2_values():
+    lat = DEFAULT_LATENCIES
+    assert lat.latency(OpClass.IALU) == 1
+    assert lat.latency(OpClass.IMUL) == 4
+    assert lat.latency(OpClass.IDIV) == 12
+    assert lat.latency(OpClass.FADD) == 2
+    assert lat.latency(OpClass.FMUL_SP) == 4
+    assert lat.latency(OpClass.FMUL_DP) == 5
+    assert lat.latency(OpClass.FDIV_SP) == 12
+    assert lat.latency(OpClass.FDIV_DP) == 15
+
+
+def test_override_is_functional():
+    table = DEFAULT_LATENCIES.with_override(OpClass.IALU, 3)
+    assert table.latency(OpClass.IALU) == 3
+    # The original table is untouched.
+    assert DEFAULT_LATENCIES.latency(OpClass.IALU) == 1
+    # Other classes unchanged.
+    assert table.latency(OpClass.IMUL) == 4
+
+
+def test_override_rejects_zero():
+    with pytest.raises(ValueError):
+        DEFAULT_LATENCIES.with_override(OpClass.IALU, 0)

@@ -1,0 +1,43 @@
+"""Unit tests for instruction classification."""
+
+from repro.isa.opcodes import (
+    BRANCH_CLASSES,
+    FP_CLASSES,
+    INT_CLASSES,
+    MEM_CLASSES,
+    OpClass,
+    is_branch,
+    is_load,
+    is_mem,
+    is_store,
+)
+
+
+def test_load_store_classification():
+    assert is_load(OpClass.LOAD)
+    assert not is_load(OpClass.STORE)
+    assert is_store(OpClass.STORE)
+    assert not is_store(OpClass.LOAD)
+    assert is_mem(OpClass.LOAD) and is_mem(OpClass.STORE)
+    assert not is_mem(OpClass.IALU)
+
+
+def test_branch_classification():
+    for op in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN):
+        assert is_branch(op)
+    for op in (OpClass.IALU, OpClass.LOAD, OpClass.STORE, OpClass.NOP):
+        assert not is_branch(op)
+
+
+def test_class_sets_are_disjoint():
+    assert not (MEM_CLASSES & BRANCH_CLASSES)
+    assert not (INT_CLASSES & FP_CLASSES)
+    assert not (MEM_CLASSES & FP_CLASSES)
+
+
+def test_every_class_categorised():
+    categorised = (
+        MEM_CLASSES | BRANCH_CLASSES | INT_CLASSES | FP_CLASSES
+        | {OpClass.NOP}
+    )
+    assert categorised == set(OpClass)

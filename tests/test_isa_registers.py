@@ -1,0 +1,67 @@
+"""Unit tests for the flat register namespace."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_FSR,
+    REG_HI,
+    REG_LO,
+    REG_ZERO,
+    RegisterFile,
+    TOTAL_REGS,
+    fp_reg,
+    int_reg,
+    register_name,
+)
+
+
+def test_namespace_layout():
+    assert int_reg(0) == REG_ZERO == 0
+    assert int_reg(31) == 31
+    assert fp_reg(0) == NUM_INT_REGS
+    assert fp_reg(31) == NUM_INT_REGS + NUM_FP_REGS - 1
+    assert REG_HI == 64 and REG_LO == 65 and REG_FSR == 66
+    assert TOTAL_REGS == 67
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        int_reg(32)
+    with pytest.raises(ValueError):
+        fp_reg(-1)
+    with pytest.raises(ValueError):
+        register_name(TOTAL_REGS)
+
+
+def test_register_names():
+    assert register_name(int_reg(5)) == "$r5"
+    assert register_name(fp_reg(7)) == "$f7"
+    assert register_name(REG_HI) == "$hi"
+    assert register_name(REG_LO) == "$lo"
+    assert register_name(REG_FSR) == "$fsr"
+
+
+def test_register_file_zero_semantics():
+    regs = RegisterFile()
+    regs.write(REG_ZERO, 42)
+    assert regs.read(REG_ZERO) == 0
+
+
+def test_register_file_read_write_reset():
+    regs = RegisterFile()
+    regs.write(int_reg(3), 99)
+    regs.write(fp_reg(1), 7)
+    assert regs.read(int_reg(3)) == 99
+    assert regs.read(fp_reg(1)) == 7
+    snap = regs.snapshot()
+    assert snap["$r3"] == 99 and snap["$f1"] == 7
+    regs.reset()
+    assert regs.read(int_reg(3)) == 0
+
+
+def test_register_file_bad_index():
+    regs = RegisterFile()
+    with pytest.raises(ValueError):
+        regs.write(TOTAL_REGS, 1)

@@ -1,0 +1,93 @@
+"""Unit tests for the store-set predictor (extension)."""
+
+import pytest
+
+from repro.memdep.store_sets import StoreSetPredictor
+
+
+class _FakeEntry:
+    def __init__(self, seq, pc, squashed=False):
+        self.seq = seq
+        self.squashed = squashed
+        self.inst = type("I", (), {"pc": pc})()
+
+
+def test_untrained_predicts_nothing():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    load = _FakeEntry(10, 0x40)
+    assert pred.load_dispatched(load) is None
+    store = _FakeEntry(5, 0x80)
+    assert pred.store_dispatched(store) is None
+
+
+def test_violation_creates_shared_set():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    ssid = pred.record_violation(load_pc=0x40, store_pc=0x80)
+    assert pred.ssid_of(0x40) == ssid
+    assert pred.ssid_of(0x80) == ssid
+    assert pred.allocations == 1
+
+
+def test_load_waits_for_last_fetched_store():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    pred.record_violation(0x40, 0x80)
+    store = _FakeEntry(5, 0x80)
+    pred.store_dispatched(store)
+    load = _FakeEntry(10, 0x40)
+    assert pred.load_dispatched(load) is store
+
+
+def test_load_ignores_younger_store():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    pred.record_violation(0x40, 0x80)
+    pred.store_dispatched(_FakeEntry(20, 0x80))
+    load = _FakeEntry(10, 0x40)
+    assert pred.load_dispatched(load) is None
+
+
+def test_store_to_store_ordering():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    pred.record_violation(0x40, 0x80)
+    first = _FakeEntry(5, 0x80)
+    assert pred.store_dispatched(first) is None
+    second = _FakeEntry(9, 0x80)
+    assert pred.store_dispatched(second) is first
+
+
+def test_merge_rules():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    a = pred.record_violation(0x40, 0x80)
+    # Same load, second store: store joins the load's set.
+    b = pred.record_violation(0x40, 0x90)
+    assert a == b and pred.ssid_of(0x90) == a
+    # New load colliding with a set-assigned store joins that set.
+    c = pred.record_violation(0x50, 0x90)
+    assert c == a
+    assert pred.merges == 2
+
+
+def test_retire_and_squash_clear_lfst():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    pred.record_violation(0x40, 0x80)
+    store = _FakeEntry(5, 0x80)
+    pred.store_dispatched(store)
+    pred.store_retired(store)
+    assert pred.load_dispatched(_FakeEntry(10, 0x40)) is None
+    pred.store_dispatched(_FakeEntry(7, 0x80))
+    pred.squash(6)
+    assert pred.load_dispatched(_FakeEntry(10, 0x40)) is None
+
+
+def test_flush():
+    pred = StoreSetPredictor(ssit_entries=256, lfst_entries=16)
+    pred.record_violation(0x40, 0x80)
+    pred.flush()
+    assert pred.ssid_of(0x40) is None
+    assert pred.occupancy() == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StoreSetPredictor(ssit_entries=100)
+    with pytest.raises(ValueError):
+        StoreSetPredictor(lfst_entries=100)

@@ -1,0 +1,23 @@
+"""Unit tests for main memory timing."""
+
+from repro.config.processor import MainMemoryConfig
+from repro.memory.main_memory import MainMemory
+
+
+def test_access_latency_includes_transfer():
+    mem = MainMemory(MainMemoryConfig(), block_bytes=128)
+    # 128 bytes = 32 words = 8 four-word bursts at 2 cycles each.
+    assert mem.access(0, 0) == 34 + 16
+    assert mem.accesses == 1
+
+
+def test_transfer_rounding():
+    mem = MainMemory(MainMemoryConfig())
+    assert mem.transfer_cycles(1) == 2  # one partial burst
+    assert mem.transfer_cycles(16) == 2  # exactly one burst
+    assert mem.transfer_cycles(17) == 4  # spills into a second burst
+
+
+def test_uniform_latency():
+    mem = MainMemory(MainMemoryConfig(), block_bytes=32)
+    assert mem.access(0x0, 5) == mem.access(0xFFFF000, 5)

@@ -1,0 +1,58 @@
+"""Unit tests for the MSHR banks."""
+
+import pytest
+
+from repro.memory.mshr import MSHRBank, MSHRFile
+
+
+def test_primary_allocation_and_lookup():
+    bank = MSHRBank(primary_limit=2, secondary_limit=2)
+    ready = bank.allocate(block=5, ready_cycle=100, cycle=0)
+    assert ready == 100
+    # A secondary miss merges into the pending fill.
+    assert bank.lookup(5, 10) == 100
+    assert bank.merged == 1
+
+
+def test_lookup_misses_unknown_block():
+    bank = MSHRBank(primary_limit=2, secondary_limit=2)
+    assert bank.lookup(7, 0) is None
+
+
+def test_entries_expire():
+    bank = MSHRBank(primary_limit=1, secondary_limit=1)
+    bank.allocate(block=5, ready_cycle=50, cycle=0)
+    assert bank.lookup(5, 60) is None  # fill completed, entry retired
+    assert bank.outstanding(60) == 0
+
+
+def test_secondary_limit_counts_stall():
+    bank = MSHRBank(primary_limit=1, secondary_limit=1)
+    bank.allocate(block=5, ready_cycle=100, cycle=0)
+    assert bank.lookup(5, 1) == 100  # first merge OK
+    # Second merge exceeds the limit: completes after the fill retires.
+    assert bank.lookup(5, 2) == 101
+    assert bank.stalls == 1
+
+
+def test_primary_limit_delays_allocation():
+    bank = MSHRBank(primary_limit=1, secondary_limit=0)
+    bank.allocate(block=1, ready_cycle=100, cycle=0)
+    ready = bank.allocate(block=2, ready_cycle=110, cycle=10)
+    assert ready == 110 + (100 - 10)
+    assert bank.stalls == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MSHRBank(primary_limit=0, secondary_limit=1)
+    with pytest.raises(ValueError):
+        MSHRBank(primary_limit=1, secondary_limit=-1)
+
+
+def test_file_aggregates_banks():
+    mshrs = MSHRFile(banks=2, primary_per_bank=1, secondary_per_primary=1)
+    mshrs.bank(0).allocate(block=1, ready_cycle=10, cycle=0)
+    mshrs.bank(0).lookup(1, 0)
+    assert mshrs.merged == 1
+    assert mshrs.stalls == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the store buffer with load forwarding."""
+
+import pytest
+
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+
+
+def _entry(seq, addr, size=4, value=None, ready=0):
+    return StoreBufferEntry(
+        seq=seq, addr=addr, size=size,
+        value=value if value is not None else seq,
+        data_ready_cycle=ready,
+    )
+
+
+def test_full_overlap_forwards():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(1, 0x100))
+    entry, full = buf.search(seq=5, addr=0x100, size=4)
+    assert entry.seq == 1 and full
+    assert buf.forwards == 1
+
+
+def test_partial_overlap_detected():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(1, 0x100, size=4))
+    entry, full = buf.search(seq=5, addr=0x102, size=4)
+    assert entry.seq == 1 and not full
+    assert buf.partial_overlaps == 1
+
+
+def test_search_prefers_youngest_older_store():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(1, 0x100))
+    buf.insert(_entry(3, 0x100))
+    entry, full = buf.search(seq=5, addr=0x100, size=4)
+    assert entry.seq == 3 and full
+
+
+def test_search_ignores_younger_stores():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(7, 0x100))
+    entry, _ = buf.search(seq=5, addr=0x100, size=4)
+    assert entry is None
+
+
+def test_out_of_order_insertion_keeps_seq_order():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(5, 0x100))
+    buf.insert(_entry(2, 0x100))  # executes later, older in program
+    entry, _ = buf.search(seq=9, addr=0x100, size=4)
+    assert entry.seq == 5
+    seqs = [e.seq for e in buf.entries()]
+    assert seqs == [2, 5]
+
+
+def test_duplicate_seq_rejected():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(2, 0x100))
+    with pytest.raises(ValueError):
+        buf.insert(_entry(2, 0x200))
+
+
+def test_squash_younger():
+    buf = StoreBuffer(capacity=8)
+    buf.insert(_entry(1, 0x100))
+    buf.insert(_entry(4, 0x200))
+    buf.squash_younger(3)
+    assert [e.seq for e in buf.entries()] == [1]
+
+
+def test_capacity_enforced():
+    buf = StoreBuffer(capacity=2)
+    buf.insert(_entry(1, 0))
+    buf.insert(_entry(2, 4))
+    assert buf.full
+    with pytest.raises(RuntimeError):
+        buf.insert(_entry(3, 8))
+
+
+def test_remove():
+    buf = StoreBuffer(capacity=4)
+    buf.insert(_entry(1, 0))
+    buf.remove(1)
+    assert len(buf) == 0

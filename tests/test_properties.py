@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for core data structures and the
+simulator's semantic invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core.processor import simulate
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.memdep.tables import TwoBitPredictorTable
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+from repro.trace.dependences import (
+    compute_dependence_info,
+    compute_true_dependences,
+)
+from repro.trace.events import Trace
+from repro.trace.sampling import make_sampling_plan
+
+# ---------------------------------------------------------------------------
+# Random mini-traces: interleaved stores and loads over a tiny address
+# space (to force plenty of genuine dependences), ALU filler, and a
+# final value model that the dependence analysis must agree with.
+# ---------------------------------------------------------------------------
+
+_WORDS = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def mini_traces(draw):
+    length = draw(st.integers(min_value=1, max_value=60))
+    instructions = []
+    memory = {}
+    for seq in range(length):
+        kind = draw(st.sampled_from(("load", "store", "alu")))
+        pc = 4 * (seq % 16)
+        if kind == "store":
+            addr = 0x1000 + 4 * draw(_WORDS)
+            value = draw(st.integers(min_value=0, max_value=99))
+            memory[addr] = value
+            instructions.append(DynInst(
+                seq=seq, pc=pc, op=OpClass.STORE, srcs=(1, 2),
+                addr=addr, value=value,
+            ))
+        elif kind == "load":
+            addr = 0x1000 + 4 * draw(_WORDS)
+            instructions.append(DynInst(
+                seq=seq, pc=pc, op=OpClass.LOAD, dest=3, srcs=(1,),
+                addr=addr, value=memory.get(addr, 0),
+            ))
+        else:
+            instructions.append(DynInst(
+                seq=seq, pc=pc, op=OpClass.IALU, dest=draw(
+                    st.integers(min_value=1, max_value=6)
+                ), srcs=(1,),
+            ))
+    return Trace(instructions, name="hypothesis")
+
+
+@given(mini_traces())
+@settings(max_examples=60, deadline=None)
+def test_dependences_point_at_truly_conflicting_older_stores(trace):
+    deps = compute_true_dependences(trace)
+    for load_seq, store_seq in deps.items():
+        load, store = trace[load_seq], trace[store_seq]
+        assert store_seq < load_seq
+        assert store.is_store and load.is_load
+        assert load.overlaps(store)
+        # No younger conflicting store sits between them.
+        for mid in trace.slice(store_seq + 1, load_seq):
+            if mid.is_store:
+                assert not mid.overlaps(load)
+
+
+@given(mini_traces())
+@settings(max_examples=40, deadline=None)
+def test_dependence_info_consistent_with_plain_dependences(trace):
+    info = compute_dependence_info(trace)
+    deps = compute_true_dependences(trace)
+    assert {k: v.store_seq for k, v in info.items()} == deps
+    # A load whose producing store wrote the same value as before is
+    # stale-equal exactly when the values match.
+    for load_seq, record in info.items():
+        if record.stale_equal:
+            # Premature read value equals the final value: the load's
+            # trace value must equal what was there before the store.
+            assert trace[load_seq].value is not None
+
+
+@given(mini_traces(), st.sampled_from(list(SpeculationPolicy)))
+@settings(max_examples=25, deadline=None)
+def test_simulator_commits_everything_under_every_policy(trace, policy):
+    """Semantic invariant: speculation changes timing, never whether
+    instructions commit. Every instruction commits exactly once."""
+    scheduling = (
+        SchedulingModel.AS
+        if policy in (SpeculationPolicy.NO, SpeculationPolicy.NAIVE)
+        and len(trace) % 2
+        else SchedulingModel.NAS
+    )
+    if scheduling is SchedulingModel.AS and policy not in (
+        SpeculationPolicy.NO, SpeculationPolicy.NAIVE
+    ):
+        scheduling = SchedulingModel.NAS
+    config = continuous_window_128(scheduling, policy)
+    result = simulate(config, trace)
+    summary = trace.summary()
+    assert result.committed == len(trace)
+    assert result.committed_loads == summary.loads
+    assert result.committed_stores == summary.stores
+    assert result.cycles > 0
+
+
+# ---------------------------------------------------------------------------
+# Structure-level properties
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 20),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_ras_is_a_bounded_stack(addresses):
+    ras = ReturnAddressStack(entries=16)
+    for addr in addresses:
+        ras.push(addr)
+    kept = addresses[-16:]
+    for expected in reversed(kept):
+        assert ras.pop() == expected
+    assert ras.pop() is None
+
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 16), st.booleans()),
+                min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_bimodal_counters_stay_in_range(updates):
+    predictor = BimodalPredictor(entries=256)
+    for pc, taken in updates:
+        predictor.update(pc << 2, taken)
+        assert predictor.predict(pc << 2) in (True, False)
+    assert all(0 <= c <= 3 for c in predictor._counters)
+
+
+@given(st.lists(st.integers(0, 2 ** 14), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_predictor_table_occupancy_bounded(pcs):
+    table = TwoBitPredictorTable(entries=64, assoc=2)
+    for pc in pcs:
+        table.record_misspeculation(pc << 2)
+    assert table.occupancy() <= 64
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 63)),
+                min_size=1, max_size=64, unique_by=lambda t: t[0]))
+@settings(max_examples=50, deadline=None)
+def test_store_buffer_search_matches_linear_scan(stores):
+    buf = StoreBuffer(capacity=128)
+    for seq, word in stores:
+        buf.insert(StoreBufferEntry(
+            seq=seq, addr=0x100 + 4 * word, size=4, value=seq,
+            data_ready_cycle=0,
+        ))
+    probe_seq = 500
+    probe_addr = 0x100 + 4 * 10
+    entry, full = buf.search(probe_seq, probe_addr, 4)
+    expected = [
+        (seq, word) for seq, word in stores
+        if seq < probe_seq and word == 10
+    ]
+    if expected:
+        assert entry is not None and full
+        assert entry.seq == max(seq for seq, _ in expected)
+    else:
+        assert entry is None
+
+
+@given(
+    st.integers(min_value=1, max_value=100_000),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=1, max_value=5_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_sampling_plans_partition_the_trace(
+    length, timing, functional, observation
+):
+    plan = make_sampling_plan(length, timing, functional, observation)
+    covered = 0
+    for segment in plan.segments:
+        assert segment.start == covered
+        covered = segment.stop
+    assert covered == length
+    assert plan.segments[0].timing

@@ -1,0 +1,58 @@
+"""Additional split-window model tests: determinism, latency, geometry."""
+
+from repro.config import (
+    split_window,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.splitwindow import simulate_split
+
+AS = SchedulingModel.AS
+NAV = SpeculationPolicy.NAIVE
+
+
+def test_split_is_deterministic(recurrence_trace):
+    a = simulate_split(split_window(AS, NAV), recurrence_trace)
+    b = simulate_split(split_window(AS, NAV), recurrence_trace)
+    assert a.cycles == b.cycles
+    assert a.misspeculations == b.misspeculations
+
+
+def test_scheduler_latency_delays_posting(recurrence_trace):
+    """With a slower address scheduler, posted addresses become visible
+    later, so the split window miss-speculates at least as much."""
+    fast = simulate_split(
+        split_window(AS, NAV, addr_scheduler_latency=0),
+        recurrence_trace,
+    )
+    slow = simulate_split(
+        split_window(AS, NAV, addr_scheduler_latency=2),
+        recurrence_trace,
+    )
+    assert slow.misspeculations >= fast.misspeculations
+
+
+def test_task_size_one_extreme(memcopy_trace):
+    result = simulate_split(
+        split_window(AS, NAV, num_units=2, task_size=8), memcopy_trace
+    )
+    assert result.committed == len(memcopy_trace)
+
+
+def test_split_counts_match_summary(stack_calls_trace):
+    result = simulate_split(
+        split_window(AS, NAV), stack_calls_trace
+    )
+    summary = stack_calls_trace.summary()
+    assert result.committed_loads == summary.loads
+    assert result.committed_stores == summary.stores
+    assert result.committed_branches == summary.branches
+
+
+def test_empty_ish_trace():
+    from repro.isa.instruction import DynInst
+    from repro.isa.opcodes import OpClass
+    from repro.trace.events import Trace
+    trace = Trace([DynInst(seq=0, pc=0, op=OpClass.IALU, dest=1)])
+    result = simulate_split(split_window(AS, NAV), trace)
+    assert result.committed == 1

@@ -1,0 +1,77 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.core.result import SimResult
+from repro.stats.format import format_percent, format_ratio, render_table
+from repro.stats.summary import (
+    average_speedup,
+    geometric_mean,
+    suite_speedups,
+)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    assert geometric_mean([1, 1, 1]) == 1.0
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_average_speedup():
+    results = {"a": SimResult(cycles=10, committed=40)}
+    baselines = {"a": SimResult(cycles=10, committed=20)}
+    assert average_speedup(results, baselines) == pytest.approx(2.0)
+
+
+def test_suite_speedups():
+    results = {
+        "a": SimResult(cycles=10, committed=20),
+        "b": SimResult(cycles=10, committed=60),
+    }
+    baselines = {
+        "a": SimResult(cycles=10, committed=10),
+        "b": SimResult(cycles=10, committed=20),
+    }
+    means = suite_speedups(
+        results, baselines, {"a": "int", "b": "fp"}
+    )
+    assert means["int"] == pytest.approx(2.0)
+    assert means["fp"] == pytest.approx(3.0)
+
+
+def test_mean_and_spread():
+    from repro.stats import mean_and_spread
+    assert mean_and_spread([4.0]) == (4.0, 0.0)
+    mean, spread = mean_and_spread([1.0, 3.0])
+    assert mean == 2.0
+    assert spread == pytest.approx(math.sqrt(2))
+    with pytest.raises(ValueError):
+        mean_and_spread([])
+
+
+def test_formatters():
+    assert format_percent(0.0731) == "7.3%"
+    assert format_percent(0.5, digits=0) == "50%"
+    assert format_ratio(1.197) == "1.20x"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ("name", "value"),
+        [("x", 1), ("longer", 23)],
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) == {"-"}
+    assert lines[2].split() == ["x", "1"]
+    assert lines[3].split() == ["longer", "23"]
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(("a", "b"), [("only-one",)])

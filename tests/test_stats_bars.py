@@ -1,0 +1,39 @@
+"""Unit tests for ASCII bar rendering."""
+
+import pytest
+
+from repro.stats.bars import render_bars
+
+
+def test_simple_bars_scale_to_peak():
+    text = render_bars({"a": 1.0, "b": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_baseline_bars_show_direction():
+    text = render_bars(
+        {"up": 1.2, "down": 0.8, "flat": 1.0},
+        width=20, baseline=1.0,
+    )
+    up, down, flat = text.splitlines()
+    assert "#" in up and "-" not in up
+    assert "-" in down and "#" not in down
+    assert "#" not in flat and "-" not in flat
+
+
+def test_values_printed():
+    text = render_bars({"x": 1.234}, fmt="{:.1f}", unit="x")
+    assert "1.2x" in text
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        render_bars({})
+
+
+def test_zero_values_handled():
+    text = render_bars({"a": 0.0, "b": 0.0})
+    assert text.count("|") == 4

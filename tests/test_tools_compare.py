@@ -1,0 +1,70 @@
+"""Tests for the regression-compare tool."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+_TOOL = pathlib.Path(__file__).parent.parent / "tools" / "compare_runs.py"
+spec = importlib.util.spec_from_file_location("compare_runs", _TOOL)
+compare_runs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_runs)
+
+
+def _artifact(ipc):
+    return {
+        "experiment": "Figure X",
+        "data": {"bench": {"ipc": ipc, "name": "x"}, "series": [1, 2]},
+    }
+
+
+def test_leaves_extracts_numbers():
+    leaves = dict(compare_runs._leaves(_artifact(1.5)["data"]))
+    assert leaves == {"bench.ipc": 1.5, "series[0]": 1.0,
+                      "series[1]": 2.0}
+
+
+def test_compare_artifact_thresholds():
+    rows = list(compare_runs.compare_artifact(
+        _artifact(1.0), _artifact(1.2), threshold=0.1
+    ))
+    assert len(rows) == 1
+    path, old, new, delta = rows[0]
+    assert path == "bench.ipc"
+    assert abs(delta - 0.2) < 1e-9
+    assert not list(compare_runs.compare_artifact(
+        _artifact(1.0), _artifact(1.04), threshold=0.1
+    ))
+
+
+def test_main_end_to_end(tmp_path, capsys):
+    before = tmp_path / "before"
+    after = tmp_path / "after"
+    before.mkdir()
+    after.mkdir()
+    (before / "fig.json").write_text(json.dumps(_artifact(1.0)))
+    (after / "fig.json").write_text(json.dumps(_artifact(2.0)))
+    rc = compare_runs.main([str(before), str(after)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "bench.ipc" in out and "+100.0%" in out
+
+
+def test_main_no_changes(tmp_path, capsys):
+    d1 = tmp_path / "a"
+    d2 = tmp_path / "b"
+    d1.mkdir()
+    d2.mkdir()
+    (d1 / "fig.json").write_text(json.dumps(_artifact(1.0)))
+    (d2 / "fig.json").write_text(json.dumps(_artifact(1.0)))
+    rc = compare_runs.main([str(d1), str(d2)])
+    assert rc == 0
+    assert "no changes" in capsys.readouterr().out
+
+
+def test_main_missing_files(tmp_path):
+    d1 = tmp_path / "a"
+    d2 = tmp_path / "b"
+    d1.mkdir()
+    d2.mkdir()
+    assert compare_runs.main([str(d1), str(d2)]) == 1

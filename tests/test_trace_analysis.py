@@ -1,0 +1,47 @@
+"""Unit tests for trace analytics."""
+
+from repro.isa.opcodes import OpClass
+from repro.trace.analysis import compare_profiles, profile_trace
+from repro.workloads import get_trace, profile_for
+
+
+def test_profile_of_kernel(recurrence_trace):
+    profile = profile_trace(recurrence_trace)
+    assert profile.instructions == len(recurrence_trace)
+    assert 0.1 < profile.load_fraction < 0.2
+    assert profile.dependent_load_fraction > 0.9
+    assert profile.dependence_distance_buckets["<8"] > 0
+    assert profile.data_working_set_blocks > 1
+    assert profile.static_pcs[OpClass.LOAD] == 1
+
+
+def test_profile_matches_summary():
+    trace = get_trace("132.ijpeg", 4000)
+    profile = profile_trace(trace)
+    summary = trace.summary()
+    assert profile.load_fraction == summary.load_fraction
+    assert profile.store_fraction == summary.store_fraction
+
+
+def test_fp_fraction_detects_suite():
+    fp = profile_trace(get_trace("102.swim", 3000))
+    integer = profile_trace(get_trace("129.compress", 3000))
+    assert fp.fp_fraction > 0.1
+    assert integer.fp_fraction == 0.0
+
+
+def test_compare_profiles():
+    trace = get_trace("132.ijpeg", 4000)
+    profile = profile_trace(trace)
+    target = profile_for("132.ijpeg")
+    errors = compare_profiles(
+        profile, target.load_fraction, target.store_fraction
+    )
+    assert errors["loads"] < 0.06
+    assert errors["stores"] < 0.06
+
+
+def test_render_is_text(recurrence_trace):
+    text = profile_trace(recurrence_trace).render()
+    assert "dependence distances" in text
+    assert recurrence_trace.name in text

@@ -1,0 +1,62 @@
+"""Unit tests for the rewindable trace cursor."""
+
+import pytest
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.trace.cursor import TraceCursor
+from repro.trace.events import Trace
+
+
+def _trace(n=10):
+    return Trace([DynInst(seq=i, pc=4 * i, op=OpClass.IALU)
+                  for i in range(n)])
+
+
+def test_advance_and_peek():
+    cursor = TraceCursor(_trace())
+    assert cursor.peek().seq == 0
+    assert cursor.peek(3).seq == 3
+    assert cursor.advance().seq == 0
+    assert cursor.position == 1
+    assert cursor.remaining() == 9
+
+
+def test_exhaustion():
+    cursor = TraceCursor(_trace(2))
+    cursor.advance()
+    cursor.advance()
+    assert cursor.exhausted
+    assert cursor.peek() is None
+    with pytest.raises(StopIteration):
+        cursor.advance()
+
+
+def test_rewind_replays():
+    cursor = TraceCursor(_trace())
+    for _ in range(5):
+        cursor.advance()
+    cursor.rewind_to(2)
+    assert cursor.advance().seq == 2
+
+
+def test_rewind_bounds():
+    cursor = TraceCursor(_trace(), start=3)
+    cursor.advance()
+    with pytest.raises(ValueError):
+        cursor.rewind_to(2)  # before segment start
+    with pytest.raises(ValueError):
+        cursor.rewind_to(9)  # ahead of the cursor
+
+
+def test_subrange():
+    cursor = TraceCursor(_trace(10), start=4, stop=7)
+    seqs = []
+    while not cursor.exhausted:
+        seqs.append(cursor.advance().seq)
+    assert seqs == [4, 5, 6]
+
+
+def test_bad_range():
+    with pytest.raises(ValueError):
+        TraceCursor(_trace(5), start=4, stop=2)

@@ -1,0 +1,106 @@
+"""Unit tests for true-dependence extraction."""
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.trace.dependences import (
+    compute_dependence_info,
+    compute_true_dependences,
+    dependence_distance_histogram,
+    loads_with_dependence_within,
+    static_dependence_pairs,
+)
+from repro.trace.events import Trace
+
+
+def _store(seq, addr, value, pc=None):
+    return DynInst(seq=seq, pc=pc if pc is not None else 4 * seq,
+                   op=OpClass.STORE, addr=addr, value=value)
+
+
+def _load(seq, addr, value=0, pc=None):
+    return DynInst(seq=seq, pc=pc if pc is not None else 4 * seq,
+                   op=OpClass.LOAD, dest=1, addr=addr, value=value)
+
+
+def test_youngest_older_store_wins():
+    trace = Trace([
+        _store(0, 0x100, 1),
+        _store(1, 0x100, 2),
+        _load(2, 0x100, 2),
+    ])
+    assert compute_true_dependences(trace) == {2: 1}
+
+
+def test_no_dependence_absent():
+    trace = Trace([_store(0, 0x100, 1), _load(1, 0x200)])
+    assert compute_true_dependences(trace) == {}
+
+
+def test_word_granularity_overlap():
+    trace = Trace([
+        _store(0, 0x100, 1),
+        _load(1, 0x100),  # same word
+        _load(2, 0x104),  # next word: no dep
+    ])
+    deps = compute_true_dependences(trace)
+    assert deps == {1: 0}
+
+
+def test_multiword_access_spans():
+    trace = Trace([
+        _store(0, 0x104, 9),
+        DynInst(seq=1, pc=4, op=OpClass.LOAD, dest=1, addr=0x100, size=8),
+    ])
+    assert compute_true_dependences(trace) == {1: 0}
+
+
+def test_dependence_info_stale_values():
+    trace = Trace([
+        _store(0, 0x100, 5),
+        _store(1, 0x100, 5),  # silent store: same value
+        _load(2, 0x100, 5),
+        _store(3, 0x200, 1),
+        _store(4, 0x200, 2),
+        _load(5, 0x200, 2),
+    ])
+    info = compute_dependence_info(trace)
+    assert info[2].store_seq == 1 and info[2].stale_equal
+    assert info[5].store_seq == 4 and not info[5].stale_equal
+
+
+def test_distance_histogram():
+    trace = Trace([
+        _store(0, 0x100, 1),
+        _load(1, 0x100),
+        _store(2, 0x104, 2),
+        _load(3, 0x104),
+    ])
+    assert dependence_distance_histogram(trace) == {1: 2}
+
+
+def test_loads_within_window():
+    trace = Trace([
+        _store(0, 0x100, 1),
+        _load(1, 0x100),
+        _load(2, 0x300),
+    ])
+    assert loads_with_dependence_within(trace, window=4) == 0.5
+
+
+def test_static_pairs_aggregate_by_pc():
+    trace = Trace([
+        _store(0, 0x100, 1, pc=0x10),
+        _load(1, 0x100, pc=0x20),
+        _store(2, 0x104, 2, pc=0x10),
+        _load(3, 0x104, pc=0x20),
+    ])
+    pairs = static_dependence_pairs(trace)
+    assert pairs == {(0x20, 0x10): 2}
+
+
+def test_kernel_recurrence_every_load_depends(recurrence_trace):
+    deps = compute_true_dependences(recurrence_trace)
+    loads = sum(1 for i in recurrence_trace if i.is_load)
+    # Every load except a[0]'s (initialised memory) depends on the
+    # previous iteration's store.
+    assert len(deps) == loads - 1

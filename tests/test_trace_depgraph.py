@@ -1,0 +1,51 @@
+"""Tests for the DOT dependence-graph exporter."""
+
+import pytest
+
+from repro.trace.depgraph import trace_to_dot
+
+
+def test_dot_structure(recurrence_trace):
+    dot = trace_to_dot(recurrence_trace, start=10, stop=30)
+    assert dot.startswith("digraph trace {")
+    assert dot.rstrip().endswith("}")
+    assert "n10 " in dot and "n29 " in dot
+    assert "n30 " not in dot  # outside region
+
+
+def test_register_edges_present(recurrence_trace):
+    dot = trace_to_dot(recurrence_trace, start=4, stop=20)
+    # The recurrence body chains registers every iteration.
+    assert "->" in dot
+
+
+def test_memory_edges_marked(recurrence_trace):
+    dot = trace_to_dot(recurrence_trace, start=4, stop=30)
+    assert "style=dashed color=red" in dot
+
+
+def test_memory_edges_optional(recurrence_trace):
+    dot = trace_to_dot(
+        recurrence_trace, start=4, stop=30, include_memory_edges=False
+    )
+    assert "style=dashed" not in dot
+
+
+def test_mem_nodes_annotated(memcopy_trace):
+    dot = trace_to_dot(memcopy_trace, start=0, stop=24)
+    assert "@0x" in dot
+    assert "house" in dot  # load/store shapes
+
+
+def test_bad_region(recurrence_trace):
+    with pytest.raises(ValueError):
+        trace_to_dot(recurrence_trace, start=50, stop=10)
+
+
+def test_edges_do_not_cross_region(recurrence_trace):
+    """Producers before the region never appear as nodes or edges."""
+    dot = trace_to_dot(recurrence_trace, start=100, stop=120)
+    for line in dot.splitlines():
+        if "->" in line:
+            left = int(line.strip().split("->")[0].strip()[1:])
+            assert 100 <= left < 120

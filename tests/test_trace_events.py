@@ -1,0 +1,50 @@
+"""Unit tests for the Trace container."""
+
+import pytest
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.trace.events import Trace
+
+
+def _mini_trace():
+    return Trace(
+        [
+            DynInst(seq=0, pc=0, op=OpClass.IALU, dest=1),
+            DynInst(seq=1, pc=4, op=OpClass.LOAD, dest=2, addr=0x100),
+            DynInst(seq=2, pc=8, op=OpClass.STORE, addr=0x104, value=7,
+                    srcs=(1, 2)),
+        ],
+        name="mini",
+        suite="int",
+    )
+
+
+def test_sequence_numbers_validated():
+    with pytest.raises(ValueError):
+        Trace([DynInst(seq=5, pc=0, op=OpClass.IALU)])
+
+
+def test_indexing_and_iteration():
+    trace = _mini_trace()
+    assert len(trace) == 3
+    assert trace[1].is_load
+    assert [i.seq for i in trace] == [0, 1, 2]
+
+
+def test_summary():
+    summary = _mini_trace().summary()
+    assert summary.loads == 1 and summary.stores == 1
+    assert summary.instructions == 3
+
+
+def test_slice():
+    trace = _mini_trace()
+    assert [i.seq for i in trace.slice(1, 3)] == [1, 2]
+
+
+def test_from_iterable():
+    trace = Trace.from_iterable(
+        iter([DynInst(seq=0, pc=0, op=OpClass.NOP)]), name="x"
+    )
+    assert len(trace) == 1 and trace.name == "x"

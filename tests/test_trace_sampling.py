@@ -1,0 +1,60 @@
+"""Unit tests for sampling plans."""
+
+import pytest
+
+from repro.trace.sampling import (
+    SamplingPlan,
+    Segment,
+    make_sampling_plan,
+    parse_ratio,
+)
+
+
+def test_full_timing_plan():
+    plan = make_sampling_plan(1000, observation=400)
+    assert plan.timing_instructions() == 1000
+    assert plan.functional_instructions() == 0
+
+
+def test_alternating_plan():
+    plan = make_sampling_plan(
+        1000, timing_ratio=1, functional_ratio=2, observation=100
+    )
+    kinds = [s.timing for s in plan.segments]
+    assert kinds[0] is True and kinds[1] is False
+    assert plan.timing_instructions() + plan.functional_instructions() \
+        == 1000
+    # 1:2 ratio: roughly a third of instructions timed.
+    assert plan.timing_instructions() == 400
+
+
+def test_segments_cover_trace_contiguously():
+    plan = make_sampling_plan(
+        5555, timing_ratio=1, functional_ratio=3, observation=250
+    )
+    pos = 0
+    for segment in plan.segments:
+        assert segment.start == pos
+        pos = segment.stop
+    assert pos == 5555
+
+
+def test_segment_validation():
+    with pytest.raises(ValueError):
+        Segment(5, 5, timing=True)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        make_sampling_plan(0)
+    with pytest.raises(ValueError):
+        make_sampling_plan(10, timing_ratio=0)
+    with pytest.raises(ValueError):
+        make_sampling_plan(10, observation=0)
+
+
+def test_parse_ratio():
+    assert parse_ratio("1:2") == (1, 2)
+    assert parse_ratio("1:10") == (1, 10)
+    assert parse_ratio("N/A") == (1, 0)
+    assert parse_ratio(None) == (1, 0)

@@ -1,0 +1,103 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import fp_reg, int_reg
+from repro.vm.assembler import AssemblerError, assemble
+
+
+def test_basic_instructions():
+    program = assemble("""
+        li   r1, 10
+        add  r2, r1, r1
+        lw   r3, 4(r2)
+        sw   r3, -8(r2)
+        halt
+    """)
+    assert len(program) == 5
+    li, add, lw, sw, halt = program.instructions
+    assert li.op is OpClass.IALU and li.imm == 10
+    assert add.dest == int_reg(2) and add.srcs == (int_reg(1), int_reg(1))
+    assert lw.op is OpClass.LOAD and lw.imm == 4
+    assert sw.op is OpClass.STORE and sw.imm == -8
+    assert sw.srcs == (int_reg(2), int_reg(3))  # (base, value)
+    assert halt.mnemonic == "halt"
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    start:
+        addi r1, r1, 1
+        blt  r1, r2, start
+        j    end
+        nop
+    end:
+        halt
+    """)
+    assert program.label_pc("start") == 0
+    assert program.label_pc("end") == 16
+    blt = program.instructions[1]
+    assert blt.op is OpClass.BRANCH and blt.imm == 0
+    jmp = program.instructions[2]
+    assert jmp.op is OpClass.JUMP and jmp.imm == 16
+
+
+def test_label_on_same_line():
+    program = assemble("loop: addi r1, r1, 1\n j loop")
+    assert program.label_pc("loop") == 0
+
+
+def test_fp_registers_and_ops():
+    program = assemble("""
+        fadd  f2, f0, f1
+        fmuld f3, f2, f2
+        flw   f4, 0(r1)
+        fsw   f4, 4(r1)
+    """)
+    fadd, fmuld, flw, fsw = program.instructions
+    assert fadd.op is OpClass.FADD and fadd.dest == fp_reg(2)
+    assert fmuld.op is OpClass.FMUL_DP
+    assert flw.op is OpClass.LOAD and flw.dest == fp_reg(4)
+    assert fsw.op is OpClass.STORE
+
+
+def test_call_ret():
+    program = assemble("""
+        call fn
+        halt
+    fn:
+        ret
+    """)
+    call, _, ret = program.instructions
+    assert call.op is OpClass.CALL and call.imm == 8
+    assert call.dest == int_reg(31)
+    assert ret.op is OpClass.RETURN and ret.srcs == (int_reg(31),)
+
+
+def test_comments_stripped():
+    program = assemble("""
+        li r1, 1   # comment
+        li r2, 2   ; another comment
+    """)
+    assert len(program) == 2
+
+
+def test_hex_immediates():
+    program = assemble("li r1, 0x1000")
+    assert program.instructions[0].imm == 0x1000
+
+
+def test_errors():
+    with pytest.raises(AssemblerError):
+        assemble("bogus r1, r2")
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2")  # wrong operand count
+    with pytest.raises(AssemblerError):
+        assemble("lw r1, nonsense")
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere")
+    with pytest.raises(AssemblerError):
+        assemble("li r99, 1")
+    with pytest.raises(AssemblerError):
+        assemble("x: nop\nx: nop")  # duplicate label

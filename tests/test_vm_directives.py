@@ -1,0 +1,64 @@
+"""Tests for assembler data directives."""
+
+import pytest
+
+from repro.vm import AssemblerError, assemble_with_memory, run_program
+
+
+def test_word_directive_seeds_memory():
+    program, memory = assemble_with_memory("""
+        .word 0x100, 11
+        .word 0x200, 1, 2, 3
+        lw r1, 0(r0)
+        halt
+    """)
+    assert memory == {
+        0x100: 11, 0x200: 1, 0x204: 2, 0x208: 3,
+    }
+    assert len(program) == 2  # directives emit no instructions
+
+
+def test_run_program_uses_directive_image():
+    trace = run_program("""
+        .word 0x100, 42
+        li r1, 0x100
+        lw r2, 0(r1)
+        halt
+    """)
+    assert trace[1].value == 42
+
+
+def test_explicit_memory_overrides_directives():
+    trace = run_program(
+        ".word 0x100, 42\nli r1, 0x100\nlw r2, 0(r1)\nhalt",
+        memory={0x100: 7},
+    )
+    assert trace[1].value == 7
+
+
+def test_directives_do_not_shift_labels():
+    program, _ = assemble_with_memory("""
+        .word 0x400, 9
+    start:
+        addi r1, r1, 1
+        .word 0x404, 10
+        j start
+    """)
+    assert program.label_pc("start") == 0
+    assert program.instructions[1].imm == 0
+
+
+def test_word_validation():
+    with pytest.raises(AssemblerError):
+        assemble_with_memory(".word 0x100")  # missing value
+    with pytest.raises(AssemblerError):
+        assemble_with_memory(".word 0x101, 5")  # misaligned
+    with pytest.raises(AssemblerError):
+        assemble_with_memory(".word nope, 5")
+    with pytest.raises(AssemblerError):
+        assemble_with_memory(".data 0x100, 5")  # unknown directive
+
+
+def test_values_masked_to_32_bits():
+    _, memory = assemble_with_memory(".word 0x100, 0x1FFFFFFFF")
+    assert memory[0x100] == 0xFFFFFFFF

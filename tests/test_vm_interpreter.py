@@ -1,0 +1,125 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.vm.interpreter import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    run_program,
+)
+from repro.vm.assembler import assemble
+
+
+def test_arithmetic_and_memory():
+    trace = run_program("""
+        li  r1, 6
+        li  r2, 7
+        mul r3, r1, r2
+        li  r4, 0x100
+        sw  r3, 0(r4)
+        lw  r5, 0(r4)
+        halt
+    """)
+    store = trace[4]
+    load = trace[5]
+    assert store.value == 42 and store.addr == 0x100
+    assert load.value == 42
+
+
+def test_loop_executes_correct_count():
+    trace = run_program("""
+        li r1, 0
+        li r2, 5
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    """)
+    branches = [i for i in trace if i.op is OpClass.BRANCH]
+    assert len(branches) == 5
+    assert [b.taken for b in branches] == [True] * 4 + [False]
+
+
+def test_branch_targets_recorded():
+    trace = run_program("""
+        li r1, 1
+        beq r1, r0, skip
+        addi r2, r2, 1
+    skip:
+        halt
+    """)
+    branch = trace[1]
+    assert branch.taken is False
+    assert branch.target == branch.pc + 4
+
+
+def test_call_and_return_flow():
+    trace = run_program("""
+        li r1, 3
+        call double
+        halt
+    double:
+        add r2, r1, r1
+        ret
+    """)
+    ops = [i.op for i in trace]
+    assert ops == [
+        OpClass.IALU, OpClass.CALL, OpClass.IALU, OpClass.RETURN
+    ]
+    ret = trace[3]
+    assert ret.target == trace[1].pc + 4
+
+
+def test_division_by_zero_is_zero():
+    trace = run_program("""
+        li r1, 5
+        div r2, r1, r0
+        halt
+    """)
+    assert trace[1].value == 0
+
+
+def test_negative_arithmetic():
+    trace = run_program("""
+        li r1, 3
+        li r2, 10
+        sub r3, r1, r2
+        slt r4, r3, r0
+        halt
+    """)
+    assert trace[3].value == 1  # -7 < 0
+
+
+def test_memory_initialisation():
+    trace = run_program(
+        "li r1, 0x200\nlw r2, 0(r1)\nhalt", memory={0x200: 99}
+    )
+    assert trace[1].value == 99
+
+
+def test_instruction_limit():
+    with pytest.raises(ExecutionLimitExceeded):
+        run_program("loop: j loop", max_instructions=100)
+
+
+def test_pc_falls_off_end_stops():
+    trace = run_program("li r1, 1\nli r2, 2")
+    assert len(trace) == 2
+
+
+def test_word_addressing_masks_low_bits():
+    interp = Interpreter(assemble("li r1, 0x103\nlw r2, 0(r1)\nhalt"),
+                         memory={0x100: 7})
+    trace = interp.run()
+    assert trace[1].addr == 0x100 and trace[1].value == 7
+
+
+def test_trace_register_dependences_recorded():
+    trace = run_program("""
+        li  r1, 4
+        add r2, r1, r1
+        halt
+    """)
+    assert trace[1].srcs == (1, 1)
+    assert trace[1].dest == 2

@@ -1,0 +1,41 @@
+"""Unit tests for the workload catalog."""
+
+from repro.trace.events import Trace
+from repro.workloads.catalog import (
+    clear_cache,
+    get_dependences,
+    get_trace,
+)
+
+
+def test_get_trace_by_full_and_short_name():
+    a = get_trace("126.gcc", 2000)
+    b = get_trace("126", 2000)
+    assert isinstance(a, Trace) and len(a) == 2000
+    assert len(b) == 2000
+
+
+def test_trace_caching_returns_same_object():
+    a = get_trace("102.swim", 1500)
+    b = get_trace("102.swim", 1500)
+    assert a is b
+    clear_cache()
+    c = get_trace("102.swim", 1500)
+    assert c is not a
+
+
+def test_kernel_via_catalog():
+    trace = get_trace("recurrence", 50_000)
+    assert trace.name == "recurrence"
+
+
+def test_dependences_cached():
+    trace = get_trace("129.compress", 1500)
+    a = get_dependences(trace)
+    b = get_dependences(trace)
+    assert a is b
+
+
+def test_suite_tag_present():
+    assert get_trace("126.gcc", 1000).suite == "int"
+    assert get_trace("102.swim", 1000).suite == "fp"

@@ -1,0 +1,83 @@
+"""Unit tests for the hand-written kernels."""
+
+import pytest
+
+from repro.trace.dependences import compute_true_dependences
+from repro.workloads.catalog import kernel_trace
+from repro.workloads.kernels import KERNELS
+from repro.workloads.kernels.memcopy import memcopy
+
+
+def test_all_kernels_run():
+    for name in KERNELS:
+        trace = kernel_trace(name)
+        assert len(trace) > 100, name
+
+
+def test_recurrence_dependence_structure(recurrence_trace):
+    """Figure 7's loop: each load depends on the previous iteration's
+    store, exactly one body length apart."""
+    deps = compute_true_dependences(recurrence_trace)
+    distances = {load - store for load, store in deps.items()}
+    # Store is 2 slots after the load within the 7-instruction body, so
+    # the next iteration's load is exactly 5 instructions downstream.
+    assert distances == {5}
+
+
+def test_recurrence_values():
+    trace = kernel_trace("recurrence", n=10, base=0x1000, k=3)
+    stores = [i for i in trace if i.is_store]
+    # a[i] = a[i-1] + 3, a[0] = 1 -> 4, 7, 10, ...
+    assert [s.value for s in stores] == [1 + 3 * i for i in range(1, 10)]
+
+
+def test_memcopy_no_true_dependences(memcopy_trace):
+    assert compute_true_dependences(memcopy_trace) == {}
+
+
+def test_memcopy_copies_values():
+    trace = kernel_trace("memcopy", words=16, src=0x4000, dst=0x8000)
+    loads = [i for i in trace if i.is_load]
+    stores = [i for i in trace if i.is_store]
+    assert len(loads) == len(stores) == 16
+    for load, store in zip(loads, stores):
+        assert load.value == store.value
+
+
+def test_memcopy_rejects_overlap():
+    with pytest.raises(ValueError):
+        memcopy(words=64, src=0x1000, dst=0x1010)
+
+
+def test_stack_calls_dependences_are_short_and_stable(stack_calls_trace):
+    deps = compute_true_dependences(stack_calls_trace)
+    assert deps
+    distances = [load - store for load, store in deps.items()]
+    assert max(distances) <= 8  # caller-store to callee-load
+
+
+def test_hashtable_collisions_create_dependences():
+    trace = kernel_trace("hashtable", updates=256, collide_every=16)
+    deps = compute_true_dependences(trace)
+    # Read-modify-write within an iteration plus forced collisions.
+    assert len(deps) > 0
+
+
+def test_pointer_chase_loads_chain():
+    trace = kernel_trace("pointer_chase", nodes=32, hops=64)
+    loads = [i for i in trace if i.is_load]
+    # Two loads per hop (payload + next pointer).
+    assert len(loads) == 2 * 64
+
+
+def test_reduction_mixes_fp_classes(reduction_trace):
+    from repro.isa.opcodes import OpClass
+    ops = {i.op for i in reduction_trace}
+    assert OpClass.FMUL_DP in ops
+    assert OpClass.FDIV_DP in ops
+    assert OpClass.FADD in ops
+
+
+def test_unknown_kernel():
+    with pytest.raises(KeyError):
+        kernel_trace("no_such_kernel")

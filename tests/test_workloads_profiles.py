@@ -1,0 +1,52 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.workloads.profiles import WorkloadProfile
+
+
+def _profile(**overrides):
+    params = dict(
+        name="x.test",
+        suite="int",
+        instruction_count_millions=100.0,
+        load_fraction=0.25,
+        store_fraction=0.10,
+        sampling_ratio="1:2",
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def test_valid_profile():
+    profile = _profile()
+    assert profile.short_name == "x"
+    assert profile.suite == "int"
+
+
+def test_bad_suite():
+    with pytest.raises(ValueError):
+        _profile(suite="vector")
+
+
+def test_fraction_bounds():
+    with pytest.raises(ValueError):
+        _profile(load_fraction=1.5)
+    with pytest.raises(ValueError):
+        _profile(dep_load_fraction=-0.1)
+    with pytest.raises(ValueError):
+        _profile(random_hot_fraction=1.2)
+
+
+def test_memory_fractions_cannot_dominate():
+    with pytest.raises(ValueError):
+        _profile(load_fraction=0.6, store_fraction=0.4)
+
+
+def test_shape_bounds():
+    with pytest.raises(ValueError):
+        _profile(body_size=4)
+    with pytest.raises(ValueError):
+        _profile(trip_count=1)
+    with pytest.raises(ValueError):
+        _profile(num_loops=0)

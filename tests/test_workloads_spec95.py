@@ -1,0 +1,65 @@
+"""Unit tests for the SPEC'95 calibration table."""
+
+import pytest
+
+from repro.workloads.spec95 import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SPEC95_PROFILES,
+    profile_for,
+)
+
+
+def test_all_eighteen_present():
+    assert len(INT_BENCHMARKS) == 8
+    assert len(FP_BENCHMARKS) == 10
+    assert len(ALL_BENCHMARKS) == 18
+
+
+def test_lookup_by_short_and_full_name():
+    assert profile_for("126.gcc") is profile_for("126")
+    assert profile_for("102.swim").suite == "fp"
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        profile_for("999.nonesuch")
+
+
+def test_table1_fractions_match_paper():
+    """Spot-check calibration values against the paper's Table 1."""
+    expected = {
+        "099.go": (0.209, 0.073, None),
+        "126.gcc": (0.243, 0.175, "1:2"),
+        "147.vortex": (0.263, 0.273, "1:2"),
+        "102.swim": (0.270, 0.066, "1:2"),
+        "107.mgrid": (0.466, 0.030, None),
+        "145.fpppp": (0.488, 0.175, "1:2"),
+        "125.turb3d": (0.213, 0.146, "1:10"),
+    }
+    for name, (loads, stores, ratio) in expected.items():
+        profile = profile_for(name)
+        assert profile.load_fraction == pytest.approx(loads)
+        assert profile.store_fraction == pytest.approx(stores)
+        assert profile.sampling_ratio == ratio
+
+
+def test_suite_membership():
+    for name in INT_BENCHMARKS:
+        assert profile_for(name).suite == "int"
+    for name in FP_BENCHMARKS:
+        assert profile_for(name).suite == "fp"
+
+
+def test_fp_profiles_have_fp_compute():
+    for name in FP_BENCHMARKS:
+        assert profile_for(name).fp_compute_fraction > 0.5
+    for name in INT_BENCHMARKS:
+        assert profile_for(name).fp_compute_fraction == 0.0
+
+
+def test_instruction_counts_match_paper():
+    assert profile_for("104.hydro2d").instruction_count_millions == 1128.9
+    assert profile_for("125.turb3d").instruction_count_millions == 1666.6
+    assert profile_for("107.mgrid").instruction_count_millions == 95.0

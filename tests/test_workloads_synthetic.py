@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.trace.dependences import (
+    compute_true_dependences,
+    static_dependence_pairs,
+)
+from repro.workloads.spec95 import profile_for
+from repro.workloads.synthetic import SyntheticProgram
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    return SyntheticProgram(profile_for("126.gcc"), seed=0).generate(8000)
+
+
+def test_exact_length(gcc_trace):
+    assert len(gcc_trace) == 8000
+
+
+def test_determinism():
+    profile = profile_for("129.compress")
+    a = SyntheticProgram(profile, seed=0).generate(3000)
+    b = SyntheticProgram(profile, seed=0).generate(3000)
+    for x, y in zip(a, b):
+        assert (x.pc, x.op, x.addr, x.value, x.taken) == (
+            y.pc, y.op, y.addr, y.value, y.taken
+        )
+
+
+def test_different_seeds_differ():
+    profile = profile_for("129.compress")
+    a = SyntheticProgram(profile, seed=0).generate(3000)
+    b = SyntheticProgram(profile, seed=1).generate(3000)
+    assert any(
+        x.addr != y.addr
+        for x, y in zip(a, b)
+        if x.is_mem and y.is_mem
+    )
+
+
+def test_load_store_fractions_near_calibration(gcc_trace):
+    profile = profile_for("126.gcc")
+    summary = gcc_trace.summary()
+    assert summary.load_fraction == pytest.approx(
+        profile.load_fraction, abs=0.05
+    )
+    assert summary.store_fraction == pytest.approx(
+        profile.store_fraction, abs=0.05
+    )
+
+
+def test_memory_values_consistent(gcc_trace):
+    """A load's recorded value equals the last store's value to the
+    same word (or 0 if never stored) — functional consistency."""
+    memory = {}
+    for inst in gcc_trace:
+        if inst.is_store:
+            memory[inst.addr] = inst.value
+        elif inst.is_load:
+            assert inst.value == memory.get(inst.addr, 0)
+
+
+def test_branches_have_outcomes(gcc_trace):
+    for inst in gcc_trace:
+        if inst.is_branch:
+            assert inst.taken is not None
+            assert inst.target is not None
+
+
+def test_control_flow_consistency(gcc_trace):
+    """The next instruction's PC follows from the previous one."""
+    prev = None
+    for inst in gcc_trace:
+        if prev is not None:
+            if prev.is_branch:
+                assert inst.pc == prev.target
+            else:
+                assert inst.pc == prev.pc + 4
+        prev = inst
+
+
+def test_dependences_exist_and_are_stable(gcc_trace):
+    deps = compute_true_dependences(gcc_trace)
+    assert deps, "calibrated workload must contain true dependences"
+    pairs = static_dependence_pairs(gcc_trace)
+    # The MDPT needs recurring static pairs: the top pair should cover
+    # many dynamic instances.
+    assert max(pairs.values()) >= 10
+
+
+def test_fp_workload_uses_fp_ops():
+    trace = SyntheticProgram(profile_for("102.swim"), seed=0).generate(
+        4000
+    )
+    from repro.isa.opcodes import FP_CLASSES
+    fp_ops = sum(1 for i in trace if i.op in FP_CLASSES)
+    assert fp_ops > len(trace) * 0.1
+
+
+def test_bad_length():
+    with pytest.raises(ValueError):
+        SyntheticProgram(profile_for("126.gcc")).generate(0)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Calibration dashboard: per-benchmark measured-vs-paper diagnostics.
+
+Runs the four key configurations (NAS/NO, NAS/ORACLE, NAS/NAV,
+NAS/SYNC, plus AS/NO and AS/NAV at 0 cycles) for every benchmark and
+prints the quantities the workload profiles are tuned against:
+
+* ORACLE-over-NO speedup (Figure 1/2 bar heights),
+* NAV miss-speculation rate (Table 4),
+* false-dependence fraction and resolution latency (Table 3),
+* AS/NAV-over-AS/NO speedup (Figure 3).
+
+Usage::
+
+    python tools/calibrate.py [--timing 16000] [--warmup 10000] [bench...]
+"""
+
+import argparse
+import sys
+
+from repro.config import (
+    continuous_window_128,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.experiments.paper_data import (
+    PAPER_TABLE3_FD,
+    PAPER_TABLE3_RL,
+    PAPER_TABLE4_NAV,
+)
+from repro.experiments.runner import ExperimentSettings, run_benchmark
+from repro.stats.summary import geometric_mean
+from repro.workloads.spec95 import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+)
+
+NAS = SchedulingModel.NAS
+AS = SchedulingModel.AS
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=None)
+    parser.add_argument("--timing", type=int, default=16_000)
+    parser.add_argument("--warmup", type=int, default=10_000)
+    args = parser.parse_args()
+    benches = tuple(args.benchmarks) or ALL_BENCHMARKS
+    settings = ExperimentSettings(args.timing, args.warmup)
+
+    header = (
+        f"{'bench':14s} {'NO':>5s} {'ORA':>5s} {'NAV':>5s} "
+        f"{'ora/no':>7s} {'nav%':>11s} {'FD':>9s} {'RL':>11s} "
+        f"{'as-gain':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    speedups = {}
+    for name in benches:
+        short = name.split(".")[0]
+        no = run_benchmark(
+            name, continuous_window_128(NAS, SpeculationPolicy.NO),
+            settings)
+        ora = run_benchmark(
+            name, continuous_window_128(NAS, SpeculationPolicy.ORACLE),
+            settings)
+        nav = run_benchmark(
+            name, continuous_window_128(NAS, SpeculationPolicy.NAIVE),
+            settings)
+        asno = run_benchmark(
+            name, continuous_window_128(AS, SpeculationPolicy.NO),
+            settings)
+        asnav = run_benchmark(
+            name, continuous_window_128(AS, SpeculationPolicy.NAIVE),
+            settings)
+        speedup = ora.ipc / no.ipc
+        speedups[name] = speedup
+        as_gain = asnav.ipc / asno.ipc - 1
+        print(
+            f"{name:14s} {no.ipc:5.2f} {ora.ipc:5.2f} {nav.ipc:5.2f} "
+            f"{speedup - 1:+7.0%} "
+            f"{nav.misspeculation_rate * 100:5.1f}"
+            f"({PAPER_TABLE4_NAV[short]:3.1f}) "
+            f"{no.false_dependence_fraction * 100:3.0f}"
+            f"({PAPER_TABLE3_FD[short]:3.0f}) "
+            f"{no.mean_resolution_latency:5.1f}"
+            f"({PAPER_TABLE3_RL[short]:4.1f}) "
+            f"{as_gain:+8.1%}"
+        )
+
+    ints = [speedups[b] for b in benches if b in INT_BENCHMARKS]
+    fps = [speedups[b] for b in benches if b in FP_BENCHMARKS]
+    if ints:
+        print(f"\nint oracle/no geo-mean {geometric_mean(ints) - 1:+.1%} "
+              "(paper +55%)")
+    if fps:
+        print(f"fp  oracle/no geo-mean {geometric_mean(fps) - 1:+.1%} "
+              "(paper +154%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

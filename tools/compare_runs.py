@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regression compare: diff two JSON artifact exports.
+
+Given two directories written by ``repro-experiments ... --json DIR``
+(e.g. from two revisions of the simulator), prints every numeric leaf
+of every shared artifact whose relative change exceeds a threshold —
+the quick way to see what a core change did to the reproduction.
+
+Usage::
+
+    repro-experiments all --json before/
+    # ... hack on the simulator ...
+    repro-experiments all --json after/
+    python tools/compare_runs.py before/ after/ --threshold 0.05
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def _leaves(value, prefix=""):
+    """Yield (path, number) for every numeric leaf of nested data."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _leaves(sub, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            yield from _leaves(sub, f"{prefix}[{i}]")
+    elif isinstance(value, bool):
+        return
+    elif isinstance(value, (int, float)):
+        yield prefix, float(value)
+
+
+def compare_artifact(before: dict, after: dict, threshold: float):
+    """Yield (path, before, after, relative delta) over numeric leaves."""
+    before_leaves = dict(_leaves(before.get("data", {})))
+    after_leaves = dict(_leaves(after.get("data", {})))
+    for path in sorted(before_leaves.keys() & after_leaves.keys()):
+        old, new = before_leaves[path], after_leaves[path]
+        base = max(abs(old), 1e-12)
+        delta = (new - old) / base
+        if abs(delta) >= threshold:
+            yield path, old, new, delta
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="report leaves whose relative change exceeds this "
+             "(default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    shared = sorted(
+        set(os.listdir(args.before)) & set(os.listdir(args.after))
+    )
+    shared = [name for name in shared if name.endswith(".json")]
+    if not shared:
+        print("no shared artifact JSON files found", file=sys.stderr)
+        return 1
+
+    changes = 0
+    for name in shared:
+        with open(os.path.join(args.before, name)) as handle:
+            before = json.load(handle)
+        with open(os.path.join(args.after, name)) as handle:
+            after = json.load(handle)
+        rows = list(compare_artifact(before, after, args.threshold))
+        if rows:
+            print(f"== {name} ==")
+            for path, old, new, delta in rows:
+                print(f"  {path}: {old:.4g} -> {new:.4g} ({delta:+.1%})")
+            changes += len(rows)
+    if not changes:
+        print(f"no changes beyond {args.threshold:.0%} threshold across "
+              f"{len(shared)} artifacts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every artifact.
+
+Runs every table/figure driver at the given settings and writes the
+rendered reports, plus the standing notes about scale and known
+deviations, to EXPERIMENTS.md.
+
+Usage::
+
+    python tools/make_experiments_md.py [--timing N] [--warmup N] [-o PATH]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.cli import ARTIFACTS, _ORDER
+from repro.experiments.runner import ExperimentSettings
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs measured
+
+Reproduction of every evaluation artifact in Moshovos & Sohi,
+"Memory Dependence Speculation Tradeoffs in Centralized,
+Continuous-Window Superscalar Processors" (HPCA 2000).
+
+Regenerate this file with::
+
+    python tools/make_experiments_md.py
+
+Scale: the paper simulates ~100M instructions per (program, config)
+point on an execution-driven Multiscalar-derived simulator; each of our
+points runs a deterministic synthetic stand-in trace of
+{timing:,} timed instructions after {warmup:,} instructions of
+functional cache/predictor warm-up (the paper's own sampling
+methodology, Section 3.1, scaled down). Absolute IPCs are therefore
+not comparable point-for-point; the claims under reproduction are the
+*shapes*: who wins, by roughly what factor, and where the crossovers
+fall. Each artifact below prints measured values next to the paper's
+where the paper gives them.
+
+## Known deviations (and why)
+
+1. **NAS/SYNC miss-speculation rates (Table 4) are higher than the
+   paper's in absolute terms.** Speculation/synchronization pays
+   roughly one training miss-speculation per static (load, store) pair
+   (verified: no static pair in our runs miss-speculates more than
+   twice). The paper amortises that constant over ~10^8 instructions;
+   a {timing:,}-instruction sample cannot. The claim that survives —
+   and is asserted by `benchmarks/test_table4_misspec.py` — is the
+   order-of-magnitude reduction relative to naive speculation.
+2. **NAS/SEL is milder here than in the paper.** Our synthetic
+   dependence sets are stable per PC, so a selective predictor rarely
+   over-blocks; the paper's real traces make it oscillate (periodic
+   counter resets, aliasing). The store-barrier policy's non-robustness
+   (losses on many programs) does reproduce.
+3. **Figure 3's AS/NAV-over-AS/NO gap** is sensitive to how many store
+   addresses arrive late (pointer stores); it reproduces in sign and
+   rough size but not per-benchmark.
+
+"""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timing", type=int, default=16_000)
+    parser.add_argument("--warmup", type=int, default=10_000)
+    parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+    settings = ExperimentSettings(args.timing, args.warmup)
+
+    sections = [
+        _PREAMBLE.format(
+            timing=settings.timing_instructions,
+            warmup=settings.warmup_instructions,
+        )
+    ]
+    for name in _ORDER:
+        started = time.time()
+        report = ARTIFACTS[name](settings)
+        elapsed = time.time() - started
+        print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+        sections.append(f"## {report.experiment}: {report.title}\n")
+        sections.append("```")
+        sections.append(report.render())
+        sections.append("```\n")
+
+    with open(args.output, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

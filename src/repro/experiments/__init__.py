@@ -1,10 +1,23 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
 from repro.experiments.runner import (
+    CacheStats,
     ExperimentSettings,
+    cache_stats,
     run_benchmark,
+    run_benchmark_seeds,
     run_matrix,
     clear_results,
+)
+from repro.experiments.store import (
+    ResultStore,
+    active_store,
+    set_store,
+)
+from repro.experiments.telemetry import (
+    TelemetryWriter,
+    read_telemetry,
+    summarize_telemetry,
 )
 from repro.experiments.tables import table1, table3, table4
 from repro.experiments.figures import (
@@ -19,10 +32,19 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "CacheStats",
     "ExperimentSettings",
+    "ResultStore",
+    "TelemetryWriter",
+    "active_store",
+    "cache_stats",
+    "read_telemetry",
     "run_benchmark",
+    "run_benchmark_seeds",
     "run_matrix",
     "clear_results",
+    "set_store",
+    "summarize_telemetry",
     "table1",
     "table3",
     "table4",

@@ -5,6 +5,9 @@ Examples::
     repro-experiments table3
     repro-experiments figure1 figure2 --quick
     repro-experiments all --timing 20000 --warmup 12000
+    repro-experiments all --store ~/.cache/repro-results --parallel 8
+    repro-experiments cache            # inspect the persistent store
+    repro-experiments status run.jsonl # summarize a telemetry stream
 """
 
 from __future__ import annotations
@@ -57,6 +60,23 @@ _ORDER = (
 
 
 def main(argv=None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Reports are routinely piped to ``head``; a closed pipe is
+        # not an error worth a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Maintenance subcommands ride in front of the artifact grammar so
+    # ``repro-experiments table3 figure1`` keeps working unchanged.
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -99,6 +119,16 @@ def main(argv=None) -> int:
         help="pre-simulate the core configuration matrix with N worker "
              "processes before rendering artifacts",
     )
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="persist simulation results in DIR (also honoured via "
+             "the REPRO_RESULT_STORE environment variable)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE",
+        help="append structured JSONL run telemetry to FILE "
+             "(readable with 'repro-experiments status FILE')",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -110,20 +140,111 @@ def main(argv=None) -> int:
     if "all" in names:
         names = list(_ORDER)
 
-    if args.parallel:
-        _prewarm(settings, args.parallel)
+    if args.store:
+        from repro.experiments.store import set_store
 
-    for name in names:
-        started = time.time()
-        report = ARTIFACTS[name](settings)
-        elapsed = time.time() - started
-        print(report.render())
-        print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
-        _export(report, name, args.json, args.csv)
+        set_store(args.store)
+
+    from repro.experiments.runner import cache_stats
+    from repro.experiments.telemetry import TelemetryWriter
+
+    with TelemetryWriter(args.telemetry) as writer:
+        if args.parallel:
+            _prewarm(settings, args.parallel, writer)
+
+        for name in names:
+            started = time.time()
+            before = cache_stats()
+            writer.emit("artifact_start", artifact=name)
+            report = ARTIFACTS[name](settings)
+            elapsed = time.time() - started
+            spent = cache_stats().delta(before)
+            writer.emit(
+                "artifact_finish",
+                artifact=name,
+                wall=elapsed,
+                memory_hits=spent.memory_hits,
+                store_hits=spent.store_hits,
+                simulations=spent.simulations,
+            )
+            print(report.render())
+            print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+            _export(report, name, args.json, args.csv)
     return 0
 
 
-def _prewarm(settings: ExperimentSettings, workers: int) -> None:
+def _cache_main(argv) -> int:
+    """``repro-experiments cache [--path DIR] [--clear]``."""
+    from repro.experiments.store import (
+        ResultStore, default_store_path,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect or clear the persistent result store.",
+    )
+    parser.add_argument(
+        "--path", metavar="DIR", default=None,
+        help="store directory (default: $REPRO_RESULT_STORE or "
+             "~/.cache/repro-results)",
+    )
+    parser.add_argument(
+        "--clear", action="store_true",
+        help="delete every cached result record",
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.path or default_store_path())
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} cached results from {store.root}")
+        return 0
+    stats = store.stats()
+    print(f"store path      {stats['path']}")
+    print(f"schema version  {stats['schema']}")
+    print(f"entries         {stats['entries']}")
+    print(f"size            {stats['size_bytes'] / 1024:.1f} KiB")
+    if not os.path.isdir(store.root):
+        print("(store directory does not exist yet — it is created "
+              "on the first cached simulation)")
+    return 0
+
+
+def _status_main(argv) -> int:
+    """``repro-experiments status TELEMETRY.jsonl``."""
+    import json as jsonlib
+
+    from repro.experiments.telemetry import (
+        read_telemetry, render_summary, summarize_telemetry,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments status",
+        description="Summarize a JSONL experiment telemetry stream.",
+    )
+    parser.add_argument("telemetry", help="path to the JSONL file")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = read_telemetry(args.telemetry)
+    except OSError as exc:
+        print(f"cannot read {args.telemetry}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_telemetry(events)
+    if args.json:
+        print(jsonlib.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _prewarm(
+    settings: ExperimentSettings, workers: int, telemetry=None
+) -> None:
     """Simulate the configuration matrix shared by the figures, in
     parallel, so artifact rendering afterwards is mostly cache hits."""
     from repro.config import (
@@ -155,7 +276,8 @@ def _prewarm(settings: ExperimentSettings, workers: int) -> None:
             )
     started = time.time()
     run_matrix_parallel(
-        ALL_BENCHMARKS, configs, settings, workers=workers
+        ALL_BENCHMARKS, configs, settings, workers=workers,
+        telemetry=telemetry,
     )
     print(
         f"  [prewarmed {len(configs)}x{len(ALL_BENCHMARKS)} points "

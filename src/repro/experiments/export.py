@@ -9,12 +9,20 @@ plotting scripts, or regression tracking.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from typing import Iterable, Mapping
 
 from repro.core.result import SimResult
 from repro.experiments.report import ExperimentReport
+
+#: Every raw (stored, not derived) field of :class:`SimResult`, in
+#: declaration order. This is the round-trip schema used by the
+#: persistent result store.
+RAW_RESULT_FIELDS = tuple(
+    f.name for f in dataclasses.fields(SimResult)
+)
 
 #: SimResult counters exported to tabular form, in column order.
 RESULT_FIELDS = (
@@ -36,6 +44,30 @@ RESULT_FIELDS = (
 def result_row(result: SimResult) -> dict:
     """One flat dict of every exported field of *result*."""
     return {field: getattr(result, field) for field in RESULT_FIELDS}
+
+
+def result_to_record(result: SimResult) -> dict:
+    """Lossless dict of *result*'s raw fields (see ``RAW_RESULT_FIELDS``).
+
+    Unlike :func:`result_row` this holds no derived metrics, so the
+    record round-trips exactly through :func:`result_from_record`.
+    """
+    record = {
+        field: getattr(result, field) for field in RAW_RESULT_FIELDS
+    }
+    record["extra"] = dict(result.extra)
+    return record
+
+
+def result_from_record(record: Mapping) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`result_to_record` output.
+
+    Raises ``KeyError`` if the record is missing any raw field —
+    callers (the result store) treat that as a stale-schema record.
+    """
+    return SimResult(
+        **{field: record[field] for field in RAW_RESULT_FIELDS}
+    )
 
 
 def results_to_csv(results: Iterable[SimResult]) -> str:

@@ -1,4 +1,4 @@
-"""Multiprocess experiment runner.
+"""Fault-tolerant multiprocess experiment runner.
 
 The full evaluation is ~250 (benchmark, configuration) points; they are
 independent, so the matrix parallelises cleanly across processes. Work
@@ -8,12 +8,33 @@ configuration — the same locality the in-process cache exploits.
 
 Results are deterministic and identical to the serial runner's (same
 seeds, same traces); finished results are folded back into the serial
-runner's cache so subsequent figure drivers reuse them.
+runner's cache so subsequent figure drivers reuse them. When a
+persistent store is active, workers consult and populate it too (the
+``fork`` start method carries the active store into each child).
+
+Fault tolerance (this is a long-running harness — a single wedged or
+crashed worker must not cost the whole matrix):
+
+* Each shard may be given a wall-clock **timeout** measured from
+  submission; a shard that never reports back (e.g. its worker was
+  OOM-killed) is abandoned and rescheduled.
+* Failed or timed-out shards are **retried** up to ``retries`` times
+  with exponential backoff before being declared dead; dead shards are
+  dropped from the returned matrix while every surviving shard's
+  results are kept.
+* If the pool itself cannot be created or dies mid-run, the remaining
+  shards **degrade to serial** execution in the parent process.
+* Every lifecycle step streams to a JSONL **telemetry** file (see
+  :mod:`repro.experiments.telemetry`) consumed by the
+  ``repro-experiments status`` subcommand and
+  ``tools/compare_runs.py --telemetry``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.config.processor import ProcessorConfig
@@ -23,20 +44,263 @@ from repro.experiments.runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
 )
+from repro.experiments.telemetry import as_writer
+
+#: Scheduler poll interval while waiting on in-flight shards.
+_POLL_SECONDS = 0.01
 
 
 def _run_benchmark_shard(
     args: Tuple[str, List[Tuple[str, ProcessorConfig]],
                 ExperimentSettings],
-) -> Tuple[str, List[Tuple[str, SimResult]]]:
-    """Worker: one benchmark through every configuration."""
+) -> Tuple[str, List[Tuple[str, SimResult]], dict]:
+    """Worker: one benchmark through every configuration.
+
+    Returns ``(benchmark, [(label, result), ...], stats)`` where
+    *stats* carries the worker pid, shard wall time and the cache
+    counters this shard accumulated (memory/store hits, simulations).
+    """
     name, labelled_configs, settings = args
+    before = _runner.cache_stats()
+    started = time.perf_counter()
     results = []
     for label, config in labelled_configs:
         results.append(
             (label, _runner.run_benchmark(name, config, settings))
         )
-    return name, results
+    spent = _runner.cache_stats().delta(before)
+    stats = {
+        "worker": os.getpid(),
+        "wall": time.perf_counter() - started,
+        "memory_hits": spent.memory_hits,
+        "store_hits": spent.store_hits,
+        "simulations": spent.simulations,
+    }
+    return name, results, stats
+
+
+def _make_pool(workers: int):
+    """A fork-context pool (patchable seam for pool-death tests)."""
+    return multiprocessing.get_context("fork").Pool(processes=workers)
+
+
+class _MatrixRun:
+    """One matrix execution: scheduling state + telemetry plumbing."""
+
+    def __init__(
+        self,
+        benchmarks: List[str],
+        labelled: List[Tuple[str, ProcessorConfig]],
+        settings: ExperimentSettings,
+        writer,
+        shard_timeout: Optional[float],
+        retries: int,
+        retry_backoff: float,
+    ) -> None:
+        self.benchmarks = benchmarks
+        self.labelled = labelled
+        self.configs_by_label = dict(labelled)
+        self.settings = settings
+        self.writer = writer
+        self.shard_timeout = shard_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.out: Dict[str, Dict[str, SimResult]] = {
+            label: {} for label, _ in labelled
+        }
+        self.attempts: Dict[str, int] = {name: 0 for name in benchmarks}
+        self.failed: List[str] = []
+        #: Cache counters summed over every finished shard. Pooled
+        #: shards simulate in child processes, so the parent's own
+        #: counters never see them — the per-shard stats do.
+        self.totals = {
+            "memory_hits": 0, "store_hits": 0, "simulations": 0,
+        }
+
+    # -- result folding ------------------------------------------------------
+
+    def _fold(
+        self,
+        name: str,
+        shard: List[Tuple[str, SimResult]],
+        stats: dict,
+        mode: str,
+    ) -> None:
+        for label, result in shard:
+            self.out[label][name] = result
+            # Seed the serial cache so later drivers reuse this.
+            config = self.configs_by_label[label]
+            key = (name, self.settings, _runner._config_key(config))
+            _runner._result_cache[key] = result
+        for key in self.totals:
+            self.totals[key] += int(stats.get(key, 0))
+        self.writer.emit(
+            "shard_finish",
+            benchmark=name,
+            attempt=self.attempts[name],
+            mode=mode,
+            points=len(shard),
+            **stats,
+        )
+
+    def _run_serial_shard(self, name: str) -> None:
+        """In-process execution of one shard (fallback path)."""
+        self.attempts[name] += 1
+        self.writer.emit(
+            "shard_start",
+            benchmark=name,
+            attempt=self.attempts[name],
+            mode="serial",
+        )
+        try:
+            _, shard, stats = _run_benchmark_shard(
+                (name, self.labelled, self.settings)
+            )
+        except Exception as exc:
+            self.failed.append(name)
+            self.writer.emit(
+                "shard_failed",
+                benchmark=name,
+                attempt=self.attempts[name],
+                mode="serial",
+                error=repr(exc),
+            )
+            return
+        self._fold(name, shard, stats, mode="serial")
+
+    def run_serial(self, names: Iterable[str]) -> None:
+        for name in names:
+            self._run_serial_shard(name)
+
+    # -- parallel scheduling -------------------------------------------------
+
+    def run_parallel(self, workers: int) -> None:
+        """Pooled execution with timeout/retry; may degrade to serial."""
+        try:
+            pool = _make_pool(workers)
+        except Exception as exc:
+            self.writer.emit(
+                "serial_fallback", reason=f"pool creation: {exc!r}"
+            )
+            self.run_serial(self.benchmarks)
+            return
+
+        pending: List[str] = list(self.benchmarks)
+        #: benchmark -> (AsyncResult, deadline or None)
+        active: Dict[str, Tuple[object, Optional[float]]] = {}
+        # ``with pool`` terminates outstanding workers on exit, so an
+        # abandoned (timed-out) shard cannot outlive this call.
+        with pool:
+            while pending or active:
+                abandoned = self._submit(pool, pending, active)
+                if abandoned:
+                    # Pool died while submitting: drain what is
+                    # still in flight, then go serial.
+                    remaining = abandoned + self._drain(active)
+                    self.writer.emit(
+                        "serial_fallback", reason="pool died"
+                    )
+                    self.run_serial(remaining)
+                    return
+                self._poll(pending, active)
+                if pending or active:
+                    time.sleep(_POLL_SECONDS)
+
+    def _submit(self, pool, pending: List[str], active) -> List[str]:
+        """Launch pending shards; returns shards orphaned by pool death."""
+        while pending:
+            name = pending.pop(0)
+            self.attempts[name] += 1
+            self.writer.emit(
+                "shard_start",
+                benchmark=name,
+                attempt=self.attempts[name],
+                mode="pool",
+            )
+            try:
+                handle = pool.apply_async(
+                    _run_benchmark_shard,
+                    ((name, self.labelled, self.settings),),
+                )
+            except Exception:
+                return [name] + pending
+            deadline = (
+                time.monotonic() + self.shard_timeout
+                if self.shard_timeout else None
+            )
+            active[name] = (handle, deadline)
+        return []
+
+    def _drain(self, active) -> List[str]:
+        """Collect whatever finished; return the rest for serial."""
+        leftovers = []
+        for name, (handle, _deadline) in list(active.items()):
+            collected = False
+            if handle.ready():
+                try:
+                    _, shard, stats = handle.get()
+                    self._fold(name, shard, stats, mode="pool")
+                    collected = True
+                except Exception:
+                    pass
+            if not collected:
+                leftovers.append(name)
+        active.clear()
+        return leftovers
+
+    def _poll(self, pending: List[str], active) -> None:
+        now = time.monotonic()
+        for name in list(active):
+            handle, deadline = active[name]
+            if handle.ready():
+                del active[name]
+                try:
+                    _, shard, stats = handle.get()
+                except Exception as exc:
+                    self.writer.emit(
+                        "shard_error",
+                        benchmark=name,
+                        attempt=self.attempts[name],
+                        error=repr(exc),
+                    )
+                    self._retry_or_fail(name, pending)
+                    continue
+                self._fold(name, shard, stats, mode="pool")
+            elif deadline is not None and now > deadline:
+                # Abandon the in-flight call (its worker may be hung
+                # or dead); the pool context cleans it up on exit.
+                del active[name]
+                self.writer.emit(
+                    "shard_timeout",
+                    benchmark=name,
+                    attempt=self.attempts[name],
+                    timeout=self.shard_timeout,
+                )
+                self._retry_or_fail(name, pending)
+
+    def _retry_or_fail(self, name: str, pending: List[str]) -> None:
+        if self.attempts[name] <= self.retries:
+            delay = self.retry_backoff * (
+                2 ** (self.attempts[name] - 1)
+            )
+            self.writer.emit(
+                "shard_retry",
+                benchmark=name,
+                attempt=self.attempts[name] + 1,
+                delay=delay,
+            )
+            if delay:
+                time.sleep(delay)
+            pending.append(name)
+        else:
+            self.failed.append(name)
+            self.writer.emit(
+                "shard_failed",
+                benchmark=name,
+                attempt=self.attempts[name],
+                mode="pool",
+                error="retries exhausted",
+            )
 
 
 def run_matrix_parallel(
@@ -44,12 +308,25 @@ def run_matrix_parallel(
     configs: Mapping[str, ProcessorConfig],
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     workers: Optional[int] = None,
+    *,
+    shard_timeout: Optional[float] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.1,
+    telemetry=None,
 ) -> Dict[str, Dict[str, SimResult]]:
     """Parallel :func:`repro.experiments.runner.run_matrix`.
 
     Returns ``{config_label: {benchmark: SimResult}}``. With
     ``workers=1`` (or a single benchmark) this degrades to the serial
     path without spawning processes.
+
+    *shard_timeout* bounds each shard's wall-clock time, measured from
+    submission (``None`` disables). Failed or timed-out shards are
+    retried up to *retries* times with exponential backoff starting at
+    *retry_backoff* seconds; shards that still fail are omitted from
+    the result while all surviving shards are returned. *telemetry* is
+    a :class:`~repro.experiments.telemetry.TelemetryWriter` or a JSONL
+    path receiving the structured event stream.
     """
     benchmarks = list(benchmarks)
     labelled = list(configs.items())
@@ -57,26 +334,35 @@ def run_matrix_parallel(
         workers = min(len(benchmarks), multiprocessing.cpu_count())
     workers = max(1, workers)
 
-    out: Dict[str, Dict[str, SimResult]] = {
-        label: {} for label, _ in labelled
-    }
-    if workers == 1 or len(benchmarks) <= 1:
-        for name in benchmarks:
-            _, shard = _run_benchmark_shard((name, labelled, settings))
-            for label, result in shard:
-                out[label][name] = result
-        return out
-
-    jobs = [(name, labelled, settings) for name in benchmarks]
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=workers) as pool:
-        for name, shard in pool.imap_unordered(
-            _run_benchmark_shard, jobs
-        ):
-            for label, result in shard:
-                out[label][name] = result
-                # Seed the serial cache so later drivers reuse this.
-                config = dict(labelled)[label]
-                key = (name, settings, _runner._config_key(config))
-                _runner._result_cache[key] = result
-    return out
+    writer, owned = as_writer(telemetry)
+    run = _MatrixRun(
+        benchmarks, labelled, settings, writer,
+        shard_timeout, retries, retry_backoff,
+    )
+    started = time.perf_counter()
+    parallel_path = workers > 1 and len(benchmarks) > 1
+    writer.emit(
+        "matrix_start",
+        mode="parallel" if parallel_path else "serial",
+        benchmarks=len(benchmarks),
+        configs=len(labelled),
+        points=len(benchmarks) * len(labelled),
+        workers=workers,
+    )
+    try:
+        if workers == 1 or len(benchmarks) <= 1:
+            run.run_serial(benchmarks)
+        else:
+            run.run_parallel(workers)
+    finally:
+        writer.emit(
+            "matrix_finish",
+            wall=time.perf_counter() - started,
+            shards_ok=len(benchmarks) - len(run.failed),
+            shards_failed=len(run.failed),
+            failed=list(run.failed),
+            **run.totals,
+        )
+        if owned:
+            writer.close()
+    return run.out

@@ -6,14 +6,19 @@ instructions run functionally (caches and branch predictors learn —
 the paper's sampling methodology), the remaining ``timing`` instructions
 run through the detailed timing model.
 
-Results are memoized per process so that figure drivers sharing
-configurations (most of them share the NAS/NO and NAS/NAV baselines)
-never simulate the same point twice.
+Results are memoized at two levels. An in-process dict means figure
+drivers sharing configurations (most share the NAS/NO and NAS/NAV
+baselines) never simulate the same point twice within one interpreter.
+When a persistent store is active (:mod:`repro.experiments.store`),
+results also survive across processes — a warm CI run or a second CLI
+invocation re-simulates nothing. :func:`cache_stats` counts where each
+result came from; the parallel runner folds those counters into its
+telemetry stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.config.presets import config_name
@@ -65,10 +70,41 @@ _result_cache: Dict[Tuple, SimResult] = {}
 _dep_cache: Dict[Tuple[str, int, int], dict] = {}
 
 
+@dataclass
+class CacheStats:
+    """Where results came from since the last :func:`clear_results`."""
+
+    #: Served from the in-process memo.
+    memory_hits: int = 0
+    #: Restored from the persistent on-disk store.
+    store_hits: int = 0
+    #: Actually simulated (cache misses everywhere).
+    simulations: int = 0
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since the *earlier* snapshot."""
+        return CacheStats(
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            store_hits=self.store_hits - earlier.store_hits,
+            simulations=self.simulations - earlier.simulations,
+        )
+
+
+_cache_stats = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """A snapshot of the current cache counters."""
+    return _dc_replace(_cache_stats)
+
+
 def clear_results() -> None:
-    """Drop every cached simulation result."""
+    """Drop every cached simulation result and reset cache counters."""
     _result_cache.clear()
     _dep_cache.clear()
+    _cache_stats.memory_hits = 0
+    _cache_stats.store_hits = 0
+    _cache_stats.simulations = 0
 
 
 def _config_key(config: ProcessorConfig) -> Tuple:
@@ -97,11 +133,27 @@ def run_benchmark(
     config: ProcessorConfig,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> SimResult:
-    """Simulate one (benchmark, config) point, with caching."""
-    key = (name, settings, _config_key(config))
+    """Simulate one (benchmark, config) point, with caching.
+
+    Lookup order: in-process memo, then the persistent store (if one
+    is active — see :func:`repro.experiments.store.set_store`), then
+    an actual simulation. Fresh simulations populate both layers.
+    """
+    from repro.experiments.store import active_store
+
+    config_key = _config_key(config)
+    key = (name, settings, config_key)
     cached = _result_cache.get(key)
     if cached is not None:
+        _cache_stats.memory_hits += 1
         return cached
+    store = active_store()
+    if store is not None:
+        restored = store.load(name, settings, config_key)
+        if restored is not None:
+            _cache_stats.store_hits += 1
+            _result_cache[key] = restored
+            return restored
     plan = _plan_for(name, settings)
     trace = get_trace(name, plan.length, settings.seed)
     info = _dependences_for_length(name, plan.length, settings.seed)
@@ -112,7 +164,10 @@ def run_benchmark(
         result = SplitWindowProcessor(config, trace, info).run()
     else:
         result = Processor(config, trace, info).run(plan)
+    _cache_stats.simulations += 1
     _result_cache[key] = result
+    if store is not None:
+        store.save(name, settings, config_key, result)
     return result
 
 
@@ -179,13 +234,7 @@ def run_benchmark_seeds(
     """
     results = []
     for seed in seeds:
-        seeded = ExperimentSettings(
-            timing_instructions=settings.timing_instructions,
-            warmup_instructions=settings.warmup_instructions,
-            seed=seed,
-            paper_sampling=settings.paper_sampling,
-            observation=settings.observation,
-        )
+        seeded = _dc_replace(settings, seed=seed)
         results.append(run_benchmark(name, config, seeded))
     return results
 
@@ -194,15 +243,47 @@ def run_matrix(
     benchmarks: Iterable[str],
     configs: Mapping[str, ProcessorConfig],
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    telemetry=None,
 ) -> Dict[str, Dict[str, SimResult]]:
     """Results for every (benchmark, config) pair.
 
-    Returns ``{config_label: {benchmark: SimResult}}``.
+    Returns ``{config_label: {benchmark: SimResult}}``. *telemetry*
+    (an :class:`~repro.experiments.telemetry.TelemetryWriter` or a
+    path) gets ``matrix_start``/``matrix_finish`` events including the
+    cache hit/miss counters accumulated over the matrix.
     """
-    out: Dict[str, Dict[str, SimResult]] = {}
-    for label, config in configs.items():
-        out[label] = {
-            name: run_benchmark(name, config, settings)
-            for name in benchmarks
-        }
+    import time
+
+    from repro.experiments.telemetry import as_writer
+
+    benchmarks = list(benchmarks)
+    writer, owned = as_writer(telemetry)
+    before = cache_stats()
+    started = time.perf_counter()
+    writer.emit(
+        "matrix_start",
+        mode="serial",
+        benchmarks=len(benchmarks),
+        configs=len(configs),
+        points=len(benchmarks) * len(configs),
+    )
+    try:
+        out: Dict[str, Dict[str, SimResult]] = {}
+        for label, config in configs.items():
+            out[label] = {
+                name: run_benchmark(name, config, settings)
+                for name in benchmarks
+            }
+    finally:
+        spent = cache_stats().delta(before)
+        writer.emit(
+            "matrix_finish",
+            mode="serial",
+            wall=time.perf_counter() - started,
+            memory_hits=spent.memory_hits,
+            store_hits=spent.store_hits,
+            simulations=spent.simulations,
+        )
+        if owned:
+            writer.close()
     return out

@@ -1,0 +1,191 @@
+"""Structured JSONL telemetry for experiment runs.
+
+Every long-running harness entry point (the parallel matrix runner,
+``run_matrix``, the CLI artifact loop) can stream one JSON object per
+line into a telemetry file. Each event carries at least:
+
+``event``
+    The event name, e.g. ``shard_start``, ``shard_finish``,
+    ``shard_retry``, ``shard_timeout``, ``shard_failed``,
+    ``serial_fallback``, ``matrix_start``, ``matrix_finish``,
+    ``artifact_start``, ``artifact_finish``.
+``ts``
+    Unix timestamp (``time.time()``) when the event was emitted.
+
+Shard events add ``benchmark``, ``attempt`` and — on ``shard_finish``
+— ``wall`` (seconds), ``worker`` (pid) and the cache counters
+``memory_hits`` / ``store_hits`` / ``simulations`` for that shard.
+``matrix_finish`` carries the same counters aggregated over the whole
+matrix, which is how "a warm re-run performed zero re-simulations" is
+verified mechanically.
+
+The format is append-only and line-oriented so a crashed run leaves a
+readable prefix; :func:`read_telemetry` skips any torn final line.
+``repro-experiments status`` and ``tools/compare_runs.py --telemetry``
+both consume it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Iterable, List, Optional, Tuple, Union
+
+from repro.stats.summary import percentile
+
+
+class TelemetryWriter:
+    """Append-only JSONL event writer.
+
+    With ``path=None`` every :meth:`emit` is a no-op, so callers can
+    thread one writer through unconditionally. Lines are flushed as
+    they are written: a concurrently-running ``status`` command (or a
+    post-crash reader) always sees complete events.
+    """
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]]) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._handle: Optional[IO[str]] = None
+        if self.path is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event line (silently dropped when disabled)."""
+        if self._handle is None:
+            return
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._handle.write(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def as_writer(
+    telemetry: Union["TelemetryWriter", str, os.PathLike, None],
+) -> Tuple["TelemetryWriter", bool]:
+    """Coerce a writer-or-path into ``(writer, caller_owns_it)``.
+
+    Paths produce a fresh writer the caller must close (``True``);
+    existing writers (and ``None`` → disabled writer) are passed
+    through (``False`` — whoever made them closes them).
+    """
+    if isinstance(telemetry, TelemetryWriter):
+        return telemetry, False
+    if telemetry is None:
+        return TelemetryWriter(None), False
+    return TelemetryWriter(telemetry), True
+
+
+def read_telemetry(path: Union[str, os.PathLike]) -> List[dict]:
+    """Parse a JSONL telemetry file; malformed lines are skipped."""
+    events: List[dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+    return events
+
+
+def summarize_telemetry(events: Iterable[dict]) -> dict:
+    """Aggregate counters over a telemetry event stream.
+
+    Returns a flat dict: shard counts by outcome, aggregated cache
+    counters (preferring ``matrix_finish`` totals, falling back to
+    summing ``shard_finish`` events), and shard wall-time statistics.
+    """
+    events = list(events)
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event["event"], []).append(event)
+
+    def _count(name: str) -> int:
+        return len(by_name.get(name, ()))
+
+    walls = [
+        float(e["wall"]) for e in by_name.get("shard_finish", ())
+        if "wall" in e
+    ]
+    finishes = by_name.get("matrix_finish", ())
+    counters = {"memory_hits": 0, "store_hits": 0, "simulations": 0}
+    source = finishes if finishes else by_name.get("shard_finish", ())
+    for event in source:
+        for key in counters:
+            counters[key] += int(event.get(key, 0))
+
+    cached = counters["memory_hits"] + counters["store_hits"]
+    total = cached + counters["simulations"]
+    summary = {
+        "events": len(events),
+        "matrix_runs": len(finishes),
+        "shards_started": _count("shard_start"),
+        "shards_finished": _count("shard_finish"),
+        "shard_retries": _count("shard_retry"),
+        "shard_timeouts": _count("shard_timeout"),
+        "shards_failed": _count("shard_failed"),
+        "serial_fallbacks": _count("serial_fallback"),
+        "cache_hit_rate": (cached / total) if total else 0.0,
+        "wall_total": sum(walls),
+        "wall_p50": percentile(walls, 0.5) if walls else 0.0,
+        "wall_p95": percentile(walls, 0.95) if walls else 0.0,
+        "wall_max": max(walls) if walls else 0.0,
+    }
+    summary.update(counters)
+    return summary
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable block for ``repro-experiments status``."""
+    lines = [
+        f"events             {summary['events']:,}",
+        f"matrix runs        {summary['matrix_runs']}",
+        (
+            f"shards             {summary['shards_finished']} finished / "
+            f"{summary['shards_started']} started"
+        ),
+        (
+            f"faults             {summary['shard_retries']} retries, "
+            f"{summary['shard_timeouts']} timeouts, "
+            f"{summary['shards_failed']} failed, "
+            f"{summary['serial_fallbacks']} serial fallbacks"
+        ),
+        (
+            f"cache              {summary['memory_hits']} memory + "
+            f"{summary['store_hits']} store hits, "
+            f"{summary['simulations']} simulated "
+            f"({summary['cache_hit_rate']:.1%} hit rate)"
+        ),
+        (
+            f"shard wall time    total {summary['wall_total']:.2f}s, "
+            f"p50 {summary['wall_p50']:.2f}s, "
+            f"p95 {summary['wall_p95']:.2f}s, "
+            f"max {summary['wall_max']:.2f}s"
+        ),
+    ]
+    return "\n".join(lines)

@@ -152,7 +152,6 @@ class SplitWindowProcessor:
         pending: List[Tuple[int, int, _Inst]] = []  # (seq, serial, inst)
         serial = 0
         cycle = 0
-        committed_upto = 0  # instructions 0..committed_upto-1 committed
         guard = 0
 
         def task_range(task: int) -> Tuple[int, int]:
@@ -359,7 +358,6 @@ class SplitWindowProcessor:
                         posted.pop(r.seq, None)
                     elif r.inst.is_branch:
                         stats.committed_branches += 1
-                committed_upto = hi
                 for u in range(units):
                     if running[u] == commit_task:
                         running[u] = None

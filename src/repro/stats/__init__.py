@@ -4,6 +4,7 @@ from repro.stats.summary import (
     geometric_mean,
     average_speedup,
     mean_and_spread,
+    percentile,
     suite_speedups,
 )
 from repro.stats.format import render_table, format_percent, format_ratio
@@ -13,6 +14,7 @@ __all__ = [
     "geometric_mean",
     "average_speedup",
     "mean_and_spread",
+    "percentile",
     "suite_speedups",
     "render_table",
     "format_percent",

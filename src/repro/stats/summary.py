@@ -44,6 +44,28 @@ def mean_and_spread(values: Sequence[float]) -> Tuple[float, float]:
     return mean, math.sqrt(variance)
 
 
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of *values*.
+
+    *fraction* is in ``[0, 1]`` (0.5 = median). Used by the experiment
+    telemetry summaries for shard wall-time distributions.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
 def suite_speedups(
     results: Mapping[str, SimResult],
     baselines: Mapping[str, SimResult],

@@ -78,6 +78,71 @@ def test_run_benchmark_seeds_vary_but_agree():
     assert spread < 0.4 * mean
 
 
+def test_run_benchmark_seeds_preserves_every_settings_field(
+    monkeypatch,
+):
+    """The per-seed settings must be a full copy: every field except
+    ``seed`` carried over (dataclasses.replace, not a hand-copy that
+    silently drops fields added later)."""
+    import dataclasses
+
+    from repro.experiments import runner as runner_mod
+    from repro.experiments.runner import run_benchmark_seeds
+
+    seen = []
+
+    def fake_run_benchmark(name, config, settings):
+        seen.append(settings)
+        from repro.core.result import SimResult
+        return SimResult(cycles=1, committed=1)
+
+    monkeypatch.setattr(
+        runner_mod, "run_benchmark", fake_run_benchmark
+    )
+    base = ExperimentSettings(
+        timing_instructions=1500,
+        warmup_instructions=1000,
+        seed=42,
+        paper_sampling=True,
+        observation=777,
+    )
+    run_benchmark_seeds(
+        "132.ijpeg", continuous_window_128(), base, seeds=(5, 6)
+    )
+    assert [s.seed for s in seen] == [5, 6]
+    for settings in seen:
+        for field in dataclasses.fields(ExperimentSettings):
+            if field.name == "seed":
+                continue
+            assert getattr(settings, field.name) == getattr(
+                base, field.name
+            ), field.name
+
+
+def test_run_matrix_telemetry(tmp_path):
+    from repro.experiments.telemetry import read_telemetry
+
+    tele = tmp_path / "run.jsonl"
+    run_matrix(
+        ("132.ijpeg",), {"NO": continuous_window_128()}, _SETTINGS,
+        telemetry=str(tele),
+    )
+    events = read_telemetry(tele)
+    assert [e["event"] for e in events] == [
+        "matrix_start", "matrix_finish",
+    ]
+    assert events[1]["simulations"] == 1
+    # A warm re-run in the same process is all memory hits.
+    tele2 = tmp_path / "warm.jsonl"
+    run_matrix(
+        ("132.ijpeg",), {"NO": continuous_window_128()}, _SETTINGS,
+        telemetry=str(tele2),
+    )
+    warm = read_telemetry(tele2)
+    assert warm[1]["simulations"] == 0
+    assert warm[1]["memory_hits"] == 1
+
+
 def test_run_matrix_shape():
     configs = {
         "NO": continuous_window_128(),

@@ -1,0 +1,104 @@
+"""Tests for the CI smoke-benchmark driver."""
+
+import importlib.util
+import json
+import pathlib
+
+from repro.experiments.runner import clear_results
+from repro.experiments.store import set_store
+
+_TOOL = pathlib.Path(__file__).parent.parent / "tools" / "ci_bench.py"
+spec = importlib.util.spec_from_file_location("ci_bench", _TOOL)
+ci_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ci_bench)
+
+#: Tiny run lengths so the full cold+warm double pass stays fast.
+_FAST = ["--timing", "900", "--warmup", "600", "--workers", "1"]
+
+
+def setup_function(_):
+    clear_results()
+    set_store(None)
+
+
+def teardown_function(_):
+    set_store(None)
+    clear_results()
+
+
+def test_ci_bench_end_to_end(tmp_path, capsys):
+    out = tmp_path / "out"
+    baseline = tmp_path / "baseline.json"
+
+    # First run writes the baseline.
+    rc = ci_bench.main(
+        ["--out", str(out), "--baseline", str(baseline),
+         "--write-baseline"] + _FAST
+    )
+    assert rc == 0
+    assert baseline.exists()
+
+    bench = json.loads((out / "BENCH_ci.json").read_text())
+    assert bench["warm_pass"]["simulations"] == 0
+    assert bench["warm_pass"]["store_hits"] > 0
+    assert bench["ipc"]
+    assert (out / "telemetry.jsonl").exists()
+
+    # Second run compares clean against the fresh baseline.
+    clear_results()
+    set_store(None)
+    out2 = tmp_path / "out2"
+    rc = ci_bench.main(
+        ["--out", str(out2), "--baseline", str(baseline),
+         "--drift", "0.10"] + _FAST
+    )
+    assert rc == 0
+    assert "within 10%" in capsys.readouterr().out
+
+
+def test_ci_bench_fails_on_drift(tmp_path, capsys):
+    out = tmp_path / "out"
+    baseline = tmp_path / "baseline.json"
+    rc = ci_bench.main(
+        ["--out", str(out), "--baseline", str(baseline),
+         "--write-baseline"] + _FAST
+    )
+    assert rc == 0
+
+    # Corrupt the baseline: inflate every IPC well past the gate.
+    payload = json.loads(baseline.read_text())
+    payload["ipc"] = {
+        label: {name: ipc * 2.0 for name, ipc in per.items()}
+        for label, per in payload["ipc"].items()
+    }
+    baseline.write_text(json.dumps(payload))
+
+    clear_results()
+    set_store(None)
+    out2 = tmp_path / "out2"
+    rc = ci_bench.main(
+        ["--out", str(out2), "--baseline", str(baseline),
+         "--drift", "0.10"] + _FAST
+    )
+    assert rc == 1
+    assert "IPC drift" in capsys.readouterr().err
+
+
+def test_ci_bench_missing_baseline(tmp_path):
+    rc = ci_bench.main(
+        ["--out", str(tmp_path / "out"),
+         "--baseline", str(tmp_path / "nope.json")] + _FAST
+    )
+    assert rc == 3
+
+
+def test_compare_to_baseline_rows():
+    ipc = {"NO": {"a": 1.0, "b": 2.0}}
+    baseline = {"ipc": {"NO": {"a": 1.05, "b": 3.0}}}
+    offenders = ci_bench.compare_to_baseline(ipc, baseline, 0.10)
+    assert [(o[0], o[1]) for o in offenders] == [("NO", "b")]
+    # A point absent from the baseline is always an offender.
+    offenders = ci_bench.compare_to_baseline(
+        {"NO": {"new": 1.0}}, {"ipc": {}}, 0.10
+    )
+    assert offenders[0][2] is None

@@ -68,3 +68,47 @@ def test_main_missing_files(tmp_path):
     d1.mkdir()
     d2.mkdir()
     assert compare_runs.main([str(d1), str(d2)]) == 1
+
+
+def _telemetry_file(path, simulations, store_hits, wall):
+    lines = [
+        json.dumps({"event": "shard_start", "ts": 0}),
+        "not json at all",
+        json.dumps({
+            "event": "matrix_finish", "ts": 1,
+            "simulations": simulations, "store_hits": store_hits,
+            "memory_hits": 0, "shards_failed": 0, "wall": wall,
+        }),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def test_telemetry_summary_reads_jsonl(tmp_path):
+    tele = tmp_path / "run.jsonl"
+    _telemetry_file(tele, simulations=8, store_hits=2, wall=4.5)
+    summary = compare_runs.telemetry_summary(str(tele))
+    assert summary["simulations"] == 8
+    assert summary["store_hits"] == 2
+    assert summary["wall"] == 4.5
+    assert summary["events"] == 2  # malformed line skipped
+
+
+def test_main_with_telemetry(tmp_path, capsys):
+    before = tmp_path / "before"
+    after = tmp_path / "after"
+    before.mkdir()
+    after.mkdir()
+    (before / "fig.json").write_text(json.dumps(_artifact(1.0)))
+    (after / "fig.json").write_text(json.dumps(_artifact(1.0)))
+    t1 = tmp_path / "cold.jsonl"
+    t2 = tmp_path / "warm.jsonl"
+    _telemetry_file(t1, simulations=8, store_hits=0, wall=10.0)
+    _telemetry_file(t2, simulations=0, store_hits=8, wall=0.5)
+    rc = compare_runs.main([
+        str(before), str(after), "--telemetry", str(t1), str(t2),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "== telemetry ==" in out
+    assert "simulations: 8 -> 0" in out
+    assert "store_hits: 0 -> 8" in out

@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: a mini experiment matrix through the store.
+
+Runs a small (benchmark x configuration) matrix twice — a cold pass
+that simulates and populates the persistent result store, then a warm
+pass that must be served entirely from the store (zero re-simulations,
+enforced mechanically from the telemetry counters). Writes:
+
+``<out>/telemetry.jsonl``
+    The structured run telemetry for both passes (uploaded as a CI
+    artifact; readable with ``repro-experiments status``).
+``<out>/BENCH_ci.json``
+    Per-point IPC plus run metadata (the CI benchmark artifact).
+
+If a committed baseline is given, every (config, benchmark) IPC is
+compared against it and the run fails when any point drifts by more
+than ``--drift`` (relative). Regenerate the baseline after intentional
+simulator changes with ``--write-baseline``.
+
+Usage (CI)::
+
+    PYTHONPATH=src python tools/ci_bench.py \\
+        --out ci-bench --baseline benchmarks/baseline_ci.json
+
+Exit codes: 0 ok, 1 IPC drift beyond threshold, 2 warm pass
+re-simulated (store regression), 3 baseline missing/incompatible.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def build_matrix():
+    """The smoke matrix: 3 cheap benchmarks x 4 core policies."""
+    from repro.config import (
+        continuous_window_128, SchedulingModel, SpeculationPolicy,
+    )
+
+    nas = SchedulingModel.NAS
+    benchmarks = ("132.ijpeg", "107.mgrid", "126.gcc")
+    configs = {
+        policy.value: continuous_window_128(nas, policy)
+        for policy in (
+            SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+            SpeculationPolicy.SYNC, SpeculationPolicy.ORACLE,
+        )
+    }
+    return benchmarks, configs
+
+
+def run_passes(out_dir, settings, workers):
+    """Cold + warm matrix passes; returns (ipc table, warm summary)."""
+    from repro.experiments import clear_results, set_store
+    from repro.experiments.parallel import run_matrix_parallel
+    from repro.experiments.telemetry import (
+        read_telemetry, summarize_telemetry, TelemetryWriter,
+    )
+
+    benchmarks, configs = build_matrix()
+    set_store(os.path.join(out_dir, "store"))
+    telemetry_path = os.path.join(out_dir, "telemetry.jsonl")
+
+    with TelemetryWriter(telemetry_path) as writer:
+        writer.emit("ci_pass", phase="cold")
+        clear_results()
+        run_matrix_parallel(
+            benchmarks, configs, settings, workers=workers,
+            telemetry=writer,
+        )
+        writer.emit("ci_pass", phase="warm")
+        clear_results()
+        warm = run_matrix_parallel(
+            benchmarks, configs, settings, workers=workers,
+            telemetry=writer,
+        )
+
+    events = read_telemetry(telemetry_path)
+    # The warm pass is everything after the second ci_pass marker.
+    marker = max(
+        i for i, e in enumerate(events)
+        if e["event"] == "ci_pass" and e.get("phase") == "warm"
+    )
+    warm_summary = summarize_telemetry(events[marker:])
+
+    ipc = {
+        label: {
+            name: warm[label][name].ipc for name in sorted(warm[label])
+        }
+        for label in sorted(warm)
+    }
+    return ipc, warm_summary
+
+
+def compare_to_baseline(ipc, baseline, drift):
+    """Offending (config, benchmark, old, new, delta) rows."""
+    offenders = []
+    base_ipc = baseline.get("ipc", {})
+    for label, per_bench in ipc.items():
+        for name, new in per_bench.items():
+            old = base_ipc.get(label, {}).get(name)
+            if old is None:
+                offenders.append((label, name, None, new, None))
+                continue
+            delta = (new - old) / max(abs(old), 1e-12)
+            if abs(delta) > drift:
+                offenders.append((label, name, old, new, delta))
+    return offenders
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", required=True,
+        help="output directory (store, telemetry, BENCH_ci.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed baseline JSON to compare IPC against",
+    )
+    parser.add_argument(
+        "--drift", type=float, default=0.10,
+        help="max relative IPC drift vs baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--timing", type=int, default=None,
+        help="override timed instructions (default: quick settings)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="override warm-up instructions (default: quick settings)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the measured IPC table to --baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.runner import (
+        ExperimentSettings, quick_settings,
+    )
+
+    settings = quick_settings()
+    if args.timing or args.warmup:
+        settings = ExperimentSettings(
+            timing_instructions=args.timing
+            or settings.timing_instructions,
+            warmup_instructions=args.warmup
+            or settings.warmup_instructions,
+        )
+
+    os.makedirs(args.out, exist_ok=True)
+    ipc, warm_summary = run_passes(args.out, settings, args.workers)
+
+    bench = {
+        "settings": {
+            "timing_instructions": settings.timing_instructions,
+            "warmup_instructions": settings.warmup_instructions,
+            "seed": settings.seed,
+        },
+        "warm_pass": {
+            key: warm_summary[key]
+            for key in ("simulations", "store_hits", "memory_hits",
+                        "cache_hit_rate", "shards_failed")
+        },
+        "ipc": ipc,
+    }
+    bench_path = os.path.join(args.out, "BENCH_ci.json")
+    with open(bench_path, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+    print(f"wrote {bench_path}")
+
+    if warm_summary["simulations"]:
+        print(
+            f"FAIL: warm pass re-simulated "
+            f"{warm_summary['simulations']} points (expected 0) — "
+            "the persistent store is not serving results",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"warm pass: 0 re-simulations, "
+        f"{warm_summary['store_hits']} store hits, "
+        f"{warm_summary['memory_hits']} memory hits"
+    )
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("--write-baseline requires --baseline",
+                  file=sys.stderr)
+            return 3
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"settings": bench["settings"], "ipc": ipc},
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 3
+        offenders = compare_to_baseline(ipc, baseline, args.drift)
+        if offenders:
+            print(f"FAIL: IPC drift beyond {args.drift:.0%}:",
+                  file=sys.stderr)
+            for label, name, old, new, delta in offenders:
+                if old is None:
+                    print(f"  {label}/{name}: no baseline point",
+                          file=sys.stderr)
+                else:
+                    print(
+                        f"  {label}/{name}: {old:.4f} -> {new:.4f} "
+                        f"({delta:+.1%})",
+                        file=sys.stderr,
+                    )
+            return 1
+        print(
+            f"IPC within {args.drift:.0%} of baseline across "
+            f"{sum(len(v) for v in ipc.values())} points"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

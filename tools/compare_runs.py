@@ -12,6 +12,12 @@ Usage::
     # ... hack on the simulator ...
     repro-experiments all --json after/
     python tools/compare_runs.py before/ after/ --threshold 0.05
+
+With ``--telemetry BEFORE.jsonl AFTER.jsonl`` the two runs' JSONL
+telemetry streams (``repro-experiments ... --telemetry FILE``) are
+also compared: simulation counts, cache hits and wall time. The tool
+stays standalone (no ``repro`` import) so it can diff artifacts from
+any two checkouts.
 """
 
 import argparse
@@ -46,6 +52,44 @@ def compare_artifact(before: dict, after: dict, threshold: float):
             yield path, old, new, delta
 
 
+def telemetry_summary(path: str) -> dict:
+    """Aggregate one JSONL telemetry stream (standalone reader).
+
+    Sums cache counters and wall time over every ``matrix_finish`` and
+    ``artifact_finish`` event; malformed lines are skipped, mirroring
+    :func:`repro.experiments.telemetry.read_telemetry`.
+    """
+    totals = {
+        "simulations": 0, "memory_hits": 0, "store_hits": 0,
+        "wall": 0.0, "shards_failed": 0, "events": 0,
+    }
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            totals["events"] += 1
+            if event.get("event") in ("matrix_finish", "artifact_finish"):
+                for key in ("simulations", "memory_hits", "store_hits",
+                            "shards_failed"):
+                    totals[key] += int(event.get(key, 0))
+                totals["wall"] += float(event.get("wall", 0.0))
+    return totals
+
+
+def compare_telemetry(before: dict, after: dict):
+    """Yield (metric, before, after) rows for the telemetry diff."""
+    for key in ("simulations", "memory_hits", "store_hits",
+                "shards_failed", "wall"):
+        yield key, before[key], after[key]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
@@ -54,6 +98,10 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.05,
         help="report leaves whose relative change exceeds this "
              "(default 0.05)",
+    )
+    parser.add_argument(
+        "--telemetry", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="also compare two JSONL telemetry streams",
     )
     args = parser.parse_args(argv)
 
@@ -80,6 +128,16 @@ def main(argv=None) -> int:
     if not changes:
         print(f"no changes beyond {args.threshold:.0%} threshold across "
               f"{len(shared)} artifacts")
+
+    if args.telemetry:
+        before_t = telemetry_summary(args.telemetry[0])
+        after_t = telemetry_summary(args.telemetry[1])
+        print("== telemetry ==")
+        for metric, old, new in compare_telemetry(before_t, after_t):
+            if metric == "wall":
+                print(f"  {metric}: {old:.2f}s -> {new:.2f}s")
+            else:
+                print(f"  {metric}: {old:g} -> {new:g}")
     return 0
 
 

@@ -61,6 +61,18 @@ class BimodalPredictor:
         elif value > 0:
             self._counters[idx] = value - 1
 
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict for *pc*, then train with *taken* — one table walk."""
+        counters = self._counters
+        idx = (pc >> 2) & self._mask
+        value = counters[idx]
+        if taken:
+            if value < 3:
+                counters[idx] = value + 1
+        elif value > 0:
+            counters[idx] = value - 1
+        return value >= 2
+
     @property
     def entries(self) -> int:
         return self._mask + 1

@@ -38,6 +38,28 @@ class CombinedPredictor:
             return self.gselect.predict(pc)
         return self.bimodal.predict(pc)
 
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """``predict`` then ``update`` in one table walk per component.
+
+        The front end calls this for every conditional branch; fusing
+        the pair halves the index computations and table reads versus
+        predict() + update().
+        """
+        meta = self._meta
+        idx = (pc >> 2) & self._meta_mask
+        use_gselect = meta[idx] >= 2
+        bimodal_taken = self.bimodal.predict_and_update(pc, taken)
+        gselect_taken = self.gselect.predict_and_update(pc, taken)
+        if bimodal_taken != gselect_taken:
+            # Exactly one component is correct; train the selector.
+            value = meta[idx]
+            if gselect_taken == taken:
+                if value < 3:
+                    meta[idx] = value + 1
+            elif value > 0:
+                meta[idx] = value - 1
+        return gselect_taken if use_gselect else bimodal_taken
+
     def update(self, pc: int, taken: bool) -> None:
         """Train both components and the selector with the outcome."""
         bimodal_correct = self.bimodal.predict(pc) == taken

@@ -44,6 +44,23 @@ class GselectPredictor:
             self._history_mask
         )
 
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict for *pc*, then train with *taken* — one table walk."""
+        counters = self._counters
+        idx = (((pc >> 2) & self._pc_mask) << self._history_bits) | (
+            self._history
+        )
+        value = counters[idx]
+        if taken:
+            if value < 3:
+                counters[idx] = value + 1
+        elif value > 0:
+            counters[idx] = value - 1
+        self._history = ((self._history << 1) | int(taken)) & (
+            self._history_mask
+        )
+        return value >= 2
+
     @property
     def history(self) -> int:
         """Current global history register contents (for tests)."""

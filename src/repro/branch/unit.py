@@ -9,7 +9,6 @@ the branch resolves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.branch.btb import BranchTargetBuffer
@@ -20,13 +19,32 @@ from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 
 
-@dataclass(frozen=True)
 class BranchPrediction:
-    """Outcome of predicting one dynamic branch."""
+    """Outcome of predicting one dynamic branch.
 
-    predicted_taken: bool
-    predicted_target: Optional[int]
-    correct: bool
+    A plain slotted class rather than a frozen dataclass: one is built
+    per fetched branch and the frozen-init ``object.__setattr__`` path
+    is measurable there.
+    """
+
+    __slots__ = ("predicted_taken", "predicted_target", "correct")
+
+    def __init__(
+        self,
+        predicted_taken: bool,
+        predicted_target: Optional[int],
+        correct: bool,
+    ) -> None:
+        self.predicted_taken = predicted_taken
+        self.predicted_target = predicted_target
+        self.correct = correct
+
+    def __repr__(self) -> str:
+        return (
+            f"BranchPrediction(predicted_taken={self.predicted_taken!r}, "
+            f"predicted_target={self.predicted_target!r}, "
+            f"correct={self.correct!r})"
+        )
 
 
 class BranchUnit:
@@ -56,9 +74,10 @@ class BranchUnit:
         actual_target = inst.target
 
         if inst.op is OpClass.BRANCH:
-            predicted_taken = self.direction.predict(inst.pc)
+            predicted_taken = self.direction.predict_and_train(
+                inst.pc, actual_taken
+            )
             predicted_target = self.btb.lookup(inst.pc)
-            self.direction.update(inst.pc, actual_taken)
             if actual_taken and actual_target is not None:
                 self.btb.update(inst.pc, actual_target)
             correct = predicted_taken == actual_taken and (

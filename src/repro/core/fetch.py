@@ -37,6 +37,11 @@ class FetchUnit:
         self.hierarchy = hierarchy
         self.branch_unit = branch_unit
         self._block_shift = config.icache.block_bytes.bit_length() - 1
+        # Hot-path copies of immutable config values read every tick.
+        self._width = config.fetch.width
+        self._max_blocks = config.fetch.max_blocks_per_cycle
+        self._front_end_depth = config.fetch.front_end_depth
+        self._hit_latency = config.icache.hit_latency
         #: (instruction, earliest dispatch cycle), in program order.
         self.buffer: Deque[Tuple[DynInst, int]] = deque()
         self._buffer_cap = config.fetch.width * config.fetch.front_end_depth
@@ -83,38 +88,52 @@ class FetchUnit:
         """
         if cycle < self.stalled_until or self.waiting_on_branch is not None:
             return 0
+        if len(self.buffer) >= self._buffer_cap:
+            return 0
         fetched = 0
         blocks_used = 0
         current_block = None
-        width = self.config.fetch.width
+        width = self._width
+        max_blocks = self._max_blocks
+        buffer = self.buffer
+        buffer_cap = self._buffer_cap
+        block_shift = self._block_shift
+        recent_blocks = self._recent_blocks
+        hit_by = cycle + self._hit_latency
+        dispatch_at = cycle + self._front_end_depth
+        # Cursor state, walked locally (peek/advance pairs otherwise
+        # dominate this loop) and written back on every exit path.
+        cursor = self.cursor
+        pos = cursor._pos
+        stop = cursor._stop
+        instructions = cursor._trace.instructions
         while (
             fetched < width
-            and len(self.buffer) < self._buffer_cap
-            and not self.cursor.exhausted
+            and len(buffer) < buffer_cap
+            and pos < stop
         ):
-            inst = self.cursor.peek()
-            block = inst.pc >> self._block_shift
+            inst = instructions[pos]
+            block = inst.pc >> block_shift
             if block != current_block:
-                if blocks_used >= self.config.fetch.max_blocks_per_cycle:
+                if blocks_used >= max_blocks:
                     break
                 blocks_used += 1
                 current_block = block
-                available = self._recent_blocks.get(block)
+                available = recent_blocks.get(block)
                 if available is None:
                     available = self.hierarchy.fetch(inst.pc, cycle)
-                    self._recent_blocks[block] = available
-                    if len(self._recent_blocks) > self._recent_cap:
-                        oldest = next(iter(self._recent_blocks))
-                        del self._recent_blocks[oldest]
-                if available > cycle + self.config.icache.hit_latency:
+                    recent_blocks[block] = available
+                    if len(recent_blocks) > self._recent_cap:
+                        oldest = next(iter(recent_blocks))
+                        del recent_blocks[oldest]
+                if available > hit_by:
                     # I-cache miss: this block arrives later; stop here.
                     self.stalled_until = available
                     break
-            inst = self.cursor.advance()
-            dispatch_at = cycle + self.config.fetch.front_end_depth
-            self.buffer.append((inst, dispatch_at))
+            pos += 1
+            buffer.append((inst, dispatch_at))
             fetched += 1
-            if inst.is_branch:
+            if inst.op.branch_class:
                 prediction = self.branch_unit.predict_and_train(inst)
                 if not prediction.correct:
                     # Wrong path: nothing more until the branch resolves.
@@ -124,6 +143,7 @@ class FetchUnit:
                     # A correctly-predicted taken branch still ends the
                     # current run of sequential PCs within this block.
                     current_block = None
+        cursor._pos = pos
         return fetched
 
     def pop_dispatchable(self, cycle: int) -> Optional[DynInst]:

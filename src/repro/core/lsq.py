@@ -10,7 +10,6 @@ binary-search removal gives O(log n) operations.
 from __future__ import annotations
 
 import bisect
-import heapq
 from typing import Dict, List, Optional
 
 from repro.core.window import Entry
@@ -52,42 +51,70 @@ class MemPool:
 
     Iteration yields live entries oldest-first without removing them
     (gates may keep an old load blocked while younger ones proceed).
+    Entries are kept in a seq-sorted list — the hot per-cycle scan in
+    ``_issue_memory`` then needs no sort at all — with removal done
+    lazily by flag and compacted on the next iteration. A monotonic
+    push counter breaks ties when a squashed seq re-enters before the
+    stale record is compacted away.
     """
 
     def __init__(self) -> None:
-        self._heap: List = []
+        self._items: List = []  # (seq, push_serial, entry), seq-sorted
+        self._serial = 0
+        self._dead = 0
+        #: Memoized ``live_entries`` result; most cycles nothing enters
+        #: or leaves the pool, so the filtered list can be reused. Pool
+        #: mutations clear it; squashes must call :meth:`invalidate`
+        #: (squashing only flags the entry, the pool is not told).
+        self._live: Optional[List[Entry]] = None
 
     def push(self, entry: Entry) -> None:
         if entry.in_mem_pool or entry.squashed:
             return
         entry.in_mem_pool = True
-        heapq.heappush(self._heap, (entry.seq, entry))
+        self._live = None
+        self._serial += 1
+        item = (entry.seq, self._serial, entry)
+        items = self._items
+        if not items or entry.seq > items[-1][0]:
+            items.append(item)
+        else:
+            bisect.insort(items, item)
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._items) - self._dead
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._items) > self._dead
 
     def live_entries(self) -> List[Entry]:
         """Live entries oldest-first (also prunes squashed ones)."""
-        if not self._heap:
-            return []
-        alive = [
-            (seq, entry) for seq, entry in self._heap if not entry.squashed
+        live = self._live
+        if live is not None:
+            return live
+        items = self._items
+        if not items:
+            self._live = live = []
+            return live
+        live = [
+            e for _, _, e in items if e.in_mem_pool and not e.squashed
         ]
-        if len(alive) != len(self._heap):
-            self._heap = alive
-            heapq.heapify(self._heap)
-        return [entry for _, entry in sorted(alive)]
+        if len(live) != len(items):
+            self._items = [(e.seq, 0, e) for e in live]
+            self._dead = 0
+        self._live = live
+        return live
 
     def remove(self, entry: Entry) -> None:
         """Mark *entry* as no longer pooled (lazily removed)."""
-        entry.in_mem_pool = False
-        self._heap = [
-            (seq, e) for seq, e in self._heap if e is not entry
-        ]
-        heapq.heapify(self._heap)
+        if entry.in_mem_pool:
+            entry.in_mem_pool = False
+            self._dead += 1
+            self._live = None
+
+    def invalidate(self) -> None:
+        """Drop the memoized live list (call after a squash)."""
+        self._live = None
 
 
 class SynonymTracker:

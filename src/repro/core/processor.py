@@ -11,6 +11,7 @@ gate the *memory access* of loads; everything else is common machinery.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Dict, List, Optional, Tuple
 
@@ -45,9 +46,27 @@ _EV_WRITE = 1
 _EV_READY = 2
 _EV_POST = 3
 
+# Load-gate kinds. The speculation policy is fixed for a processor's
+# lifetime, so the per-load gate is resolved to one of these small ints
+# once in ``__init__`` and the policy logic is inlined in the
+# ``_issue_memory`` scan instead of re-dispatching through an
+# ``if policy is …`` chain for every pooled load every cycle.
+_GATE_AS = 0
+_GATE_OPEN = 1
+_GATE_ALL_STORES = 2
+_GATE_PREDICTED = 3
+_GATE_BARRIER = 4
+_GATE_SYNC = 5
+_GATE_ORACLE = 6
+
 
 class SimulationStuck(RuntimeError):
     """The cycle loop can make no further progress (a model bug)."""
+
+
+def _entry_seq(entry: Entry) -> int:
+    """Sort key for merging the load and store-write pools (AS mode)."""
+    return entry.seq
 
 
 class Processor:
@@ -100,6 +119,35 @@ class Processor:
                 lfst_entries=memdep.lfst_entries,
             )
 
+        if self.as_mode:
+            self._gate_kind = _GATE_AS
+        elif self.policy is SpeculationPolicy.NAIVE:
+            self._gate_kind = _GATE_OPEN
+        elif self.policy is SpeculationPolicy.NO:
+            self._gate_kind = _GATE_ALL_STORES
+        elif self.policy is SpeculationPolicy.SELECTIVE:
+            self._gate_kind = _GATE_PREDICTED
+        elif self.policy is SpeculationPolicy.STORE_BARRIER:
+            self._gate_kind = _GATE_BARRIER
+        elif self.policy in (
+            SpeculationPolicy.SYNC, SpeculationPolicy.STORE_SETS
+        ):
+            self._gate_kind = _GATE_SYNC
+        elif self.policy is SpeculationPolicy.ORACLE:
+            self._gate_kind = _GATE_ORACLE
+        else:
+            raise AssertionError(f"unhandled policy {self.policy}")
+
+        # Hot-path bindings (immutable for the processor's lifetime).
+        # The latency table is flattened into a plain dict so the issue
+        # loop pays one lookup instead of an override check plus a
+        # table fallback.
+        self._latency_of = {
+            op: config.latencies.latency(op) for op in OpClass
+        }.__getitem__
+        self._issue_width = config.window.issue_width
+        self._scan_budget = config.window.issue_width * 3
+
         #: Monotonic machine time across segments (caches keep state).
         self.cycle = 0
         self._next_flush = memdep.flush_interval
@@ -122,11 +170,23 @@ class Processor:
             benchmark=self.trace.name,
             suite=self.trace.suite,
         )
-        for segment in plan.segments:
-            if segment.timing:
-                total.merge(self._run_segment(segment.start, segment.stop))
-            else:
-                self._warm_segment(segment.start, segment.stop)
+        # The cycle loop allocates heavily (entries, events) with almost
+        # nothing becoming garbage mid-segment, so generational GC scans
+        # are pure overhead (~10% of wall time). Pause collection for
+        # the simulation; the final collection reclaims entry cycles.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for segment in plan.segments:
+                if segment.timing:
+                    total.merge(
+                        self._run_segment(segment.start, segment.stop)
+                    )
+                else:
+                    self._warm_segment(segment.start, segment.stop)
+        finally:
+            if was_enabled:
+                gc.enable()
         self._snapshot_caches(total)
         return total
 
@@ -136,20 +196,26 @@ class Processor:
 
     def _warm_segment(self, start: int, stop: int) -> None:
         hierarchy = self.hierarchy
+        icache_touch = hierarchy.icache.touch
+        dcache_touch = hierarchy.dcache.touch
+        l2_touch = hierarchy.l2.touch
+        predict = self.branch_unit.predict_and_train
+        instructions = self.trace.instructions
         block_shift = self.config.icache.block_bytes.bit_length() - 1
         last_block = -1
         for seq in range(start, stop):
-            inst = self.trace[seq]
+            inst = instructions[seq]
             block = inst.pc >> block_shift
             if block != last_block:
-                hierarchy.icache.touch(inst.pc)
-                hierarchy.l2.touch(inst.pc)
+                icache_touch(inst.pc)
+                l2_touch(inst.pc)
                 last_block = block
-            if inst.is_branch:
-                self.branch_unit.predict_and_train(inst)
-            elif inst.is_mem:
-                hierarchy.dcache.touch(inst.addr)
-                hierarchy.l2.touch(inst.addr)
+            op = inst.op
+            if op.branch_class:
+                predict(inst)
+            elif op.mem_class:
+                dcache_touch(inst.addr)
+                l2_touch(inst.addr)
         # Functional intervals advance wall-clock time too (roughly one
         # instruction per cycle of untimed execution).
         self.cycle += max(1, (stop - start) // 2)
@@ -187,7 +253,9 @@ class Processor:
         )
         self._events: List = []
         self._event_serial = 0
-        self._hints: List[int] = []
+        #: Earliest future cycle hinted by a blocked memory op (min
+        #: tracking replaces an append-per-blocked-entry hint list).
+        self._hint: Optional[int] = None
         self._progress = False
 
         start_cycle = self.cycle
@@ -196,22 +264,42 @@ class Processor:
             self.branch_unit.mispredictions,
         )
 
+        fetch = self.fetch
+        window = self.window
+        events = self._events
+        advance_clock = self._advance_clock
+        process_events = self._process_events
+        commit = self._commit
+        begin_cycle = self.funits.begin_cycle
+        issue_memory = self._issue_memory
+        issue_exec = self._issue_exec
+        funits = self.funits
+        telemetry = self.telemetry
+        dispatch = self._dispatch
+        fetch_tick = fetch.tick
+        maybe_flush = self._maybe_flush_tables
+
         while True:
-            if (
-                self.fetch.done
-                and self.window.empty
-                and not self._events
-            ):
+            if fetch.done and window.empty and not events:
                 break
-            self._advance_clock()
-            self._process_events()
-            self._commit()
-            self._issue()
-            self._dispatch()
-            fetched = self.fetch.tick(self.cycle)
-            if fetched:
+            advance_clock()
+            process_events()
+            commit()
+            # _issue, unrolled: one call layer per cycle matters here.
+            begin_cycle(self.cycle)
+            issue_memory()
+            issue_exec()
+            if telemetry is not None:
+                telemetry.sample(
+                    occupancy=len(window),
+                    issued=funits.issued_this_cycle,
+                    ports_used=funits.ports_used_this_cycle,
+                )
+            dispatch()
+            if fetch_tick(self.cycle):
                 self._progress = True
-            self._maybe_flush_tables()
+            if self.cycle >= self._next_flush:
+                maybe_flush()
 
         stats.cycles = self.cycle - start_cycle
         stats.branch_predictions = (
@@ -230,28 +318,33 @@ class Processor:
             self._progress = False
             self.cycle += 1
             return
-        candidates = list(self._hints)
-        self._hints.clear()
+        best = self._hint
+        self._hint = None
         if self._events:
-            candidates.append(self._events[0][0])
-        nxt = self.fetch.next_dispatch_cycle()
-        if nxt is not None:
-            candidates.append(nxt)
+            when = self._events[0][0]
+            if best is None or when < best:
+                best = when
+        fetch = self.fetch
+        nxt = fetch.next_dispatch_cycle()
+        if nxt is not None and (best is None or nxt < best):
+            best = nxt
         if (
-            self.fetch.waiting_on_branch is None
+            fetch.waiting_on_branch is None
             and not self.cursor.exhausted
-            and len(self.fetch.buffer) < self.fetch._buffer_cap
+            and len(fetch.buffer) < fetch._buffer_cap
         ):
-            candidates.append(self.fetch.stalled_until)
-        if not candidates:
+            when = fetch.stalled_until
+            if best is None or when < best:
+                best = when
+        if best is None:
             raise SimulationStuck(
                 f"no progress possible at cycle {self.cycle} "
                 f"(window={len(self.window)}, "
                 f"loads={len(self.load_pool)}, "
                 f"writes={len(self.store_write_pool)})"
             )
-        self.cycle = max(self.cycle + 1, min(candidates))
-        self._progress = False
+        nxt_cycle = self.cycle + 1
+        self.cycle = best if best > nxt_cycle else nxt_cycle
 
     def _schedule(self, cycle: int, kind: int, entry: Entry) -> None:
         self._event_serial += 1
@@ -263,12 +356,17 @@ class Processor:
 
     def _process_events(self) -> None:
         events = self._events
-        while events and events[0][0] <= self.cycle:
-            _, _, kind, entry = heapq.heappop(events)
+        if not events or events[0][0] > self.cycle:
+            return
+        cycle = self.cycle
+        pop = heapq.heappop
+        ready_push = self.ready_pool.push
+        while events and events[0][0] <= cycle:
+            _, _, kind, entry = pop(events)
             if entry.squashed:
                 continue
             if kind == _EV_READY:
-                self.ready_pool.push(entry)
+                ready_push(entry)
             elif kind == _EV_COMPLETE:
                 self._on_complete(entry)
             elif kind == _EV_WRITE:
@@ -277,32 +375,32 @@ class Processor:
                 self._progress = True  # wake gates waiting on visibility
 
     def _on_complete(self, entry: Entry) -> None:
-        if entry.complete_cycle is not None and (
-            entry.complete_cycle > self.cycle
-        ):
+        done = entry.complete_cycle
+        if done is not None and done > self.cycle:
             # Selective re-execution pushed this completion out; the
             # stale event fires early — re-arm it at the new time.
-            self._schedule(entry.complete_cycle, _EV_COMPLETE, entry)
+            self._schedule(done, _EV_COMPLETE, entry)
             return
         entry.executed = True
-        for waiter, is_data in entry.waiters:
-            if waiter.squashed:
-                continue
-            if is_data:
-                waiter.data_pending -= 1
-                waiter.data_ready = max(
-                    waiter.data_ready, entry.complete_cycle
-                )
-            else:
-                waiter.addr_pending -= 1
-                waiter.addr_ready = max(
-                    waiter.addr_ready, entry.complete_cycle
-                )
-            self._maybe_ready(waiter)
-        entry.consumers.extend(entry.waiters)
-        entry.waiters.clear()
-        if entry.inst.is_branch:
-            self.fetch.resume_after_branch(entry.seq, entry.complete_cycle)
+        waiters = entry.waiters
+        if waiters:
+            maybe_ready = self._maybe_ready
+            for waiter, is_data in waiters:
+                if waiter.squashed:
+                    continue
+                if is_data:
+                    waiter.data_pending -= 1
+                    if done > waiter.data_ready:
+                        waiter.data_ready = done
+                else:
+                    waiter.addr_pending -= 1
+                    if done > waiter.addr_ready:
+                        waiter.addr_ready = done
+                maybe_ready(waiter)
+            entry.consumers.extend(waiters)
+            entry.waiters = []
+        if entry.is_branch:
+            self.fetch.resume_after_branch(entry.seq, done)
         self._progress = True
 
     def _on_store_write(self, store: Entry) -> None:
@@ -372,11 +470,10 @@ class Processor:
         if buffer.full:
             head = self.window.head()
             head_seq = head.seq if head else store.seq
-            for committed in buffer.entries():
-                if committed.seq < head_seq:
-                    buffer.remove(committed.seq)
-                    break
-            else:  # pragma: no cover - capacity equals window size
+            # Buffer entries are seq-sorted, so the oldest store is the
+            # only eviction candidate.
+            if not buffer.evict_oldest_before(head_seq):
+                # pragma: no cover - capacity equals window size
                 raise SimulationStuck("store buffer wedged")
         buffer.insert(StoreBufferEntry(
             seq=store.seq,
@@ -397,6 +494,10 @@ class Processor:
         seq = load.seq
         squashed = self.window.squash_from(seq)
         stats.squashed_instructions += len(squashed)
+        # Squash only flags the entries; the mem pools memoize their
+        # live view and must be told to refilter.
+        self.load_pool.invalidate()
+        self.store_write_pool.invalidate()
         self.unexec_stores.squash(seq)
         self.barrier_stores.squash(seq)
         self.synonyms.squash(seq)
@@ -482,12 +583,19 @@ class Processor:
     # -- commit -------------------------------------------------------------
 
     def _commit(self) -> None:
-        stats = self.stats
         window = self.window
-        budget = self.config.window.issue_width
+        # The deque is read directly: this loop peeks the head every
+        # cycle and the ``head()`` indirection is measurable.
+        entries = window._entries
+        if not entries:
+            return
+        stats = self.stats
+        budget = self._issue_width
         cycle = self.cycle
-        while budget and not window.empty:
-            head = window.head()
+        timeline = self.timeline
+        committed = 0
+        while budget and entries:
+            head = entries[0]
             done_cycle = (
                 head.write_cycle if head.is_store else head.complete_cycle
             )
@@ -495,10 +603,9 @@ class Processor:
                 break
             window.commit_head()
             budget -= 1
-            stats.committed += 1
-            self._progress = True
-            if self.timeline is not None:
-                self.timeline.on_commit(head, cycle)
+            committed += 1
+            if timeline is not None:
+                timeline.on_commit(head, cycle)
             if head.is_load:
                 stats.committed_loads += 1
                 if head.speculative:
@@ -519,28 +626,42 @@ class Processor:
                     self.addr_sched.remove_store(head.seq)
                 if self.store_sets is not None:
                     self.store_sets.store_retired(head)
-            elif head.inst.is_branch:
+            elif head.is_branch:
                 stats.committed_branches += 1
+        if committed:
+            stats.committed += committed
+            self._progress = True
 
     # -- dispatch -------------------------------------------------------------
 
     def _dispatch(self) -> None:
         window = self.window
-        budget = self.config.window.issue_width
+        capacity = window.size
+        # Occupancy is tracked locally: ``len(window)`` per dispatched
+        # instruction adds up, as does one ``pop_dispatchable`` call per
+        # instruction (plus a None-returning one every cycle) — the
+        # fetch buffer is walked directly instead.
+        occupancy = len(window._entries)
+        if occupancy >= capacity:
+            return
+        buffer = self.fetch.buffer
+        maybe_ready = self._maybe_ready
+        budget = self._issue_width
         cycle = self.cycle
-        while budget and not window.full:
-            inst = self.fetch.pop_dispatchable(cycle)
-            if inst is None:
+        while budget and occupancy < capacity:
+            if not buffer or buffer[0][1] > cycle:
                 break
+            inst = buffer.popleft()[0]
+            occupancy += 1
             entry = Entry(inst, cycle)
             window.dispatch(entry)
             budget -= 1
             self._progress = True
-            if inst.is_load:
+            if entry.is_load:
                 self._on_load_dispatch(entry)
-            elif inst.is_store:
+            elif entry.is_store:
                 self._on_store_dispatch(entry)
-            self._maybe_ready(entry)
+            maybe_ready(entry)
 
     def _on_load_dispatch(self, entry: Entry) -> None:
         info = self.dep_info.get(entry.seq)
@@ -588,16 +709,6 @@ class Processor:
 
     # -- readiness ---------------------------------------------------------------
 
-    def _exec_ready_time(self, entry: Entry) -> Optional[int]:
-        """Cycle the entry may go to the execution scheduler, or None."""
-        if entry.is_store and not self.as_mode:
-            if entry.addr_pending or entry.data_pending:
-                return None
-            return max(entry.addr_ready, entry.data_ready)
-        if entry.addr_pending:
-            return None
-        return entry.addr_ready
-
     def _maybe_ready(self, entry: Entry) -> None:
         if entry.issue_cycle is not None or entry.in_ready_pool:
             # Already issued its scheduler phase; stores in AS mode may
@@ -612,9 +723,18 @@ class Processor:
                 self.store_write_pool.push(entry)
                 self._progress = True
             return
-        ready_at = self._exec_ready_time(entry)
-        if ready_at is None:
-            return
+        # Execution-readiness (NAS stores need address + data; everything
+        # else goes to the scheduler once its address sources are ready).
+        if entry.is_store and not self.as_mode:
+            if entry.addr_pending or entry.data_pending:
+                return
+            ready_at = entry.addr_ready
+            if entry.data_ready > ready_at:
+                ready_at = entry.data_ready
+        else:
+            if entry.addr_pending:
+                return
+            ready_at = entry.addr_ready
         if ready_at <= self.cycle:
             self.ready_pool.push(entry)
         else:
@@ -622,43 +742,43 @@ class Processor:
 
     # -- issue -------------------------------------------------------------
 
-    def _issue(self) -> None:
-        funits = self.funits
-        funits.begin_cycle(self.cycle)
-        self._issue_memory()
-        self._issue_exec()
-        if self.telemetry is not None:
-            self.telemetry.sample(
-                occupancy=len(self.window),
-                issued=funits.issued_this_cycle,
-                ports_used=funits.ports_used_this_cycle,
-            )
-
     def _issue_exec(self) -> None:
         funits = self.funits
         pool = self.ready_pool
+        if not pool:
+            return
+        cycle = self.cycle
+        as_mode = self.as_mode
+        pop = pool.pop
+        can_issue = funits.can_issue_unit
+        take_issue = funits.take_issue_unit
         deferred: List[Entry] = []
-        scans = self.config.window.issue_width * 3
-        while funits.issue_slots_left and scans:
+        progress = False
+        scans = self._scan_budget
+        issue_width = funits._issue_width
+        while funits._issued < issue_width and scans:
             scans -= 1
-            entry = pool.pop()
+            entry = pop()
             if entry is None:
                 break
-            ready_at = self._exec_ready_time(entry)
-            if ready_at is None or ready_at > self.cycle:
-                if ready_at is not None:
-                    self._schedule(ready_at, _EV_READY, entry)
+            nas_store = entry.is_store and not as_mode
+            if nas_store:
+                if entry.addr_pending or entry.data_pending:
+                    continue
+                ready_at = entry.addr_ready
+                if entry.data_ready > ready_at:
+                    ready_at = entry.data_ready
+            elif entry.addr_pending:
                 continue
-            op = entry.inst.op
-            fu_class = (
-                OpClass.IALU
-                if entry.inst.is_mem or entry.inst.is_branch
-                else op
-            )
-            if not funits.can_issue(fu_class):
+            else:
+                ready_at = entry.addr_ready
+            if ready_at > cycle:
+                self._schedule(ready_at, _EV_READY, entry)
+                continue
+            if not can_issue(entry.uses_fp_unit):
                 deferred.append(entry)
                 continue
-            if entry.is_store and not self.as_mode:
+            if nas_store:
                 # Store-set ordering: a store waits for its set's
                 # previous store to issue first.
                 wait = entry.sync_wait_store
@@ -673,35 +793,40 @@ class Processor:
                 if not funits.can_access_memory():
                     deferred.append(entry)
                     continue
-                funits.take_issue(fu_class)
+                take_issue(entry.uses_fp_unit)
                 funits.take_port()
                 self._do_issue_store_nas(entry)
             elif entry.is_store:
-                funits.take_issue(fu_class)
+                take_issue(entry.uses_fp_unit)
                 self._do_issue_store_agen_as(entry)
             elif entry.is_load:
-                funits.take_issue(fu_class)
+                take_issue(entry.uses_fp_unit)
                 self._do_issue_load_agen(entry)
             else:
-                funits.take_issue(fu_class)
+                take_issue(entry.uses_fp_unit)
                 self._do_issue_alu(entry)
-            self._progress = True
-        for entry in deferred:
-            pool.push(entry)
+            progress = True
         if deferred:
+            push = pool.push
+            for entry in deferred:
+                push(entry)
+            progress = True
+        if progress:
             self._progress = True
 
     def _do_issue_alu(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
-        latency = self.config.latencies.latency(entry.inst.op)
+        latency = self._latency_of(entry.inst.op)
         entry.complete_cycle = self.cycle + latency
         self._schedule(entry.complete_cycle, _EV_COMPLETE, entry)
 
     def _do_issue_load_agen(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
-        entry.agen_done = self.cycle + 1
+        done = self.cycle + 1
+        entry.agen_done = done
         self.load_pool.push(entry)
-        self._hints.append(entry.agen_done)
+        if self._hint is None or done < self._hint:
+            self._hint = done
 
     def _do_issue_store_nas(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
@@ -729,20 +854,58 @@ class Processor:
     # -- memory stage -----------------------------------------------------------
 
     def _issue_memory(self) -> None:
+        # Candidates scan in program order. The two pools are each kept
+        # seq-sorted, and NAS machines never use the store-write pool
+        # (NAS stores write directly from ``_do_issue_store_nas``), so
+        # the common case needs no sort and no concatenation at all.
+        loads = self.load_pool.live_entries()
+        if self.as_mode:
+            writes = self.store_write_pool.live_entries()
+            if writes:
+                if loads:
+                    candidates = loads + writes
+                    candidates.sort(key=_entry_seq)
+                else:
+                    candidates = writes
+            else:
+                candidates = loads
+        else:
+            candidates = loads
+        if not candidates:
+            return
         funits = self.funits
         cycle = self.cycle
-        loads = self.load_pool.live_entries()
-        writes = self.store_write_pool.live_entries()
-        candidates = sorted(loads + writes, key=lambda e: e.seq)
+        kind = self._gate_kind
+        hint = self._hint
+        progress = False
+        ports_left = funits.ports_left
+        # NO/SEL gate on the oldest unexecuted store, STORE on the
+        # oldest unexecuted *barrier* store. Both trackers are constant
+        # for the duration of the scan (NAS stores execute in
+        # ``_issue_exec``, which runs after this), so resolve the
+        # threshold once instead of binary-searching per load.
+        if kind == _GATE_ALL_STORES or kind == _GATE_PREDICTED:
+            blocked_from = self.unexec_stores.oldest()
+        elif kind == _GATE_BARRIER:
+            blocked_from = self.barrier_stores.oldest()
+        else:
+            blocked_from = None
+        window_get = self.window.get
+        note_fd_wait = self._note_fd_wait
         for entry in candidates:
-            if not funits.can_access_memory():
-                self._progress = True  # ports exhausted: retry next cycle
+            if not ports_left:
+                progress = True  # ports exhausted: retry next cycle
                 break
             if entry.is_store:
-                ready = max(entry.data_ready, entry.agen_done or 0)
+                ready = entry.data_ready
+                agen = entry.agen_done or 0
+                if agen > ready:
+                    ready = agen
                 if ready > cycle:
-                    self._hints.append(ready)
+                    if hint is None or ready < hint:
+                        hint = ready
                     continue
+                ports_left -= 1
                 funits.take_port()
                 self.store_write_pool.remove(entry)
                 entry.write_cycle = cycle + 1
@@ -752,18 +915,87 @@ class Processor:
                     self.barrier_stores.on_execute(entry.seq)
                 self._store_buffer_insert(entry, data_ready=cycle + 1)
                 self._schedule(entry.write_cycle, _EV_WRITE, entry)
-                self._progress = True
-            else:
-                open_, hint = self._load_gate(entry)
-                if not open_:
-                    if hint is not None:
-                        self._hints.append(hint)
+                progress = True
+                continue
+            # -- loads: the policy gate (Section 2.1), inlined ---------
+            agen = entry.agen_done
+            if agen is None or agen > cycle:
+                if agen is not None and (hint is None or agen < hint):
+                    hint = agen
+                continue
+            if kind == _GATE_OPEN:
+                pass  # NAV: speculate as soon as the address is ready
+            elif kind == _GATE_ALL_STORES:
+                if blocked_from is not None and blocked_from < entry.seq:
+                    if entry.fd_wait_start is None:
+                        note_fd_wait(entry)
                     continue
-                self._note_fd_resolution(entry)
-                funits.take_port()
-                self.load_pool.remove(entry)
-                self._access_memory(entry)
-                self._progress = True
+            elif kind == _GATE_PREDICTED:
+                if (
+                    entry.predicted_dep
+                    and blocked_from is not None
+                    and blocked_from < entry.seq
+                ):
+                    if entry.fd_wait_start is None:
+                        note_fd_wait(entry)
+                    continue
+            elif kind == _GATE_BARRIER:
+                if blocked_from is not None and blocked_from < entry.seq:
+                    if entry.fd_wait_start is None:
+                        note_fd_wait(entry)
+                    continue
+            elif kind == _GATE_SYNC:
+                wait = entry.sync_wait_store
+                if not (
+                    wait is None or wait.squashed or wait.executed
+                ):
+                    issued = wait.issue_cycle
+                    if issued is None:
+                        continue
+                    # Free to issue one cycle after the producer issues.
+                    if cycle < issued + 1:
+                        if hint is None or issued + 1 < hint:
+                            hint = issued + 1
+                        continue
+            elif kind == _GATE_ORACLE:
+                dep_seq = entry.dep_store_seq
+                if dep_seq is not None:
+                    dep = window_get(dep_seq)
+                    if dep is not None and not dep.executed:
+                        issued = dep.issue_cycle
+                        if issued is None:
+                            if entry.fd_wait_start is None:
+                                note_fd_wait(entry)
+                            continue
+                        # Value available one cycle after the producing
+                        # store issues (forwarded from the store buffer)
+                        # — the paper's oracle still charges the store's
+                        # own issue timing (Section 3.4.1).
+                        if cycle < issued + 1:
+                            if hint is None or issued + 1 < hint:
+                                hint = issued + 1
+                            continue
+            else:  # _GATE_AS
+                open_, gate_hint = self._load_gate_as(entry)
+                if not open_:
+                    if gate_hint is not None and (
+                        hint is None or gate_hint < hint
+                    ):
+                        hint = gate_hint
+                    continue
+            # Table 3 accounting: a formerly-blocked load resolves now.
+            if entry.fd_wait_start is not None and (
+                entry.fd_resolved_cycle is None
+            ):
+                entry.fd_resolved_cycle = cycle
+            ports_left -= 1
+            funits.take_port()
+            self.load_pool.remove(entry)
+            self._access_memory(entry)
+            progress = True
+        self._hint = hint
+        if progress:
+            self._progress = True
 
     def _access_memory(self, entry: Entry) -> None:
         cycle = self.cycle
@@ -793,71 +1025,10 @@ class Processor:
         self._schedule(complete, _EV_COMPLETE, entry)
 
     # -- load gates (the paper's policies) ---------------------------------------
-
-    def _load_gate(self, entry: Entry) -> Tuple[bool, Optional[int]]:
-        """May *entry* access memory this cycle?
-
-        Returns ``(open, hint)`` — *hint* is a future cycle worth
-        re-checking at, when known (pure time-based gates); event-driven
-        gates (waiting on a store write) return ``(False, None)``.
-        """
-        cycle = self.cycle
-        if entry.agen_done is None or entry.agen_done > cycle:
-            return False, entry.agen_done
-        if self.as_mode:
-            return self._load_gate_as(entry)
-        policy = self.policy
-        if policy is SpeculationPolicy.NAIVE:
-            return True, None
-        if policy is SpeculationPolicy.NO:
-            return self._gate_wait_all_stores(entry)
-        if policy is SpeculationPolicy.SELECTIVE:
-            if entry.predicted_dep:
-                return self._gate_wait_all_stores(entry)
-            return True, None
-        if policy is SpeculationPolicy.STORE_BARRIER:
-            if self.barrier_stores.any_older_than(entry.seq):
-                self._note_fd_wait(entry)
-                return False, None
-            return True, None
-        if policy in (
-            SpeculationPolicy.SYNC, SpeculationPolicy.STORE_SETS
-        ):
-            wait_store = entry.sync_wait_store
-            if wait_store is None or wait_store.squashed:
-                return True, None
-            if wait_store.executed:
-                return True, None
-            if wait_store.issue_cycle is not None:
-                # Free to issue one cycle after the producer issues.
-                if cycle >= wait_store.issue_cycle + 1:
-                    return True, None
-                return False, wait_store.issue_cycle + 1
-            return False, None
-        if policy is SpeculationPolicy.ORACLE:
-            if entry.dep_store_seq is None:
-                return True, None
-            dep = self.window.get(entry.dep_store_seq)
-            if dep is None or dep.executed:
-                return True, None
-            # Value available one cycle after the producing store issues
-            # (forwarded from the store buffer) — the paper's oracle still
-            # charges the store's own issue timing (Section 3.4.1).
-            if dep.issue_cycle is not None:
-                if cycle >= dep.issue_cycle + 1:
-                    return True, None
-                return False, dep.issue_cycle + 1
-            self._note_fd_wait(entry)
-            return False, None
-        raise AssertionError(f"unhandled policy {policy}")
-
-    def _gate_wait_all_stores(
-        self, entry: Entry
-    ) -> Tuple[bool, Optional[int]]:
-        if self.unexec_stores.any_older_than(entry.seq):
-            self._note_fd_wait(entry)
-            return False, None
-        return True, None
+    #
+    # The NAS gates are inlined in ``_issue_memory`` (selected by
+    # ``self._gate_kind``); only the AS gate is complex enough to stay
+    # a method.
 
     def _load_gate_as(self, entry: Entry) -> Tuple[bool, Optional[int]]:
         cycle = self.cycle
@@ -895,12 +1066,6 @@ class Processor:
             entry.fd_class = "true"
         else:
             entry.fd_class = "false"
-
-    def _note_fd_resolution(self, entry: Entry) -> None:
-        if entry.fd_wait_start is not None and (
-            entry.fd_resolved_cycle is None
-        ):
-            entry.fd_resolved_cycle = self.cycle
 
     # -- periodic table flushes ---------------------------------------------------
 

@@ -59,6 +59,11 @@ class FunctionalUnits:
 
     def __init__(self, config: WindowConfig) -> None:
         self.config = config
+        # Hot-path copies: the per-cycle issue loops read these limits
+        # many times and the config is immutable.
+        self._issue_width = config.issue_width
+        self._fu_copies = config.fu_copies
+        self._memory_ports = config.memory_ports
         self._cycle = -1
         self._issued = 0
         self._int_used = 0
@@ -74,11 +79,11 @@ class FunctionalUnits:
 
     @property
     def issue_slots_left(self) -> int:
-        return self.config.issue_width - self._issued
+        return self._issue_width - self._issued
 
     @property
     def ports_left(self) -> int:
-        return self.config.memory_ports - self._ports_used
+        return self._memory_ports - self._ports_used
 
     @property
     def issued_this_cycle(self) -> int:
@@ -90,22 +95,30 @@ class FunctionalUnits:
 
     def can_issue(self, op: OpClass) -> bool:
         """Would an op of class *op* find a slot and a unit this cycle?"""
-        if self._issued >= self.config.issue_width:
+        return self.can_issue_unit(op in FP_CLASSES)
+
+    def can_issue_unit(self, uses_fp: bool) -> bool:
+        """``can_issue`` with the FP-pool membership already resolved."""
+        if self._issued >= self._issue_width:
             return False
-        if op in FP_CLASSES:
-            return self._fp_used < self.config.fu_copies
-        return self._int_used < self.config.fu_copies
+        if uses_fp:
+            return self._fp_used < self._fu_copies
+        return self._int_used < self._fu_copies
 
     def take_issue(self, op: OpClass) -> None:
         """Consume one issue slot plus the matching FU."""
+        self.take_issue_unit(op in FP_CLASSES)
+
+    def take_issue_unit(self, uses_fp: bool) -> None:
+        """``take_issue`` with the FP-pool membership already resolved."""
         self._issued += 1
-        if op in FP_CLASSES:
+        if uses_fp:
             self._fp_used += 1
         else:
             self._int_used += 1
 
     def can_access_memory(self) -> bool:
-        return self._ports_used < self.config.memory_ports
+        return self._ports_used < self._memory_ports
 
     def take_port(self) -> None:
         self._ports_used += 1

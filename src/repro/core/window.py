@@ -21,6 +21,8 @@ class Entry:
 
     __slots__ = (
         "inst", "seq", "dispatch_cycle",
+        # class flags, resolved once at construction (hot-path reads)
+        "is_load", "is_store", "is_branch", "uses_fp_unit",
         # operand tracking: 'addr' covers every source except a store's
         # data operand, which is tracked separately so the two-phase AS
         # store model (address early, data late) is expressible.
@@ -42,6 +44,11 @@ class Entry:
         self.inst = inst
         self.seq = inst.seq
         self.dispatch_cycle = dispatch_cycle
+        op = inst.op
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_branch = op.branch_class
+        self.uses_fp_unit = op.fp_class
         self.addr_pending = 0
         self.addr_ready = dispatch_cycle
         self.data_pending = 0
@@ -80,14 +87,6 @@ class Entry:
     def operands_ready_cycle(self) -> int:
         """Cycle when every operand (address and data) is available."""
         return max(self.addr_ready, self.data_ready)
-
-    @property
-    def is_load(self) -> bool:
-        return self.inst.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.op is OpClass.STORE
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "squashed" if self.squashed else (
@@ -136,39 +135,40 @@ class Window:
         the corresponding pending count is incremented; if it has, the
         operand-ready time absorbs its completion cycle.
         """
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.size:
             raise RuntimeError("window overflow")
-        if self._entries and entry.seq <= self._entries[-1].seq:
+        if entries and entry.seq <= entries[-1].seq:
             raise ValueError("dispatch must follow program order")
         inst = entry.inst
-        srcs = inst.srcs
-        for index, src in enumerate(srcs):
+        last_writer = self._last_writer
+        is_store = entry.is_store
+        for index, src in enumerate(inst.srcs):
             if src == REG_ZERO:
                 continue
             # A store's data operand is its second source by convention.
-            is_data = entry.is_store and index == 1
-            producer = self._last_writer.get(src)
+            is_data = is_store and index == 1
+            producer = last_writer.get(src)
             if producer is None or producer.squashed:
                 continue
             entry.producers.append(producer)
-            if producer.complete_cycle is not None:
+            done = producer.complete_cycle
+            if done is not None:
                 if is_data:
-                    entry.data_ready = max(
-                        entry.data_ready, producer.complete_cycle
-                    )
-                else:
-                    entry.addr_ready = max(
-                        entry.addr_ready, producer.complete_cycle
-                    )
+                    if done > entry.data_ready:
+                        entry.data_ready = done
+                elif done > entry.addr_ready:
+                    entry.addr_ready = done
             else:
                 producer.waiters.append((entry, is_data))
                 if is_data:
                     entry.data_pending += 1
                 else:
                     entry.addr_pending += 1
-        if inst.dest is not None and inst.dest != REG_ZERO:
-            self._last_writer[inst.dest] = entry
-        self._entries.append(entry)
+        dest = inst.dest
+        if dest is not None and dest != REG_ZERO:
+            last_writer[dest] = entry
+        entries.append(entry)
         self._by_seq[entry.seq] = entry
 
     def commit_head(self) -> Entry:
@@ -185,21 +185,35 @@ class Window:
     def squash_from(self, seq: int) -> List[Entry]:
         """Invalidate every entry with ``entry.seq >= seq``.
 
-        Returns the squashed entries (youngest first). The rename map is
-        rebuilt from the survivors.
+        Returns the squashed entries (youngest first). Only rename-map
+        slots owned by a squashed writer are repaired (by scanning the
+        survivors youngest-first for a replacement); a squash whose
+        victims wrote no register leaves the map untouched.
         """
         squashed: List[Entry] = []
-        while self._entries and self._entries[-1].seq >= seq:
-            entry = self._entries.pop()
+        entries = self._entries
+        by_seq = self._by_seq
+        last_writer = self._last_writer
+        dirty = None
+        while entries and entries[-1].seq >= seq:
+            entry = entries.pop()
             entry.squashed = True
-            del self._by_seq[entry.seq]
+            del by_seq[entry.seq]
             squashed.append(entry)
-        if squashed:
-            self._last_writer = {}
-            for entry in self._entries:
+            dest = entry.inst.dest
+            if dest is not None and last_writer.get(dest) is entry:
+                del last_writer[dest]
+                if dirty is None:
+                    dirty = set()
+                dirty.add(dest)
+        if dirty:
+            for entry in reversed(entries):
                 dest = entry.inst.dest
-                if dest is not None and dest != REG_ZERO:
-                    self._last_writer[dest] = entry
+                if dest in dirty:
+                    last_writer[dest] = entry
+                    dirty.discard(dest)
+                    if not dirty:
+                        break
         return squashed
 
     def clear(self) -> None:

@@ -156,7 +156,9 @@ def run_benchmark(
             return restored
     plan = _plan_for(name, settings)
     trace = get_trace(name, plan.length, settings.seed)
-    info = _dependences_for_length(name, plan.length, settings.seed)
+    info = _dependences_for_length(
+        name, plan.length, settings.seed, trace=trace
+    )
     if config.split.enabled:
         # The split-window model has no functional-warm mode; its caches
         # warm during the run, and comparisons against it use the same
@@ -171,11 +173,14 @@ def run_benchmark(
     return result
 
 
-def _dependences_for_length(name: str, length: int, seed: int):
+def _dependences_for_length(name: str, length: int, seed: int, trace=None):
+    """Memoized dependence analysis; pass *trace* when already in hand
+    so a catalog-cache miss does not regenerate it."""
     key = (name, length, seed)
     info = _dep_cache.get(key)
     if info is None:
-        trace = get_trace(name, length, seed)
+        if trace is None:
+            trace = get_trace(name, length, seed)
         info = compute_dependence_info(trace)
         _dep_cache[key] = info
     return info

@@ -59,6 +59,16 @@ FP_CLASSES = frozenset(
 )
 
 
+# Precomputed per-member flags: hot paths read ``op.mem_class`` etc. as
+# a plain attribute instead of hashing the member into a frozenset
+# (Enum.__hash__ is a Python-level call and shows up in profiles).
+for _op in OpClass:
+    _op.mem_class = _op in MEM_CLASSES
+    _op.branch_class = _op in BRANCH_CLASSES
+    _op.fp_class = _op in FP_CLASSES
+del _op
+
+
 def is_load(op: OpClass) -> bool:
     """Return True if *op* reads data memory."""
     return op is OpClass.LOAD

@@ -10,7 +10,7 @@ real associative structure.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 class _PostedStore:
@@ -35,10 +35,18 @@ class AddressScheduler:
         #: Store seqs dispatched but whose address is not yet posted,
         #: kept sorted (dispatch is in program order; squash truncates).
         self._unposted: List[int] = []
-        #: seq -> posted record, for posted in-window stores.
-        self._posted: Dict[int, _PostedStore] = {}
-        #: Posted seqs kept sorted for youngest-older-match searches.
+        #: Posted records, seq-sorted, with a parallel seq list so the
+        #: per-load queries bisect and scan without dict lookups.
         self._posted_seqs: List[int] = []
+        self._records: List[_PostedStore] = []
+        #: Count of posted stores covering each 8-byte block. Most load
+        #: searches find no overlapping store; this filter answers those
+        #: in O(1) (block-granular: a hit only means "scan to be sure").
+        self._blocks: dict = {}
+        #: Upper bound on every record's ``posted_cycle``. May be stale
+        #: high after removals — that only disables a fast path, never
+        #: a correct answer.
+        self._max_visible = -1
         self.posts = 0
         self.searches = 0
 
@@ -57,31 +65,49 @@ class AddressScheduler:
         if index < len(self._unposted) and self._unposted[index] == seq:
             self._unposted.pop(index)
         visible = cycle + self.latency
-        record = _PostedStore(
-            seq, entry.inst.addr, entry.inst.size, visible, entry
-        )
-        self._posted[seq] = record
-        bisect.insort(self._posted_seqs, seq)
+        addr = entry.inst.addr
+        size = entry.inst.size
+        record = _PostedStore(seq, addr, size, visible, entry)
+        index = bisect.bisect_left(self._posted_seqs, seq)
+        self._posted_seqs.insert(index, seq)
+        self._records.insert(index, record)
+        blocks = self._blocks
+        for block in range(addr >> 3, ((addr + size - 1) >> 3) + 1):
+            blocks[block] = blocks.get(block, 0) + 1
+        if visible > self._max_visible:
+            self._max_visible = visible
         self.posts += 1
         return visible
 
+    def _uncover(self, record: _PostedStore) -> None:
+        blocks = self._blocks
+        for block in range(
+            record.addr >> 3, ((record.addr + record.size - 1) >> 3) + 1
+        ):
+            count = blocks[block] - 1
+            if count:
+                blocks[block] = count
+            else:
+                del blocks[block]
+
     def remove_store(self, seq: int) -> None:
         """A store left the window (commit)."""
-        if seq in self._posted:
-            del self._posted[seq]
-            index = bisect.bisect_left(self._posted_seqs, seq)
-            if (index < len(self._posted_seqs)
-                    and self._posted_seqs[index] == seq):
-                self._posted_seqs.pop(index)
+        seqs = self._posted_seqs
+        index = bisect.bisect_left(seqs, seq)
+        if index < len(seqs) and seqs[index] == seq:
+            self._uncover(self._records[index])
+            del seqs[index]
+            del self._records[index]
 
     def squash(self, from_seq: int) -> None:
         """Drop every store with seq >= *from_seq*."""
         cut = bisect.bisect_left(self._unposted, from_seq)
         del self._unposted[cut:]
         cut = bisect.bisect_left(self._posted_seqs, from_seq)
-        for seq in self._posted_seqs[cut:]:
-            del self._posted[seq]
+        for record in self._records[cut:]:
+            self._uncover(record)
         del self._posted_seqs[cut:]
+        del self._records[cut:]
 
     # -- load-side queries -----------------------------------------------------
 
@@ -90,10 +116,14 @@ class AddressScheduler:
         if self._unposted and self._unposted[0] < seq:
             return False
         # Posted but not yet visible (scheduler latency) also blocks.
-        for older_seq in self._posted_seqs:
-            if older_seq >= seq:
+        # Visibility lags a post by at most a few cycles, so the bound
+        # check answers almost every query without the scan.
+        if self._max_visible <= cycle:
+            return True
+        for record in self._records:
+            if record.seq >= seq:
                 break
-            if self._posted[older_seq].posted_cycle > cycle:
+            if record.posted_cycle > cycle:
                 return False
         return True
 
@@ -105,12 +135,20 @@ class AddressScheduler:
         Returns the store's window entry, or None.
         """
         self.searches += 1
-        index = bisect.bisect_left(self._posted_seqs, seq)
-        for i in range(index - 1, -1, -1):
-            record = self._posted[self._posted_seqs[i]]
+        blocks = self._blocks
+        end = addr + size
+        for block in range(addr >> 3, ((end - 1) >> 3) + 1):
+            if block in blocks:
+                break
+        else:
+            return None
+        records = self._records
+        for i in range(bisect.bisect_left(self._posted_seqs, seq) - 1,
+                       -1, -1):
+            record = records[i]
             if record.posted_cycle > cycle:
                 continue
-            if record.addr < addr + size and addr < record.addr + record.size:
+            if record.addr < end and addr < record.addr + record.size:
                 return record.entry
         return None
 

@@ -9,7 +9,6 @@ the next level; the access completes when the fill returns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List
 
 from repro.config.processor import CacheConfig
@@ -20,12 +19,25 @@ from repro.memory.mshr import MSHRFile
 NextLevel = Callable[[int, int, bool], int]
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one cache access."""
+    """Outcome of one cache access.
 
-    complete_cycle: int
-    hit: bool
+    A plain slotted class rather than a frozen dataclass: one is built
+    per access and ``object.__setattr__`` (the frozen-init path) is
+    measurable there.
+    """
+
+    __slots__ = ("complete_cycle", "hit")
+
+    def __init__(self, complete_cycle: int, hit: bool) -> None:
+        self.complete_cycle = complete_cycle
+        self.hit = hit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccessResult(complete_cycle={self.complete_cycle}, "
+            f"hit={self.hit})"
+        )
 
 
 class SetAssocCache:
@@ -39,6 +51,11 @@ class SetAssocCache:
         if config.banks & self._bank_mask:
             raise ValueError("bank count must be a power of two")
         self._set_mask = config.sets_per_bank - 1
+        self._set_shift = self._bank_mask.bit_length()
+        # Hot-path copies of immutable config values.
+        self._hit_latency = config.hit_latency
+        self._fill_delta = config.miss_latency - config.hit_latency
+        self._assoc = config.assoc
         # tags[bank][set] = list of block tags in LRU order (front = MRU).
         self._tags: List[List[List[int]]] = [
             [[] for _ in range(config.sets_per_bank)]
@@ -75,39 +92,42 @@ class SetAssocCache:
         whether the access hit. The tag array is updated (allocate-on-miss
         for both reads and writes; LRU).
         """
-        block = self.block_address(addr)
-        bank = self._bank_of(block)
+        block = addr >> self._block_shift
+        bank = block & self._bank_mask
 
         start = cycle
-        if self._bank_free[bank] > start:
+        bank_free = self._bank_free
+        if bank_free[bank] > start:
             self.bank_conflicts += 1
-            start = self._bank_free[bank]
-        self._bank_free[bank] = start + 1
+            start = bank_free[bank]
+        bank_free[bank] = start + 1
 
-        ways = self._tags[bank][self._set_of(block)]
+        ways = self._tags[bank][(block >> self._set_shift) & self._set_mask]
         tag = block
         mshr_bank = self._mshrs.bank(bank)
-        for i, way_tag in enumerate(ways):
-            if way_tag == tag:
-                if i:
-                    ways.insert(0, ways.pop(i))
-                # The tag is installed when the fill is *requested*; if
-                # the fill is still in flight this access merges into it
-                # (a secondary miss) rather than hitting instantly.
+        if tag in ways:
+            i = ways.index(tag)
+            if i:
+                ways.insert(0, ways.pop(i))
+            # The tag is installed when the fill is *requested*; if
+            # the fill is still in flight this access merges into it
+            # (a secondary miss) rather than hitting instantly. Most
+            # hits find an idle MSHR bank — skip the merge lookup then.
+            if mshr_bank._entries:
                 pending = mshr_bank.lookup(tag, start)
                 if pending is not None:
                     self.misses += 1
                     return AccessResult(max(pending, start + 1), False)
-                self.hits += 1
-                return AccessResult(start + self.config.hit_latency, True)
+            self.hits += 1
+            return AccessResult(start + self._hit_latency, True)
 
         self.misses += 1
 
         # Primary miss: request from the next level.
         fill_done = self._next_level(
-            block << self._block_shift, start + self.config.hit_latency, write
+            block << self._block_shift, start + self._hit_latency, write
         )
-        fill_done += self.config.miss_latency - self.config.hit_latency
+        fill_done += self._fill_delta
         ready = mshr_bank.allocate(tag, fill_done, start)
         self._install(ways, tag)
         return AccessResult(max(ready, start + 1), False)
@@ -116,7 +136,7 @@ class SetAssocCache:
         if tag in ways:
             return
         ways.insert(0, tag)
-        if len(ways) > self.config.assoc:
+        if len(ways) > self._assoc:
             ways.pop()
 
     def touch(self, addr: int) -> None:

@@ -38,6 +38,14 @@ class StoreBuffer:
             raise ValueError("store buffer needs at least one entry")
         self.capacity = capacity
         self._entries: List[StoreBufferEntry] = []
+        #: Parallel seq list so insert/search bisect instead of building
+        #: a key list (insert) or scanning younger entries (search).
+        self._seqs: List[int] = []
+        #: Count of buffered stores covering each 8-byte block. Most
+        #: load searches find no overlapping store at all; this filter
+        #: answers those without scanning the buffer (block-granular, so
+        #: a hit only means "scan to be sure").
+        self._blocks: dict = {}
         self.forwards = 0
         self.partial_overlaps = 0
 
@@ -56,15 +64,28 @@ class StoreBuffer:
         """
         if self.full:
             raise RuntimeError("store buffer overflow")
-        index = bisect.bisect_left(
-            [e.seq for e in self._entries], entry.seq
-        )
-        if (
-            index < len(self._entries)
-            and self._entries[index].seq == entry.seq
-        ):
+        seqs = self._seqs
+        index = bisect.bisect_left(seqs, entry.seq)
+        if index < len(seqs) and seqs[index] == entry.seq:
             raise ValueError(f"duplicate store seq {entry.seq}")
         self._entries.insert(index, entry)
+        seqs.insert(index, entry.seq)
+        blocks = self._blocks
+        for block in range(
+            entry.addr >> 3, ((entry.addr + entry.size - 1) >> 3) + 1
+        ):
+            blocks[block] = blocks.get(block, 0) + 1
+
+    def _uncover(self, entry: StoreBufferEntry) -> None:
+        blocks = self._blocks
+        for block in range(
+            entry.addr >> 3, ((entry.addr + entry.size - 1) >> 3) + 1
+        ):
+            count = blocks[block] - 1
+            if count:
+                blocks[block] = count
+            else:
+                del blocks[block]
 
     def search(
         self, seq: int, addr: int, size: int
@@ -75,12 +96,23 @@ class StoreBuffer:
         buffered store overlaps. ``full_overlap`` is True when the store
         covers every byte of the load (so its value can be forwarded).
         """
-        for entry in reversed(self._entries):
-            if entry.seq >= seq:
-                continue
-            if entry.addr < addr + size and addr < entry.addr + entry.size:
-                full = entry.addr <= addr and (
-                    entry.addr + entry.size >= addr + size
+        blocks = self._blocks
+        end = addr + size
+        for block in range(addr >> 3, ((end - 1) >> 3) + 1):
+            if block in blocks:
+                break
+        else:
+            return None, False
+        entries = self._entries
+        # Entries are seq-sorted: everything before this index is older,
+        # so the youngest-first scan starts there (younger stores are
+        # never even touched).
+        for index in range(bisect.bisect_left(self._seqs, seq) - 1, -1, -1):
+            entry = entries[index]
+            entry_addr = entry.addr
+            if entry_addr < end and addr < entry_addr + entry.size:
+                full = entry_addr <= addr and (
+                    entry_addr + entry.size >= end
                 )
                 if full:
                     self.forwards += 1
@@ -91,19 +123,48 @@ class StoreBuffer:
 
     def drain_older_than(self, seq: int) -> None:
         """Remove entries older than *seq* that have drained (commit)."""
-        self._entries = [
+        kept = [
             e
             for e in self._entries
             if e.seq >= seq or e.drain_cycle is None
         ]
+        if len(kept) != len(self._entries):
+            for entry in self._entries:
+                if entry.seq < seq and entry.drain_cycle is not None:
+                    self._uncover(entry)
+            self._entries = kept
+            self._seqs = [e.seq for e in kept]
+
+    def evict_oldest_before(self, seq: int) -> bool:
+        """Drop the oldest buffered store if it is older than *seq*.
+
+        Entries are seq-sorted, so the head is the only candidate. The
+        processor uses this to free a slot when the buffer is full:
+        only stores already retired past the window head may be evicted.
+        """
+        if self._entries and self._seqs[0] < seq:
+            self._uncover(self._entries[0])
+            del self._entries[0]
+            del self._seqs[0]
+            return True
+        return False
 
     def remove(self, seq: int) -> None:
         """Remove the entry with sequence number *seq*, if present."""
-        self._entries = [e for e in self._entries if e.seq != seq]
+        seqs = self._seqs
+        index = bisect.bisect_left(seqs, seq)
+        if index < len(seqs) and seqs[index] == seq:
+            self._uncover(self._entries[index])
+            del self._entries[index]
+            del seqs[index]
 
     def squash_younger(self, seq: int) -> None:
         """Drop all stores with sequence number >= *seq* (mis-speculation)."""
-        self._entries = [e for e in self._entries if e.seq < seq]
+        cut = bisect.bisect_left(self._seqs, seq)
+        for entry in self._entries[cut:]:
+            self._uncover(entry)
+        del self._entries[cut:]
+        del self._seqs[cut:]
 
     def entries(self) -> Tuple[StoreBufferEntry, ...]:
         """Snapshot of buffered stores in program order."""
@@ -111,3 +172,5 @@ class StoreBuffer:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._seqs.clear()
+        self._blocks.clear()

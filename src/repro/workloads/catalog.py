@@ -3,11 +3,14 @@
 Traces are deterministic functions of (name, length, seed); the catalog
 memoizes them (and their precomputed dependence analyses) so a benchmark
 suite that runs 16 machine configurations over 18 workloads generates
-each trace once.
+each trace once. Both memos are LRU-bounded so a long-lived process
+(parallel runner worker, notebook) cannot accumulate traces without
+limit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Tuple
 
 from repro.trace.dependences import compute_true_dependences
@@ -24,8 +27,13 @@ DEFAULT_LENGTH = 30_000
 
 KERNEL_NAMES = tuple(sorted(KERNELS))
 
-_trace_cache: Dict[Tuple[str, int, int], Trace] = {}
-_dep_cache: Dict[int, Dict[int, int]] = {}
+#: LRU bound for both memos. A full benchmark suite touches ~18
+#: workloads times a couple of (length, seed) variants; 32 keeps that
+#: whole working set resident while bounding a long-lived process.
+TRACE_CACHE_SIZE = 32
+
+_trace_cache: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+_dep_cache: "OrderedDict[int, Tuple[Trace, Dict[int, int]]]" = OrderedDict()
 
 
 def get_trace(
@@ -35,6 +43,7 @@ def get_trace(
     key = (name, length, seed)
     cached = _trace_cache.get(key)
     if cached is not None:
+        _trace_cache.move_to_end(key)
         return cached
     if name in KERNELS:
         trace = kernel_trace(name, max_instructions=length)
@@ -43,6 +52,8 @@ def get_trace(
         program = SyntheticProgram(profile, seed=seed)
         trace = program.generate(length)
     _trace_cache[key] = trace
+    if len(_trace_cache) > TRACE_CACHE_SIZE:
+        _trace_cache.popitem(last=False)
     return trace
 
 
@@ -67,10 +78,18 @@ def kernel_trace(name: str, max_instructions: int = 200_000, **kwargs) -> Trace:
 def get_dependences(trace: Trace) -> Dict[int, int]:
     """Memoized :func:`compute_true_dependences` for *trace*."""
     key = id(trace)
-    deps = _dep_cache.get(key)
-    if deps is None:
-        deps = compute_true_dependences(trace)
-        _dep_cache[key] = deps
+    entry = _dep_cache.get(key)
+    # The identity check guards against id() reuse after a trace that
+    # was cached here has been garbage collected.
+    if entry is not None and entry[0] is trace:
+        _dep_cache.move_to_end(key)
+        return entry[1]
+    deps = compute_true_dependences(trace)
+    # Storing the trace alongside its analysis pins it, so the id key
+    # stays valid for exactly as long as the cache entry lives.
+    _dep_cache[key] = (trace, deps)
+    if len(_dep_cache) > TRACE_CACHE_SIZE:
+        _dep_cache.popitem(last=False)
     return deps
 
 

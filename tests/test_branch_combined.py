@@ -37,3 +37,25 @@ def test_components_accessible():
     )
     assert predictor.bimodal.entries == 64
     assert predictor.gselect.entries == 64
+
+
+def test_predict_and_train_matches_split_calls():
+    import random
+
+    rng = random.Random(7)
+    fused = CombinedPredictor(
+        meta_entries=256, bimodal_entries=256, gselect_entries=256
+    )
+    split = CombinedPredictor(
+        meta_entries=256, bimodal_entries=256, gselect_entries=256
+    )
+    for _ in range(500):
+        pc = rng.randrange(0, 256) * 4
+        taken = rng.random() < 0.7
+        expected = split.predict(pc)
+        split.update(pc, taken)
+        assert fused.predict_and_train(pc, taken) == expected
+    assert fused._meta == split._meta
+    assert fused.bimodal._counters == split.bimodal._counters
+    assert fused.gselect._counters == split.gselect._counters
+    assert fused.gselect.history == split.gselect.history

@@ -82,3 +82,29 @@ def test_synonym_tracker_squash_and_retire():
     tracker.retire(9, s1)
     assert tracker.closest_older_producer(9, 10) is None
     tracker.retire(None, s1)  # no-op
+
+
+def test_mem_pool_memoizes_live_list():
+    pool = MemPool()
+    a, b = _entry(1), _entry(2)
+    pool.push(a)
+    pool.push(b)
+    first = pool.live_entries()
+    assert pool.live_entries() is first  # unchanged pool: memo reused
+    pool.remove(a)
+    second = pool.live_entries()
+    assert second is not first
+    assert [e.seq for e in second] == [2]
+
+
+def test_mem_pool_invalidate_after_external_squash():
+    pool = MemPool()
+    a, b = _entry(1), _entry(2)
+    pool.push(a)
+    pool.push(b)
+    pool.live_entries()
+    # A squash flags the entry without telling the pool; the memo is
+    # stale until invalidate().
+    b.squashed = True
+    pool.invalidate()
+    assert [e.seq for e in pool.live_entries()] == [1]

@@ -1,0 +1,155 @@
+"""Golden-parity suite: the timing model must not drift under perf work.
+
+Every valid (scheduling, policy) combination — all 7 policies under NAS
+plus the AS-compatible ones, both recovery models and both window
+presets — is simulated on small deterministic traces and every integer
+field of :class:`SimResult` is compared bit-for-bit against a committed
+fixture. Optimizations that change *speed* must leave these numbers
+untouched; anything that moves them is a model change and needs an
+explicit fixture regeneration (and review of the diff).
+
+Regenerate after an intentional model change with::
+
+    PYTHONPATH=src python tests/test_golden_parity.py --regen
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.config.presets import continuous_window_64, continuous_window_128
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.core.processor import Processor
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden_parity.json"
+)
+
+#: (benchmark, warm-up boundary, trace length) — one integer and one
+#: floating-point SPEC'95 stand-in, long enough to exercise squashes,
+#: forwarding and predictor training, short enough to stay test-sized.
+BENCHMARKS = (
+    ("126.gcc", 1_000, 4_000),
+    ("102.swim", 1_000, 4_000),
+)
+
+#: Every field that must match exactly. (Derived metrics like IPC follow
+#: from these; ``extra`` is excluded because it is free-form.)
+FIELDS = (
+    "cycles", "committed", "committed_loads", "committed_stores",
+    "committed_branches", "misspeculations", "squashed_instructions",
+    "false_dependence_loads", "true_dependence_loads",
+    "false_dependence_latency", "branch_predictions",
+    "branch_mispredictions", "load_forwards", "speculative_loads",
+    "dcache_accesses", "dcache_misses", "icache_accesses",
+    "icache_misses", "l2_accesses", "l2_misses",
+)
+
+
+def parity_configs():
+    """Label -> config for every valid policy/scheduling combination."""
+    nas, as_ = SchedulingModel.NAS, SchedulingModel.AS
+    configs = {}
+    for policy in SpeculationPolicy:
+        configs[f"NAS/{policy.value}"] = continuous_window_128(nas, policy)
+    for policy in (
+        SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+        SpeculationPolicy.ORACLE,
+    ):
+        configs[f"AS/{policy.value}"] = continuous_window_128(as_, policy)
+    configs["AS/NAV+1cy"] = continuous_window_128(
+        as_, SpeculationPolicy.NAIVE, addr_scheduler_latency=1
+    )
+    configs["NAS/NAV:selective"] = continuous_window_128(
+        nas, SpeculationPolicy.NAIVE, recovery="selective"
+    )
+    configs["NAS/NO@64"] = continuous_window_64(
+        nas, SpeculationPolicy.NO
+    )
+    configs["NAS/SSET@64"] = continuous_window_64(
+        nas, SpeculationPolicy.STORE_SETS
+    )
+    return configs
+
+
+def simulate_cell(benchmark, warm, length, config):
+    """Field dict for one (benchmark, config) cell, fresh every time."""
+    trace = get_trace(benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False), Segment(warm, length, timing=True)),
+        length,
+    )
+    result = Processor(config, trace, info).run(plan)
+    return {name: getattr(result, name) for name in FIELDS}
+
+
+def _cell_id(benchmark, label):
+    return f"{benchmark}:{label}"
+
+
+CELLS = [
+    (benchmark, warm, length, label, config)
+    for benchmark, warm, length in BENCHMARKS
+    for label, config in parity_configs().items()
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(FIXTURE):
+        pytest.fail(
+            f"missing golden fixture {FIXTURE}; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_parity.py --regen`"
+        )
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize(
+    "workload,warm,length,label,config",
+    CELLS,
+    ids=[_cell_id(c[0], c[3]) for c in CELLS],
+)
+def test_golden_parity(golden, workload, warm, length, label, config):
+    cell = _cell_id(workload, label)
+    assert cell in golden["cells"], (
+        f"no golden numbers for {cell}; regenerate the fixture"
+    )
+    expected = golden["cells"][cell]
+    actual = simulate_cell(workload, warm, length, config)
+    assert actual == expected, (
+        f"{cell}: timing model drifted: " + ", ".join(
+            f"{k}: {expected[k]} -> {actual[k]}"
+            for k in FIELDS if expected[k] != actual[k]
+        )
+    )
+
+
+def regenerate():
+    cells = {}
+    for benchmark, warm, length, label, config in CELLS:
+        cell = _cell_id(benchmark, label)
+        cells[cell] = simulate_cell(benchmark, warm, length, config)
+        print(f"  {cell}: cycles={cells[cell]['cycles']}")
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    with open(FIXTURE, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"fields": FIELDS, "cells": cells},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"wrote {FIXTURE} ({len(cells)} cells)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -88,3 +88,35 @@ def test_dispatch_order_enforced():
 def test_negative_latency_rejected():
     with pytest.raises(ValueError):
         AddressScheduler(latency=-1)
+
+
+def test_match_for_wide_access_spanning_blocks():
+    # The block filter must walk every 8-byte block of a wide access,
+    # not just its endpoints.
+    sched = AddressScheduler(latency=0)
+    sched.on_store_dispatch(2)
+    sched.post_address(_FakeStore(2, 0x110), cycle=0)
+    assert sched.youngest_older_match(9, 0x100, 32, cycle=5) is not None
+    assert sched.youngest_older_match(9, 0x200, 32, cycle=5) is None
+
+
+def test_removed_store_no_longer_matches():
+    sched = AddressScheduler(latency=0)
+    sched.on_store_dispatch(2)
+    sched.post_address(_FakeStore(2, 0x100), cycle=0)
+    assert sched.youngest_older_match(9, 0x100, 4, cycle=5) is not None
+    sched.remove_store(2)
+    assert sched.youngest_older_match(9, 0x100, 4, cycle=5) is None
+
+
+def test_visibility_bound_survives_removal():
+    # The max-visibility bound may go stale high after a removal; that
+    # must only cost a scan, never flip an answer.
+    sched = AddressScheduler(latency=2)
+    sched.on_store_dispatch(2)
+    sched.on_store_dispatch(6)
+    sched.post_address(_FakeStore(2, 0x100), cycle=10)  # visible at 12
+    sched.post_address(_FakeStore(6, 0x200), cycle=4)   # visible at 6
+    sched.remove_store(2)
+    assert sched.all_older_posted(9, cycle=7)
+    assert not sched.all_older_posted(9, cycle=5)  # store 6 not visible

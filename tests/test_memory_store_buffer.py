@@ -83,3 +83,31 @@ def test_remove():
     buf.insert(_entry(1, 0))
     buf.remove(1)
     assert len(buf) == 0
+
+
+def test_evict_oldest_before():
+    buf = StoreBuffer(capacity=4)
+    buf.insert(_entry(3, 0x100))
+    buf.insert(_entry(7, 0x200))
+    # Oldest entry (seq 3) is older than 5: evicted.
+    assert buf.evict_oldest_before(5)
+    assert [e.seq for e in buf.entries()] == [7]
+    # Oldest remaining (seq 7) is not older than 5: refused.
+    assert not buf.evict_oldest_before(5)
+    assert len(buf) == 1
+    # The evicted store's coverage is gone from the block filter.
+    assert buf.search(seq=9, addr=0x100, size=4) == (None, False)
+
+
+def test_evict_oldest_before_empty():
+    buf = StoreBuffer(capacity=4)
+    assert not buf.evict_oldest_before(100)
+
+
+def test_search_wide_load_spanning_many_blocks():
+    # A load wider than two 8-byte blocks must still see a store that
+    # covers only its middle — the block filter walks every block.
+    buf = StoreBuffer(capacity=4)
+    buf.insert(_entry(1, 0x110, size=4))
+    entry, full = buf.search(seq=5, addr=0x100, size=32)
+    assert entry.seq == 1 and not full

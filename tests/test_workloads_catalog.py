@@ -39,3 +39,34 @@ def test_dependences_cached():
 def test_suite_tag_present():
     assert get_trace("126.gcc", 1000).suite == "int"
     assert get_trace("102.swim", 1000).suite == "fp"
+
+
+def test_trace_cache_is_lru_bounded(monkeypatch):
+    import repro.workloads.catalog as catalog
+
+    clear_cache()
+    monkeypatch.setattr(catalog, "TRACE_CACHE_SIZE", 2)
+    a = get_trace("126.gcc", 1200)
+    b = get_trace("102.swim", 1200)
+    assert get_trace("126.gcc", 1200) is a  # touch: gcc is now MRU
+    c = get_trace("129.compress", 1200)  # evicts swim (LRU)
+    assert get_trace("126.gcc", 1200) is a
+    assert get_trace("129.compress", 1200) is c
+    assert get_trace("102.swim", 1200) is not b
+    clear_cache()
+
+
+def test_dep_cache_pins_trace_and_is_bounded(monkeypatch):
+    import repro.workloads.catalog as catalog
+
+    clear_cache()
+    monkeypatch.setattr(catalog, "TRACE_CACHE_SIZE", 1)
+    a = get_trace("126.gcc", 1200)
+    deps_a = get_dependences(a)
+    assert get_dependences(a) is deps_a
+    # A second analysis evicts the first; recomputing builds a new dict.
+    b = get_trace("102.swim", 1200)
+    get_dependences(b)
+    assert len(catalog._dep_cache) == 1
+    assert get_dependences(a) is not deps_a
+    clear_cache()

@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Core-simulator throughput benchmark: simulated KIPS per matrix cell.
+
+Measures the cycle-level core directly (no result store, no memoization)
+so the number tracks *cold* simulation speed — the cost every new
+experiment point actually pays. Each cell of the (policy, window)
+matrix simulates the same deterministic trace and reports
+
+    KIPS = committed instructions / wall seconds / 1000
+
+best-of ``--repeat`` passes (trace generation and dependence analysis
+are excluded; they are measured once under ``trace_prep``). Results go
+to a JSON artifact (``BENCH_core.json`` by convention — the repo's
+perf-trajectory record).
+
+Modes:
+
+``--compare BEFORE.json``
+    Embed a prior measurement as the ``baseline`` section and compute
+    per-cell + geomean speedups (used to document an optimization PR).
+``--baseline BENCH_core.json``
+    Trend gate for CI: recompute geomean over the overlapping cells and
+    *warn* (never fail, unless ``--fail-on-regress``) when this run is
+    more than ``--warn-threshold`` slower. Absolute KIPS is machine
+    dependent, so cross-machine comparisons are advisory only.
+``--profile OUT.prof``
+    cProfile the first cell and write pstats output for hot-spot work
+    (inspect with ``python -m pstats OUT.prof``).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_bench.py --out BENCH_core.json
+    PYTHONPATH=src python tools/perf_bench.py --quick --profile core.prof
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+
+
+def build_cells(quick):
+    """Ordered {label: config} for the bench matrix."""
+    from repro.config.presets import (
+        continuous_window_64, continuous_window_128,
+    )
+    from repro.config.processor import SchedulingModel, SpeculationPolicy
+
+    nas, as_ = SchedulingModel.NAS, SchedulingModel.AS
+    if quick:
+        policies = (
+            SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+            SpeculationPolicy.SYNC, SpeculationPolicy.ORACLE,
+        )
+    else:
+        policies = tuple(SpeculationPolicy)
+    cells = {
+        f"NAS/{p.value}@128": continuous_window_128(nas, p)
+        for p in policies
+    }
+    cells["AS/NO@128"] = continuous_window_128(as_, SpeculationPolicy.NO)
+    cells["AS/NAV@128"] = continuous_window_128(
+        as_, SpeculationPolicy.NAIVE
+    )
+    cells["NAS/NO@64"] = continuous_window_64(nas, SpeculationPolicy.NO)
+    if not quick:
+        cells["NAS/NAV@64"] = continuous_window_64(
+            nas, SpeculationPolicy.NAIVE
+        )
+    return cells
+
+
+def measure_cell(config, trace, info, plan, repeat):
+    """Best-of-*repeat* wall time for one cold simulation."""
+    from repro.core.processor import Processor
+
+    best = None
+    result = None
+    for _ in range(repeat):
+        processor = Processor(config, trace, info)
+        started = time.perf_counter()
+        result = processor.run(plan)
+        wall = time.perf_counter() - started
+        if best is None or wall < best:
+            best = wall
+    kips = result.committed / best / 1000.0 if best else 0.0
+    return {
+        "kips": round(kips, 3),
+        "wall_s": round(best, 6),
+        "committed": result.committed,
+        "cycles": result.cycles,
+    }
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(args):
+    from repro.trace.dependences import compute_dependence_info
+    from repro.trace.sampling import SamplingPlan, Segment
+    from repro.workloads.catalog import get_trace
+
+    warm = 2_000 if args.quick else 6_000
+    timed = 6_000 if args.quick else 20_000
+    length = warm + timed
+
+    started = time.perf_counter()
+    trace = get_trace(args.benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    trace_prep = time.perf_counter() - started
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False),
+         Segment(warm, length, timing=True)),
+        length,
+    )
+
+    cells = build_cells(args.quick)
+    if args.cells:
+        wanted = [w.strip() for w in args.cells.split(",") if w.strip()]
+        cells = {
+            label: config
+            for label, config in cells.items()
+            if any(w in label for w in wanted)
+        }
+        if not cells:
+            raise SystemExit(f"--cells {args.cells!r} matches nothing")
+    if args.profile:
+        import cProfile
+
+        label, config = next(iter(cells.items()))
+        print(f"profiling {label} -> {args.profile}")
+        cProfile.runctx(
+            "measure_cell(config, trace, info, plan, 1)",
+            {"measure_cell": measure_cell},
+            {"config": config, "trace": trace, "info": info, "plan": plan},
+            filename=args.profile,
+        )
+
+    measured = {}
+    for label, config in cells.items():
+        measured[label] = measure_cell(
+            config, trace, info, plan, args.repeat
+        )
+        print(
+            f"  {label:>16}: {measured[label]['kips']:8.1f} KIPS "
+            f"({measured[label]['wall_s']:.3f}s)"
+        )
+    return {
+        "schema": 1,
+        "benchmark": args.benchmark,
+        "settings": {
+            "warmup_instructions": warm,
+            "timing_instructions": timed,
+            "repeat": args.repeat,
+            "quick": args.quick,
+        },
+        "trace_prep_s": round(trace_prep, 6),
+        "cells": measured,
+        "geomean_kips": round(
+            geomean([c["kips"] for c in measured.values()]), 3
+        ),
+    }
+
+
+def attach_comparison(bench, before):
+    """Embed *before* as the baseline and compute speedups."""
+    speedups = {}
+    for label, cell in bench["cells"].items():
+        old = before.get("cells", {}).get(label)
+        if old and old.get("kips"):
+            speedups[label] = round(cell["kips"] / old["kips"], 3)
+    bench["baseline"] = {
+        "cells": before.get("cells", {}),
+        "geomean_kips": before.get("geomean_kips"),
+        "settings": before.get("settings"),
+    }
+    bench["speedup"] = {
+        "per_cell": speedups,
+        "geomean": round(geomean(list(speedups.values())), 3),
+    }
+    return bench
+
+
+def check_regression(bench, baseline, threshold):
+    """Advisory trend gate: geomean over overlapping cells."""
+    base_cells = baseline.get("cells", {})
+    overlap = [
+        (label, cell["kips"], base_cells[label]["kips"])
+        for label, cell in bench["cells"].items()
+        if label in base_cells and base_cells[label].get("kips")
+    ]
+    if not overlap:
+        print("no overlapping cells with the committed baseline; skipping")
+        return True
+    ratio = geomean([new / old for _, new, old in overlap])
+    print(
+        f"KIPS vs committed baseline over {len(overlap)} cells: "
+        f"{ratio:.2f}x"
+    )
+    if ratio < 1.0 - threshold:
+        # GitHub Actions annotation; advisory because absolute KIPS is
+        # machine dependent (CI runners vary run to run).
+        print(
+            f"::warning title=perf-smoke::simulated KIPS geomean is "
+            f"{1 - ratio:.0%} below the committed baseline "
+            f"(threshold {threshold:.0%}); investigate or refresh "
+            f"benchmarks/BENCH_core.json"
+        )
+        return False
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="write measurement JSON here")
+    parser.add_argument("--benchmark", default="126.gcc")
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix + short trace (CI smoke)")
+    parser.add_argument("--cells", default=None, metavar="SUBSTR[,..]",
+                        help="only run cells whose label contains one "
+                             "of the given substrings")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="passes per cell, best-of (default 2)")
+    parser.add_argument("--profile", default=None, metavar="OUT.prof",
+                        help="cProfile the first cell into OUT.prof")
+    parser.add_argument("--compare", default=None, metavar="BEFORE.json",
+                        help="embed BEFORE.json as baseline + speedups")
+    parser.add_argument("--baseline", default=None,
+                        metavar="BENCH_core.json",
+                        help="committed baseline for the CI trend gate")
+    parser.add_argument("--warn-threshold", type=float, default=0.25,
+                        help="relative KIPS drop that warns (default .25)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 instead of warning on regression")
+    args = parser.parse_args(argv)
+
+    bench = run_bench(args)
+    print(f"geomean: {bench['geomean_kips']:.1f} KIPS")
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            attach_comparison(bench, json.load(handle))
+        print(f"speedup vs {args.compare}: "
+              f"{bench['speedup']['geomean']:.2f}x geomean")
+
+    ok = True
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            baseline = None
+        if baseline is not None:
+            ok = check_regression(bench, baseline, args.warn_threshold)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if not ok and args.fail_on_regress:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

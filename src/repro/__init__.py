@@ -31,6 +31,13 @@ from repro.config import (
     split_window,
 )
 from repro.core import Processor, SimResult, simulate
+from repro.observe import (
+    NullObserverSink,
+    ObserverBus,
+    PipelineRecorder,
+    StallAccountant,
+    default_observer,
+)
 from repro.splitwindow import simulate_split
 from repro.trace.events import Trace
 from repro.vm import run_program
@@ -56,6 +63,11 @@ __all__ = [
     "Processor",
     "SimResult",
     "simulate",
+    "NullObserverSink",
+    "ObserverBus",
+    "PipelineRecorder",
+    "StallAccountant",
+    "default_observer",
     "simulate_split",
     "Trace",
     "run_program",

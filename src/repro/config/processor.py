@@ -248,6 +248,10 @@ class ProcessorConfig:
     #: Cycles from branch mispredict resolution to corrected fetch reaching
     #: the window (front-end redirect penalty).
     branch_redirect_penalty: int = 4
+    #: Attach the default observability bus (stall attribution — see
+    #: :mod:`repro.observe`). Purely additive: timing is bit-identical
+    #: with or without it; results gain an ``extra["observe"]`` summary.
+    observe: bool = False
 
     def with_memdep(
         self,

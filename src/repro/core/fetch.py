@@ -55,6 +55,10 @@ class FetchUnit:
         #: tight loop does not re-probe the I-cache every iteration.
         self._recent_blocks: dict = {}
         self._recent_cap = 4 * config.fetch.max_blocks_per_cycle
+        #: Optional observability bus (repro.observe); set by the
+        #: processor after construction. Guarded per tick, not per
+        #: instruction, so the disabled path costs one None test.
+        self.observer = None
 
     @property
     def done(self) -> bool:
@@ -107,6 +111,7 @@ class FetchUnit:
         pos = cursor._pos
         stop = cursor._stop
         instructions = cursor._trace.instructions
+        observer = self.observer
         while (
             fetched < width
             and len(buffer) < buffer_cap
@@ -133,6 +138,8 @@ class FetchUnit:
             pos += 1
             buffer.append((inst, dispatch_at))
             fetched += 1
+            if observer is not None:
+                observer.emit_fetch(inst, cycle)
             if inst.op.branch_class:
                 prediction = self.branch_unit.predict_and_train(inst)
                 if not prediction.correct:

@@ -58,7 +58,11 @@ class MemPool:
     stale record is compacted away.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "mem-pool", observer=None) -> None:
+        self.name = name
+        #: Optional observability bus (repro.observe): push depths feed
+        #: the bus's high-water marks.
+        self.observer = observer
         self._items: List = []  # (seq, push_serial, entry), seq-sorted
         self._serial = 0
         self._dead = 0
@@ -80,6 +84,10 @@ class MemPool:
             items.append(item)
         else:
             bisect.insort(items, item)
+        if self.observer is not None:
+            self.observer.note_depth(
+                self.name, len(items) - self._dead
+            )
 
     def __len__(self) -> int:
         return len(self._items) - self._dead

@@ -79,6 +79,7 @@ class Processor:
         dep_info: Optional[Dict[int, DependenceInfo]] = None,
         timeline: Optional["TimelineRecorder"] = None,
         telemetry: Optional["Telemetry"] = None,
+        observer=None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -86,6 +87,14 @@ class Processor:
         self.timeline = timeline
         #: Optional utilisation sampler (repro.core.telemetry).
         self.telemetry = telemetry
+        #: Optional observability bus (repro.observe). Every hook is an
+        #: ``if observer is not None`` guard, so a detached processor is
+        #: bit-identical and within noise of the pre-hook simulator.
+        if observer is None and config.observe:
+            from repro.observe.bus import default_observer
+
+            observer = default_observer(config)
+        self.observer = observer
         self.dep_info = (
             dep_info if dep_info is not None
             else compute_dependence_info(trace)
@@ -187,6 +196,8 @@ class Processor:
         finally:
             if was_enabled:
                 gc.enable()
+        if self.observer is not None:
+            total.extra["observe"] = self.observer.summary()
         self._snapshot_caches(total)
         return total
 
@@ -234,21 +245,25 @@ class Processor:
         self.stats = stats
         self.window = Window(cfg.window.size)
         self.cursor = TraceCursor(self.trace, start, stop)
+        observer = self.observer
         self.fetch = FetchUnit(
             cfg, self.cursor, self.hierarchy, self.branch_unit
         )
         self.fetch.stalled_until = self.cycle
+        self.fetch.observer = observer
         self.funits = FunctionalUnits(cfg.window)
         self.ready_pool = ReadyPool()
-        self.load_pool = MemPool()
-        self.store_write_pool = MemPool()
-        self.store_buffer = StoreBuffer(cfg.window.store_buffer_size)
+        self.load_pool = MemPool("load-pool", observer)
+        self.store_write_pool = MemPool("store-write-pool", observer)
+        self.store_buffer = StoreBuffer(
+            cfg.window.store_buffer_size, observer
+        )
         self.unexec_stores = UnexecutedStoreTracker()
         self.barrier_stores = UnexecutedStoreTracker()
         self.synonyms = SynonymTracker()
         self.detector = ViolationDetector()
         self.addr_sched = (
-            AddressScheduler(cfg.memdep.addr_scheduler_latency)
+            AddressScheduler(cfg.memdep.addr_scheduler_latency, observer)
             if self.as_mode else None
         )
         self._events: List = []
@@ -279,6 +294,8 @@ class Processor:
         fetch_tick = fetch.tick
         maybe_flush = self._maybe_flush_tables
 
+        if observer is not None:
+            observer.begin_segment(self)
         while True:
             if fetch.done and window.empty and not events:
                 break
@@ -300,6 +317,8 @@ class Processor:
                 self._progress = True
             if self.cycle >= self._next_flush:
                 maybe_flush()
+            if observer is not None:
+                observer.end_cycle(self)
 
         stats.cycles = self.cycle - start_cycle
         stats.branch_predictions = (
@@ -509,6 +528,10 @@ class Processor:
             self.store_sets.squash(seq)
         resume = cycle + self.config.memdep.squash_refill_penalty
         self.fetch.squash(seq, resume)
+        if self.observer is not None:
+            self.observer.emit_squash(
+                load, store, cycle, len(squashed), resume
+            )
 
         if self.policy is SpeculationPolicy.SELECTIVE:
             self.predictor.record_misspeculation(load.inst.pc)
@@ -579,6 +602,8 @@ class Processor:
                     self._schedule(corrected, _EV_COMPLETE, entry)
                 new_complete[entry.seq] = corrected
         stats.squashed_instructions += reexecuted
+        if self.observer is not None:
+            self.observer.emit_replay(load, cycle, reexecuted)
 
     # -- commit -------------------------------------------------------------
 
@@ -593,6 +618,7 @@ class Processor:
         budget = self._issue_width
         cycle = self.cycle
         timeline = self.timeline
+        observer = self.observer
         committed = 0
         while budget and entries:
             head = entries[0]
@@ -606,6 +632,8 @@ class Processor:
             committed += 1
             if timeline is not None:
                 timeline.on_commit(head, cycle)
+            if observer is not None:
+                observer.emit_commit(head, cycle)
             if head.is_load:
                 stats.committed_loads += 1
                 if head.speculative:
@@ -648,6 +676,7 @@ class Processor:
         maybe_ready = self._maybe_ready
         budget = self._issue_width
         cycle = self.cycle
+        observer = self.observer
         while budget and occupancy < capacity:
             if not buffer or buffer[0][1] > cycle:
                 break
@@ -662,6 +691,8 @@ class Processor:
             elif entry.is_store:
                 self._on_store_dispatch(entry)
             maybe_ready(entry)
+            if observer is not None:
+                observer.emit_dispatch(entry, cycle)
 
     def _on_load_dispatch(self, entry: Entry) -> None:
         info = self.dep_info.get(entry.seq)
@@ -819,6 +850,8 @@ class Processor:
         latency = self._latency_of(entry.inst.op)
         entry.complete_cycle = self.cycle + latency
         self._schedule(entry.complete_cycle, _EV_COMPLETE, entry)
+        if self.observer is not None:
+            self.observer.emit_issue(entry, self.cycle)
 
     def _do_issue_load_agen(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
@@ -827,6 +860,8 @@ class Processor:
         self.load_pool.push(entry)
         if self._hint is None or done < self._hint:
             self._hint = done
+        if self.observer is not None:
+            self.observer.emit_issue(entry, self.cycle)
 
     def _do_issue_store_nas(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
@@ -841,6 +876,8 @@ class Processor:
             self.barrier_stores.on_execute(entry.seq)
         self._store_buffer_insert(entry, data_ready=self.cycle + 1)
         self._schedule(entry.write_cycle, _EV_WRITE, entry)
+        if self.observer is not None:
+            self.observer.emit_issue(entry, self.cycle)
 
     def _do_issue_store_agen_as(self, entry: Entry) -> None:
         entry.issue_cycle = self.cycle
@@ -850,6 +887,8 @@ class Processor:
         self._schedule(visible, _EV_POST, entry)
         if not entry.data_pending:
             self.store_write_pool.push(entry)
+        if self.observer is not None:
+            self.observer.emit_issue(entry, self.cycle)
 
     # -- memory stage -----------------------------------------------------------
 
@@ -878,6 +917,7 @@ class Processor:
         kind = self._gate_kind
         hint = self._hint
         progress = False
+        observer = self.observer
         ports_left = funits.ports_left
         # NO/SEL gate on the oldest unexecuted store, STORE on the
         # oldest unexecuted *barrier* store. Both trackers are constant
@@ -915,6 +955,8 @@ class Processor:
                     self.barrier_stores.on_execute(entry.seq)
                 self._store_buffer_insert(entry, data_ready=cycle + 1)
                 self._schedule(entry.write_cycle, _EV_WRITE, entry)
+                if observer is not None:
+                    observer.emit_mem_issue(entry, cycle, False)
                 progress = True
                 continue
             # -- loads: the policy gate (Section 2.1), inlined ---------
@@ -951,11 +993,25 @@ class Processor:
                 ):
                     issued = wait.issue_cycle
                     if issued is None:
+                        if observer is not None and (
+                            not entry.observed_blocked
+                        ):
+                            entry.observed_blocked = True
+                            observer.emit_blocked(
+                                entry, cycle, "sync-wait"
+                            )
                         continue
                     # Free to issue one cycle after the producer issues.
                     if cycle < issued + 1:
                         if hint is None or issued + 1 < hint:
                             hint = issued + 1
+                        if observer is not None and (
+                            not entry.observed_blocked
+                        ):
+                            entry.observed_blocked = True
+                            observer.emit_blocked(
+                                entry, cycle, "sync-wait"
+                            )
                         continue
             elif kind == _GATE_ORACLE:
                 dep_seq = entry.dep_store_seq
@@ -982,6 +1038,11 @@ class Processor:
                         hint is None or gate_hint < hint
                     ):
                         hint = gate_hint
+                    if observer is not None and (
+                        not entry.observed_blocked
+                    ):
+                        entry.observed_blocked = True
+                        observer.emit_blocked(entry, cycle, "as-wait")
                     continue
             # Table 3 accounting: a formerly-blocked load resolves now.
             if entry.fd_wait_start is not None and (
@@ -1023,6 +1084,10 @@ class Processor:
             complete = self.hierarchy.load(inst.addr, cycle)
         entry.complete_cycle = complete
         self._schedule(complete, _EV_COMPLETE, entry)
+        if self.observer is not None:
+            self.observer.emit_mem_issue(
+                entry, cycle, entry.forwarded_from is not None
+            )
 
     # -- load gates (the paper's policies) ---------------------------------------
     #
@@ -1066,6 +1131,10 @@ class Processor:
             entry.fd_class = "true"
         else:
             entry.fd_class = "false"
+        if self.observer is not None:
+            self.observer.emit_blocked(
+                entry, self.cycle, f"fd-{entry.fd_class}"
+            )
 
     # -- periodic table flushes ---------------------------------------------------
 

@@ -38,6 +38,8 @@ class Entry:
         "sync_synonym", "sync_wait_store", "predicted_dep", "barrier",
         # Table 3 accounting
         "fd_wait_start", "fd_class", "fd_resolved_cycle",
+        # observability (repro.observe): first blocked event emitted
+        "observed_blocked",
     )
 
     def __init__(self, inst: DynInst, dispatch_cycle: int) -> None:
@@ -82,6 +84,7 @@ class Entry:
         self.fd_wait_start: Optional[int] = None
         self.fd_class: Optional[str] = None  # "false" | "true" | None
         self.fd_resolved_cycle: Optional[int] = None
+        self.observed_blocked = False
 
     @property
     def operands_ready_cycle(self) -> int:

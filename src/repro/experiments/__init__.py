@@ -19,7 +19,12 @@ from repro.experiments.telemetry import (
     read_telemetry,
     summarize_telemetry,
 )
-from repro.experiments.tables import table1, table3, table4
+from repro.experiments.tables import (
+    table1,
+    table3,
+    table4,
+    table_stalls,
+)
 from repro.experiments.figures import (
     figure1,
     figure2,
@@ -48,6 +53,7 @@ __all__ = [
     "table1",
     "table3",
     "table4",
+    "table_stalls",
     "figure1",
     "figure2",
     "figure3",

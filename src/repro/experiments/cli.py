@@ -30,12 +30,13 @@ from repro.experiments.figures import (
     summary_findings,
 )
 from repro.experiments.runner import ExperimentSettings
-from repro.experiments.tables import table1, table3, table4
+from repro.experiments.tables import table1, table3, table4, table_stalls
 
 ARTIFACTS: Dict[str, Callable] = {
     "table1": table1,
     "table3": table3,
     "table4": table4,
+    "stalls": table_stalls,
     "figure1": figure1,
     "figure2": figure2,
     "figure3": figure3,
@@ -53,7 +54,7 @@ ARTIFACTS: Dict[str, Callable] = {
 
 _ORDER = (
     "table1", "figure1", "table3", "figure2", "table4", "figure3",
-    "figure4", "figure5", "figure6", "figure7", "summary",
+    "figure4", "figure5", "figure6", "figure7", "summary", "stalls",
     "ablation-recovery", "ablation-predictors", "ablation-window",
     "ablation-squash", "ablation-split",
 )
@@ -77,6 +78,8 @@ def _dispatch(argv=None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "status":
         return _status_main(argv[1:])
+    if argv and argv[0] == "observe":
+        return _observe_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -129,6 +132,15 @@ def _dispatch(argv=None) -> int:
         help="append structured JSONL run telemetry to FILE "
              "(readable with 'repro-experiments status FILE')",
     )
+    parser.add_argument(
+        "--observe", metavar="DIR", nargs="?", const="observe",
+        default=None,
+        help="after the artifacts, write an observability bundle "
+             "(Chrome trace, Kanata log, stall summary) for the "
+             "flagship 128-entry NAS/NAV cell into DIR (default "
+             "'observe'); use the 'observe' subcommand for full "
+             "control",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -170,6 +182,158 @@ def _dispatch(argv=None) -> int:
             print(report.render())
             print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
             _export(report, name, args.json, args.csv)
+
+    if args.observe:
+        from repro.workloads.spec95 import ALL_BENCHMARKS
+
+        _observe_bundle(
+            ALL_BENCHMARKS[0], "NAS", "NAV", 128, 0, settings,
+            args.observe, limit=20_000,
+        )
+    return 0
+
+
+def _observe_bundle(
+    benchmark: str,
+    scheduling: str,
+    policy: str,
+    window: int,
+    latency: int,
+    settings: ExperimentSettings,
+    out_dir: str,
+    limit: int = 20_000,
+) -> dict:
+    """Run one observed cell and write its observability bundle.
+
+    Writes ``trace.json`` (Chrome ``trace_event``), ``pipeline.kanata``
+    (Konata pipeline view) and ``summary.json`` (stall/metrics summary,
+    schema ``schemas/observe_summary.schema.json``) into *out_dir*;
+    returns the summary document.
+    """
+    import dataclasses
+    import json as jsonlib
+
+    from repro.config import SchedulingModel, SpeculationPolicy
+    from repro.config.presets import (
+        continuous_window_64, continuous_window_128,
+    )
+    from repro.core.processor import Processor
+    from repro.experiments.runner import (
+        _dependences_for_length, _plan_for,
+    )
+    from repro.observe import (
+        ObserverBus, PipelineRecorder, StallAccountant,
+        chrome_trace, konata_log, write_summary,
+    )
+    from repro.workloads.catalog import get_trace
+
+    factory = {64: continuous_window_64, 128: continuous_window_128}
+    if window not in factory:
+        raise SystemExit(f"unsupported window size {window} (64 or 128)")
+    config = dataclasses.replace(
+        factory[window](
+            SchedulingModel(scheduling), SpeculationPolicy(policy),
+            addr_scheduler_latency=latency,
+        ),
+        observe=True,
+    )
+    plan = _plan_for(benchmark, settings)
+    trace = get_trace(benchmark, plan.length, settings.seed)
+    info = _dependences_for_length(benchmark, plan.length, settings.seed)
+    recorder = PipelineRecorder(limit=limit)
+    observer = ObserverBus([StallAccountant(config), recorder])
+    result = Processor(config, trace, info, observer=observer).run(plan)
+
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, "trace.json")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        jsonlib.dump(chrome_trace(recorder), handle)
+        handle.write("\n")
+    konata_path = os.path.join(out_dir, "pipeline.kanata")
+    with open(konata_path, "w", encoding="utf-8") as handle:
+        handle.write(konata_log(recorder))
+    summary_path = os.path.join(out_dir, "summary.json")
+    doc = write_summary(summary_path, result, settings={
+        "benchmark": benchmark,
+        "timing": settings.timing_instructions,
+        "warmup": settings.warmup_instructions,
+        "seed": settings.seed,
+    })
+    stalls = result.extra["observe"]["stalls"]
+    slots = stalls["slots"]
+    print(f"observed {benchmark} on {config.label}@{window}: "
+          f"{result.cycles:,} cycles, IPC {result.ipc:.3f}")
+    for cause, count in sorted(
+        stalls["causes"].items(), key=lambda kv: -kv[1]
+    ):
+        if count:
+            print(f"  {cause:16s} {100.0 * count / slots:5.1f}%")
+    print(f"  {'commit':16s} {100.0 * stalls['commit_slots'] / slots:5.1f}%")
+    print(f"wrote {trace_path}, {konata_path}, {summary_path}")
+    return doc
+
+
+def _observe_main(argv) -> int:
+    """``repro-experiments observe BENCHMARK [--policy NAV] ...``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments observe",
+        description=(
+            "Run one benchmark with the observability bus attached and "
+            "export a Chrome trace, a Konata pipeline log and a stall "
+            "summary (see docs/OBSERVABILITY.md)."
+        ),
+    )
+    parser.add_argument("benchmark", help="benchmark name (e.g. 126.gcc)")
+    parser.add_argument(
+        "--scheduling", choices=("NAS", "AS"), default="NAS",
+        help="address-based scheduler present (AS) or not (default NAS)",
+    )
+    parser.add_argument(
+        "--policy", default="NAV",
+        choices=("NO", "NAV", "SEL", "STORE", "SYNC", "ORACLE", "SSET"),
+        help="memory dependence speculation policy (default NAV)",
+    )
+    parser.add_argument(
+        "--window", type=int, choices=(64, 128), default=128,
+        help="window size preset (default 128)",
+    )
+    parser.add_argument(
+        "--latency", type=int, default=0,
+        help="AS address-scheduler latency in cycles (default 0)",
+    )
+    parser.add_argument(
+        "--timing", type=int, default=16_000,
+        help="timed instructions (default 16000)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=10_000,
+        help="functional warm-up instructions (default 10000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short run (6000 timed / 4000 warm-up)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20_000,
+        help="max retained pipeline records (default 20000)",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default="observe",
+        help="output directory (default 'observe')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        settings = ExperimentSettings(6_000, 4_000, args.seed)
+    else:
+        settings = ExperimentSettings(args.timing, args.warmup, args.seed)
+    _observe_bundle(
+        args.benchmark, args.scheduling, args.policy, args.window,
+        args.latency, settings, args.out, limit=args.limit,
+    )
     return 0
 
 

@@ -100,6 +100,11 @@ class _MatrixRun:
         self.benchmarks = benchmarks
         self.labelled = labelled
         self.configs_by_label = dict(labelled)
+        #: Every telemetry record carries the shard's full cell key
+        #: (benchmark + the config labels it covers) so JSONL traces
+        #: can be joined with result-store entries even on the
+        #: retry/timeout/error paths.
+        self.config_labels = [label for label, _ in labelled]
         self.settings = settings
         self.writer = writer
         self.shard_timeout = shard_timeout
@@ -137,6 +142,7 @@ class _MatrixRun:
         self.writer.emit(
             "shard_finish",
             benchmark=name,
+            configs=self.config_labels,
             attempt=self.attempts[name],
             mode=mode,
             points=len(shard),
@@ -149,6 +155,7 @@ class _MatrixRun:
         self.writer.emit(
             "shard_start",
             benchmark=name,
+            configs=self.config_labels,
             attempt=self.attempts[name],
             mode="serial",
         )
@@ -161,6 +168,7 @@ class _MatrixRun:
             self.writer.emit(
                 "shard_failed",
                 benchmark=name,
+                configs=self.config_labels,
                 attempt=self.attempts[name],
                 mode="serial",
                 error=repr(exc),
@@ -214,6 +222,7 @@ class _MatrixRun:
             self.writer.emit(
                 "shard_start",
                 benchmark=name,
+                configs=self.config_labels,
                 attempt=self.attempts[name],
                 mode="pool",
             )
@@ -260,7 +269,9 @@ class _MatrixRun:
                     self.writer.emit(
                         "shard_error",
                         benchmark=name,
+                        configs=self.config_labels,
                         attempt=self.attempts[name],
+                        mode="pool",
                         error=repr(exc),
                     )
                     self._retry_or_fail(name, pending)
@@ -273,7 +284,9 @@ class _MatrixRun:
                 self.writer.emit(
                     "shard_timeout",
                     benchmark=name,
+                    configs=self.config_labels,
                     attempt=self.attempts[name],
+                    mode="pool",
                     timeout=self.shard_timeout,
                 )
                 self._retry_or_fail(name, pending)
@@ -286,7 +299,9 @@ class _MatrixRun:
             self.writer.emit(
                 "shard_retry",
                 benchmark=name,
+                configs=self.config_labels,
                 attempt=self.attempts[name] + 1,
+                mode="pool",
                 delay=delay,
             )
             if delay:
@@ -297,6 +312,7 @@ class _MatrixRun:
             self.writer.emit(
                 "shard_failed",
                 benchmark=name,
+                configs=self.config_labels,
                 attempt=self.attempts[name],
                 mode="pool",
                 error="retries exhausted",

@@ -125,6 +125,7 @@ def _config_key(config: ProcessorConfig) -> Tuple:
         config.split.enabled,
         config.split.num_units,
         config.split.task_size,
+        config.observe,
     )
 
 

@@ -44,7 +44,7 @@ from repro.experiments.export import result_from_record, result_to_record
 
 #: Bump when the stored record layout or the meaning of any keyed
 #: field changes; every existing entry is then silently invalidated.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Environment variable naming the default store directory.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"

@@ -28,10 +28,13 @@ class _PostedStore:
 class AddressScheduler:
     """Posted-address bookkeeping for in-window stores."""
 
-    def __init__(self, latency: int = 0) -> None:
+    def __init__(self, latency: int = 0, observer=None) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
         self.latency = latency
+        #: Optional observability bus (repro.observe): post counts and
+        #: posted-record occupancy high-water.
+        self.observer = observer
         #: Store seqs dispatched but whose address is not yet posted,
         #: kept sorted (dispatch is in program order; squash truncates).
         self._unposted: List[int] = []
@@ -77,6 +80,9 @@ class AddressScheduler:
         if visible > self._max_visible:
             self._max_visible = visible
         self.posts += 1
+        if self.observer is not None:
+            self.observer.note("addr-sched.post")
+            self.observer.note_depth("addr-sched", len(self._records))
         return visible
 
     def _uncover(self, record: _PostedStore) -> None:

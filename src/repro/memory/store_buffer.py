@@ -33,10 +33,13 @@ class StoreBufferEntry:
 class StoreBuffer:
     """Bounded buffer of stores awaiting write-back, with forwarding."""
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(self, capacity: int = 128, observer=None) -> None:
         if capacity < 1:
             raise ValueError("store buffer needs at least one entry")
         self.capacity = capacity
+        #: Optional observability bus (repro.observe): occupancy
+        #: high-water and forward/partial counters.
+        self.observer = observer
         self._entries: List[StoreBufferEntry] = []
         #: Parallel seq list so insert/search bisect instead of building
         #: a key list (insert) or scanning younger entries (search).
@@ -70,6 +73,10 @@ class StoreBuffer:
             raise ValueError(f"duplicate store seq {entry.seq}")
         self._entries.insert(index, entry)
         seqs.insert(index, entry.seq)
+        if self.observer is not None:
+            self.observer.note_depth(
+                "store-buffer", len(self._entries)
+            )
         blocks = self._blocks
         for block in range(
             entry.addr >> 3, ((entry.addr + entry.size - 1) >> 3) + 1
@@ -116,8 +123,12 @@ class StoreBuffer:
                 )
                 if full:
                     self.forwards += 1
+                    if self.observer is not None:
+                        self.observer.note("store-buffer.forward")
                 else:
                     self.partial_overlaps += 1
+                    if self.observer is not None:
+                        self.observer.note("store-buffer.partial")
                 return entry, full
         return None, False
 

@@ -177,6 +177,32 @@ def test_worker_hang_times_out_and_retries(tmp_path, monkeypatch):
     assert any(e["event"] == "shard_timeout" for e in events)
 
 
+def test_shard_events_carry_cell_key(tmp_path, monkeypatch):
+    """Every shard record — including retry/error — names its full
+    cell key (config labels + mode) so telemetry traces can be joined
+    with result-store entries."""
+    monkeypatch.setenv(_SENTINEL_VAR, str(tmp_path / "crashed"))
+    monkeypatch.setattr(
+        parallel_mod, "_run_benchmark_shard", _crash_once_shard
+    )
+    tele = tmp_path / "run.jsonl"
+    run_matrix_parallel(
+        _BENCHES, _CONFIGS, _SETTINGS, workers=2,
+        retries=2, retry_backoff=0.0, telemetry=str(tele),
+    )
+    shard_events = [
+        e for e in read_telemetry(tele)
+        if e["event"].startswith("shard_")
+    ]
+    # The injected crash exercises the retry path too.
+    assert {e["event"] for e in shard_events} >= {
+        "shard_start", "shard_finish", "shard_error", "shard_retry",
+    }
+    for event in shard_events:
+        assert event["configs"] == list(_CONFIGS), event
+        assert event["mode"] in ("pool", "serial"), event
+
+
 def test_permanent_failure_keeps_surviving_points(
     tmp_path, monkeypatch
 ):

@@ -1,0 +1,200 @@
+"""Unit tests for the observer event bus and its hook contract."""
+
+import dataclasses
+
+from repro.config.presets import continuous_window_128
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.core.processor import Processor
+from repro.observe import (
+    NullObserverSink,
+    ObserverBus,
+    StallAccountant,
+    default_observer,
+)
+from repro.observe.bus import (
+    EV_COMMIT,
+    EV_DISPATCH,
+    EV_FETCH,
+    EV_SQUASH,
+    EVENT_NAMES,
+    ObservedEvent,
+)
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+
+class _EventLog:
+    wants_events = True
+    wants_cycles = False
+    summary_key = "log"
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def summary(self):
+        return {"events": len(self.events)}
+
+
+class _CycleLog:
+    wants_events = False
+    wants_cycles = True
+    summary_key = None
+
+    def __init__(self):
+        self.cycles = []
+        self.segments = 0
+        self.squashes = []
+
+    def on_cycle(self, processor):
+        self.cycles.append(processor.cycle)
+
+    def on_segment(self, processor):
+        self.segments += 1
+
+    def on_squash(self, resume):
+        self.squashes.append(resume)
+
+
+class _Inst:
+    def __init__(self, seq, pc=0x400000, op="ADD"):
+        self.seq = seq
+        self.pc = pc
+        self.op = type("Op", (), {"name": op})()
+
+
+def test_event_names_cover_every_kind():
+    assert sorted(EVENT_NAMES) == list(range(8))
+    assert len(set(EVENT_NAMES.values())) == 8
+    event = ObservedEvent(EV_FETCH, 3, 7, 0x400010, "LW")
+    assert event.name == "fetch"
+    assert event.info is None
+
+
+def test_events_materialised_only_for_event_sinks():
+    bus = ObserverBus([_CycleLog()])
+    bus.emit_fetch(_Inst(0), cycle=1)
+    assert bus.events_emitted == 1
+    assert bus._event_sinks == []
+
+    log = _EventLog()
+    bus.add_sink(log)
+    bus.emit_fetch(_Inst(1), cycle=2)
+    assert bus.events_emitted == 2
+    assert len(log.events) == 1
+    assert log.events[0].kind == EV_FETCH
+    assert log.events[0].seq == 1
+
+
+def test_counters_and_high_water():
+    bus = ObserverBus()
+    bus.note("store-buffer.forward")
+    bus.note("store-buffer.forward")
+    bus.note_depth("load-pool", 3)
+    bus.note_depth("load-pool", 9)
+    bus.note_depth("load-pool", 4)
+    summary = bus.summary()
+    assert summary["counters"] == {"store-buffer.forward": 2}
+    assert summary["high_water"] == {"load-pool": 9}
+
+
+def test_squash_fans_out_to_cycle_sinks():
+    events = _EventLog()
+    cycles = _CycleLog()
+    bus = ObserverBus([events, cycles])
+
+    class _Entry:
+        def __init__(self, seq):
+            self.seq = seq
+            self.inst = _Inst(seq, op="LW")
+
+    bus.emit_squash(_Entry(10), _Entry(4), cycle=50, squashed=6,
+                    resume=51)
+    assert cycles.squashes == [51]
+    (event,) = events.events
+    assert event.kind == EV_SQUASH
+    assert event.info == {
+        "store_seq": 4, "squashed": 6, "resume": 51,
+    }
+
+
+def test_summary_collects_named_sinks():
+    log = _EventLog()
+    bus = ObserverBus([log, NullObserverSink()])
+    bus.emit_fetch(_Inst(0), cycle=0)
+    summary = bus.summary()
+    assert summary["log"] == {"events": 1}
+    # NullObserverSink has no summary_key and contributes nothing.
+    assert set(summary) == {
+        "events", "counters", "high_water", "log",
+    }
+
+
+def test_default_observer_carries_stall_accountant():
+    config = continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    )
+    bus = default_observer(config)
+    (sink,) = bus._sinks
+    assert isinstance(sink, StallAccountant)
+    assert sink.width == config.window.issue_width
+
+
+def test_event_stream_is_causally_ordered():
+    """End-to-end: fetch <= dispatch <= commit per seq, commits in
+    program order, and the event counter matches the stream length."""
+    config = continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    )
+    trace = get_trace("126.gcc", 1_500, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, 500, timing=False),
+         Segment(500, 1_500, timing=True)),
+        1_500,
+    )
+    log = _EventLog()
+    bus = ObserverBus([log])
+    result = Processor(config, trace, info, observer=bus).run(plan)
+
+    assert bus.events_emitted == len(log.events)
+    assert result.extra["observe"]["events"] == len(log.events)
+
+    fetched, dispatched = {}, {}
+    commits = []
+    for event in log.events:
+        if event.kind == EV_FETCH:
+            fetched.setdefault(event.seq, event.cycle)
+        elif event.kind == EV_DISPATCH:
+            dispatched.setdefault(event.seq, event.cycle)
+        elif event.kind == EV_COMMIT:
+            commits.append(event)
+    assert len(commits) == result.committed
+    assert [e.seq for e in commits] == sorted(e.seq for e in commits)
+    for event in commits:
+        if event.seq in fetched:
+            assert fetched[event.seq] <= event.cycle
+        if event.seq in dispatched:
+            assert fetched.get(event.seq, 0) <= dispatched[event.seq]
+            assert dispatched[event.seq] <= event.cycle
+        info_ = event.info
+        assert info_["dispatch"] <= event.cycle
+
+
+def test_observe_flag_autocreates_bus():
+    config = dataclasses.replace(
+        continuous_window_128(
+            SchedulingModel.NAS, SpeculationPolicy.NAIVE
+        ),
+        observe=True,
+    )
+    trace = get_trace("126.gcc", 1_000, seed=0)
+    info = compute_dependence_info(trace)
+    processor = Processor(config, trace, info)
+    assert isinstance(processor.observer, ObserverBus)
+    plan = SamplingPlan((Segment(0, 1_000, timing=True),), 1_000)
+    result = processor.run(plan)
+    assert "stalls" in result.extra["observe"]

@@ -1,0 +1,273 @@
+"""Pipeline recorder, trace exporters, and the summary schema contract."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.config.presets import continuous_window_128
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.core.processor import Processor
+from repro.experiments import cli
+from repro.observe import ObserverBus, PipelineRecorder
+from repro.observe.export import (
+    chrome_trace,
+    konata_log,
+    summary_doc,
+    validate_summary,
+    write_summary,
+)
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir,
+    "schemas", "observe_summary.schema.json",
+)
+
+
+class _Inst:
+    def __init__(self, seq, pc, op):
+        self.seq = seq
+        self.pc = pc
+        self.op = type("Op", (), {"name": op})()
+
+
+class _Entry:
+    """Just enough of a window entry for the bus emit methods."""
+
+    def __init__(self, seq, pc=0x400000, op="ADD", is_store=False,
+                 dispatch=0, issue=None, mem_issue=None, done=None):
+        self.seq = seq
+        self.inst = _Inst(seq, pc, op)
+        self.is_store = is_store
+        self.dispatch_cycle = dispatch
+        self.issue_cycle = issue
+        self.mem_issue_cycle = mem_issue
+        self.write_cycle = done if is_store else None
+        self.complete_cycle = None if is_store else done
+
+
+def _committed_bus(recorder):
+    bus = ObserverBus([recorder])
+
+    def commit(seq, fetch, dispatch, issue, done, commit_at, op="ADD"):
+        inst = _Inst(seq, 0x400000 + 4 * seq, op)
+        bus.emit_fetch(inst, fetch)
+        entry = _Entry(seq, inst.pc, op, dispatch=dispatch,
+                       issue=issue, done=done)
+        bus.emit_dispatch(entry, dispatch)
+        bus.emit_commit(entry, commit_at)
+
+    return bus, commit
+
+
+def test_recorder_builds_records_at_commit():
+    recorder = PipelineRecorder()
+    bus, commit = _committed_bus(recorder)
+    commit(0, fetch=1, dispatch=2, issue=3, done=5, commit_at=6)
+    (record,) = recorder.records
+    assert (record.seq, record.fetch, record.dispatch) == (0, 1, 2)
+    assert (record.issue, record.done, record.commit) == (3, 5, 6)
+    assert recorder.summary() == {
+        "records": 1, "dropped": 0, "squashes": 0, "replays": 0,
+    }
+
+
+def test_recorder_keeps_first_blocked_cause():
+    recorder = PipelineRecorder()
+    bus = ObserverBus([recorder])
+    entry = _Entry(3, op="LW", dispatch=1, issue=2, done=9)
+    bus.emit_fetch(entry.inst, 0)
+    bus.emit_blocked(entry, 4, "sync-wait")
+    bus.emit_blocked(entry, 5, "fd-true")
+    bus.emit_commit(entry, 10)
+    (record,) = recorder.records
+    assert record.blocked_cause == "sync-wait"
+    assert record.blocked_cycle == 4
+
+
+def test_recorder_limit_counts_dropped():
+    recorder = PipelineRecorder(limit=2)
+    bus, commit = _committed_bus(recorder)
+    for seq in range(5):
+        commit(seq, fetch=seq, dispatch=seq + 1, issue=seq + 2,
+               done=seq + 3, commit_at=seq + 4)
+    assert len(recorder.records) == 2
+    assert recorder.dropped == 3
+
+
+def test_recorder_squash_prunes_staged_state():
+    recorder = PipelineRecorder()
+    bus = ObserverBus([recorder])
+    survivor = _Entry(4, op="LW", dispatch=1, issue=2, done=6)
+    squashed = _Entry(9, op="ADD", dispatch=3)
+    bus.emit_fetch(survivor.inst, 0)
+    bus.emit_fetch(squashed.inst, 2)
+    bus.emit_blocked(squashed, 3, "fd-false")
+    bus.emit_squash(_Entry(8, op="LW"), _Entry(2, is_store=True,
+                                               op="SW"),
+                    cycle=7, squashed=5, resume=8)
+    assert recorder.squashes[0]["load_seq"] == 8
+    assert 9 not in recorder._fetch and 9 not in recorder._blocked
+    assert 4 in recorder._fetch  # older than the squash point: kept
+    bus.emit_replay(_Entry(5, op="LW"), 9, reexecuted=2)
+    assert recorder.replays == 1
+
+
+def test_chrome_trace_lanes_never_overlap():
+    recorder = PipelineRecorder()
+    bus, commit = _committed_bus(recorder)
+    # Three instructions alive at once, then a detached fourth.
+    commit(0, fetch=0, dispatch=1, issue=2, done=4, commit_at=5)
+    commit(1, fetch=0, dispatch=1, issue=3, done=5, commit_at=6)
+    commit(2, fetch=1, dispatch=2, issue=4, done=6, commit_at=7)
+    commit(3, fetch=20, dispatch=21, issue=22, done=23, commit_at=24)
+    bus.emit_squash(_Entry(7, op="LW"), _Entry(3, op="SW",
+                                               is_store=True),
+                    cycle=9, squashed=2, resume=10)
+    doc = chrome_trace(recorder)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 4
+    lanes = {}
+    for item in slices:
+        lanes.setdefault(item["tid"], []).append(
+            (item["ts"], item["ts"] + item["dur"])
+        )
+    for spans in lanes.values():
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+    # The detached instruction reuses lane 0.
+    assert slices[3]["tid"] == 0
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert instants[0]["args"]["squashed"] == 2
+    json.dumps(doc)  # serialisable
+
+
+def test_konata_log_shape():
+    recorder = PipelineRecorder()
+    bus, commit = _committed_bus(recorder)
+    commit(0, fetch=0, dispatch=2, issue=4, done=6, commit_at=8)
+    commit(1, fetch=1, dispatch=3, issue=5, done=7, commit_at=9)
+    text = konata_log(recorder)
+    lines = text.splitlines()
+    assert lines[0] == "Kanata\t0004"
+    assert lines[1].startswith("C=\t")
+    assert sum(1 for ln in lines if ln.startswith("R\t")) == 2
+    assert sum(1 for ln in lines if ln.startswith("I\t")) == 2
+    # Cycle deltas only move forward.
+    assert all(int(ln.split("\t")[1]) > 0 for ln in lines
+               if ln.startswith("C\t"))
+
+
+def _observed_result():
+    config = dataclasses.replace(
+        continuous_window_128(
+            SchedulingModel.NAS, SpeculationPolicy.NAIVE
+        ),
+        observe=True,
+    )
+    trace = get_trace("126.gcc", 2_000, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, 500, timing=False),
+         Segment(500, 2_000, timing=True)),
+        2_000,
+    )
+    return Processor(config, trace, info).run(plan)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_summary_doc_validates_against_checked_in_schema(
+    tmp_path, schema
+):
+    result = _observed_result()
+    doc = write_summary(
+        tmp_path / "summary.json", result,
+        {"timing_instructions": 1_500},
+    )
+    assert validate_summary(doc, schema) == []
+    with open(tmp_path / "summary.json", encoding="utf-8") as handle:
+        assert validate_summary(json.load(handle), schema) == []
+
+
+def test_summary_doc_requires_observed_result():
+    config = continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    )
+    trace = get_trace("126.gcc", 800, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan((Segment(0, 800, timing=True),), 800)
+    result = Processor(config, trace, info).run(plan)
+    with pytest.raises(ValueError):
+        summary_doc(result)
+
+
+def test_validator_rejects_contract_breaks(schema):
+    result = _observed_result()
+    good = summary_doc(result)
+
+    missing = dict(good)
+    del missing["cycles"]
+    assert any("cycles" in e for e in validate_summary(missing, schema))
+
+    wrong_type = json.loads(json.dumps(good))
+    wrong_type["ipc"] = "fast"
+    assert validate_summary(wrong_type, schema)
+
+    negative = json.loads(json.dumps(good))
+    negative["observe"]["stalls"]["causes"]["memdep-wait"] = -1
+    assert validate_summary(negative, schema)
+
+    stray = json.loads(json.dumps(good))
+    stray["observe"]["stalls"]["causes"]["made-up"] = 1
+    assert validate_summary(stray, schema)
+
+    wrong_schema = json.loads(json.dumps(good))
+    wrong_schema["schema"] = 99
+    assert any("enum" in e for e in validate_summary(
+        wrong_schema, schema
+    ))
+
+
+def test_validator_subset_features():
+    schema = {
+        "type": "object",
+        "required": ["a"],
+        "additionalProperties": False,
+        "properties": {
+            "a": {"type": ["integer", "null"], "minimum": 0},
+            "b": {"type": "array", "items": {"type": "string"}},
+        },
+    }
+    assert validate_summary({"a": 1, "b": ["x"]}, schema) == []
+    assert validate_summary({"a": None}, schema) == []
+    # Booleans are not integers even though bool subclasses int.
+    assert validate_summary({"a": True}, schema)
+    assert validate_summary({"a": -1}, schema)
+    assert validate_summary({"a": 1, "z": 0}, schema)
+    assert validate_summary({"a": 1, "b": [2]}, schema)
+
+
+def test_cli_observe_bundle_end_to_end(tmp_path, capsys, schema):
+    out = tmp_path / "bundle"
+    rc = cli.main([
+        "observe", "126.gcc", "--policy", "NAV", "--window", "128",
+        "--timing", "1000", "--warmup", "500", "--out", str(out),
+    ])
+    assert rc == 0
+    with open(out / "trace.json", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    assert trace["traceEvents"]
+    with open(out / "pipeline.kanata", encoding="utf-8") as handle:
+        assert handle.readline().rstrip("\n") == "Kanata\t0004"
+    with open(out / "summary.json", encoding="utf-8") as handle:
+        assert validate_summary(json.load(handle), schema) == []

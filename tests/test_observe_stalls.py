@@ -1,0 +1,180 @@
+"""Stall-accounting invariants: conservation, exclusivity, monotonicity.
+
+The accountant's contract is that every commit slot is charged to
+exactly one place — a committed instruction or one stall cause — so
+
+    ``commit_slots + sum(causes) == issue_width x cycles``
+
+holds exactly, per run, for any (policy, window) cell and any sampling
+plan. The paper-facing check: memdep-wait (the cost of *not* knowing a
+load is independent) shrinks monotonically NO -> NAV -> ORACLE (F1/F2).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config.presets import (
+    continuous_window_64,
+    continuous_window_128,
+)
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.core.processor import Processor
+from repro.observe import ObserverBus, StallAccountant
+from repro.observe.stalls import (
+    OccupancyHistogram,
+    STALL_CAUSES,
+    stall_summary,
+)
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+_BENCHMARK = "126.gcc"
+_WARM, _LENGTH = 1_000, 4_000
+
+#: Conservation is asserted over these (label, factory, policy) cells —
+#: both window sizes and gate kinds from every classification branch.
+_CELLS = (
+    ("NAS/NO@128", continuous_window_128, SpeculationPolicy.NO),
+    ("NAS/NAV@128", continuous_window_128, SpeculationPolicy.NAIVE),
+    ("NAS/STORE@128", continuous_window_128, SpeculationPolicy.STORE_BARRIER),
+    ("NAS/ORACLE@128", continuous_window_128, SpeculationPolicy.ORACLE),
+    ("NAS/NO@64", continuous_window_64, SpeculationPolicy.NO),
+)
+
+
+def _run(config, plan=None, benchmark=_BENCHMARK, length=_LENGTH):
+    trace = get_trace(benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    if plan is None:
+        plan = SamplingPlan(
+            (Segment(0, _WARM, timing=False),
+             Segment(_WARM, length, timing=True)),
+            length,
+        )
+    observed = dataclasses.replace(config, observe=True)
+    return Processor(observed, trace, info).run(plan)
+
+
+def _assert_conserved(result):
+    stalls = stall_summary(result)
+    assert stalls is not None
+    assert stalls["slots"] == stalls["width"] * stalls["cycles"]
+    # Mutual exclusivity: one cause per slot, nothing double-counted.
+    assert sum(stalls["causes"].values()) == stalls["stall_slots"]
+    assert (
+        stalls["commit_slots"] + stalls["stall_slots"]
+        == stalls["slots"]
+    )
+    # Every charged slot belongs to a declared cause, non-negatively.
+    assert set(stalls["causes"]) == set(STALL_CAUSES)
+    assert all(v >= 0 for v in stalls["causes"].values())
+    # The accountant saw exactly the timed cycles and commits.
+    assert stalls["cycles"] == result.cycles
+    assert stalls["commit_slots"] == result.committed
+    return stalls
+
+
+@pytest.mark.parametrize(
+    "label,factory,policy", _CELLS, ids=[c[0] for c in _CELLS]
+)
+def test_conservation_per_cell(label, factory, policy):
+    config = factory(SchedulingModel.NAS, policy)
+    result = _run(config)
+    stalls = _assert_conserved(result)
+    occupancy = stalls["occupancy"]
+    # Occupancy samples only simulated cycles; the clock fast-forwards
+    # over idle stretches, so samples <= cycles (never more).
+    assert 0 < occupancy["window"]["samples"] <= stalls["cycles"]
+    assert occupancy["window"]["max"] <= config.window.size
+
+
+def test_conservation_multi_segment():
+    """The identity survives interleaved functional/timing segments
+    (segment boundaries re-anchor the accountant's cycle deltas)."""
+    plan = SamplingPlan(
+        (Segment(0, 800, timing=False),
+         Segment(800, 1_800, timing=True),
+         Segment(1_800, 2_600, timing=False),
+         Segment(2_600, _LENGTH, timing=True)),
+        _LENGTH,
+    )
+    config = continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    )
+    _assert_conserved(_run(config, plan=plan))
+
+
+@pytest.mark.parametrize("workload", ("126.gcc", "102.swim"))
+def test_memdep_wait_monotone_no_nav_oracle(workload):
+    """F1/F2: the memdep-wait bill shrinks NO -> NAV -> ORACLE.
+
+    NAV and ORACLE never hold a load on an *unknown* dependence, so
+    their memdep-wait is identically zero; NO pays a strictly positive
+    bill on every benchmark with stores in flight.
+    """
+    waits = {}
+    for policy in (
+        SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+        SpeculationPolicy.ORACLE,
+    ):
+        config = continuous_window_128(SchedulingModel.NAS, policy)
+        result = _run(config, benchmark=workload)
+        waits[policy] = stall_summary(result)["causes"]["memdep-wait"]
+    assert waits[SpeculationPolicy.NO] > waits[SpeculationPolicy.NAIVE]
+    assert (
+        waits[SpeculationPolicy.NAIVE]
+        >= waits[SpeculationPolicy.ORACLE]
+    )
+
+
+def test_policy_signatures():
+    """Each gate charges its own cause, not a neighbour's."""
+    store = _run(continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.STORE_BARRIER
+    ))
+    assert stall_summary(store)["causes"]["store-barrier"] > 0
+    sync = _run(continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.SYNC
+    ))
+    assert stall_summary(sync)["causes"]["sync-wait"] > 0
+    nav = _run(continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    ))
+    causes = stall_summary(nav)["causes"]
+    assert causes["memdep-wait"] == 0
+    assert causes["squash-recovery"] > 0
+
+
+def test_explicit_bus_matches_config_flag():
+    """config.observe and a hand-built bus produce the same accounting."""
+    config = continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NO
+    )
+    via_flag = stall_summary(_run(config))
+    trace = get_trace(_BENCHMARK, _LENGTH, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, _WARM, timing=False),
+         Segment(_WARM, _LENGTH, timing=True)),
+        _LENGTH,
+    )
+    bus = ObserverBus([StallAccountant(config)])
+    result = Processor(config, trace, info, observer=bus).run(plan)
+    assert result.extra["observe"]["stalls"] == via_flag
+
+
+def test_occupancy_histogram_summary():
+    hist = OccupancyHistogram()
+    assert hist.summary() == {
+        "samples": 0, "mean": 0.0, "max": 0,
+        "p50": 0.0, "p90": 0.0, "p99": 0.0,
+    }
+    for value in (1, 1, 2, 3, 5, 5, 5, 8):
+        hist.add(value)
+    summary = hist.summary()
+    assert summary["samples"] == 8
+    assert summary["max"] == 8
+    assert summary["mean"] == pytest.approx(30 / 8, abs=1e-3)
+    assert summary["p50"] <= summary["p90"] <= summary["p99"] <= 8

@@ -61,6 +61,29 @@ where the paper gives them.
 """
 
 
+#: Prose appended after specific artifacts' rendered tables.
+_COMMENTARY = {
+    "stalls": """\
+**Where the cycles go.** The table restates the paper's first two
+findings as a cycle ledger. Under `NO`, every slot in the
+`memdep-wait` column is a load (and everything serialised behind it)
+held behind older stores *not known* to conflict — the full price of
+not speculating, and it grows with the window (compare the w64 and
+w128 rows). Naive speculation (`NAV`) zeroes that column by
+construction and pays instead in `squash-recovery`, a far smaller
+bill — that trade is **F1**: naive speculation is highly profitable,
+increasingly so with window size. The `ORACLE` rows price perfect
+dependence knowledge: no memdep-wait, no squash-recovery, only the
+irreducible `sync-wait` on true dependences. The remaining gap
+between NAV and ORACLE (squash-recovery plus its refill knock-on) is
+exactly what the paper's smarter policies (SEL/STORE/SYNC,
+Figures 5–6) compete to recover — **F2**. Conservation
+(`commit + stall causes = 100%` of width × cycles) is exact per row;
+`docs/OBSERVABILITY.md` documents the attribution rules.
+""",
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--timing", type=int, default=16_000)
@@ -84,6 +107,8 @@ def main() -> int:
         sections.append("```")
         sections.append(report.render())
         sections.append("```\n")
+        if name in _COMMENTARY:
+            sections.append(_COMMENTARY[name] + "\n")
 
     with open(args.output, "w") as handle:
         handle.write("\n".join(sections))

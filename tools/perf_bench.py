@@ -26,6 +26,13 @@ Modes:
 ``--profile OUT.prof``
     cProfile the first cell and write pstats output for hot-spot work
     (inspect with ``python -m pstats OUT.prof``).
+``--observe-overhead``
+    Gate for the repro.observe instrumentation: measure one cell
+    (``--observe-cell``) with observability hooks disabled and again
+    with the default observer attached, check the disabled path stays
+    within ``--observe-threshold`` of the committed
+    ``benchmarks/BENCH_core.json`` number for that cell, and assert
+    both runs produce identical simulation counters.
 
 Usage::
 
@@ -167,6 +174,141 @@ def run_bench(args):
     }
 
 
+#: Counters that must be bit-identical with and without the observer
+#: (mirrors tests/test_golden_parity.py FIELDS; ``extra`` is free-form
+#: and intentionally excluded — that is where observer output lives).
+PARITY_FIELDS = (
+    "cycles", "committed", "committed_loads", "committed_stores",
+    "committed_branches", "misspeculations", "squashed_instructions",
+    "false_dependence_loads", "true_dependence_loads",
+    "false_dependence_latency", "branch_predictions",
+    "branch_mispredictions", "load_forwards", "speculative_loads",
+    "dcache_accesses", "dcache_misses", "icache_accesses",
+    "icache_misses", "l2_accesses", "l2_misses",
+)
+
+
+def run_observe_overhead(args):
+    """Disabled-hook overhead gate + observer parity check for one cell."""
+    import dataclasses
+
+    from repro.core.processor import Processor
+    from repro.trace.dependences import compute_dependence_info
+    from repro.trace.sampling import SamplingPlan, Segment
+    from repro.workloads.catalog import get_trace
+
+    warm = 2_000 if args.quick else 6_000
+    timed = 6_000 if args.quick else 20_000
+    length = warm + timed
+
+    trace = get_trace(args.benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False),
+         Segment(warm, length, timing=True)),
+        length,
+    )
+
+    cells = build_cells(quick=False)
+    if args.observe_cell not in cells:
+        raise SystemExit(
+            f"--observe-cell {args.observe_cell!r} is not a bench cell; "
+            f"choose from {', '.join(cells)}"
+        )
+    config = cells[args.observe_cell]
+
+    disabled = measure_cell(config, trace, info, plan, args.repeat)
+    attached_config = dataclasses.replace(config, observe=True)
+    attached = measure_cell(
+        attached_config, trace, info, plan, args.repeat
+    )
+    print(f"  {args.observe_cell} hooks-off: "
+          f"{disabled['kips']:8.1f} KIPS ({disabled['wall_s']:.3f}s)")
+    print(f"  {args.observe_cell} observer : "
+          f"{attached['kips']:8.1f} KIPS ({attached['wall_s']:.3f}s)")
+
+    # Counter parity: attaching the observer must not perturb the
+    # simulation. Re-run once per flavor through Processor directly so
+    # the full counter set is in hand (measure_cell keeps only a few).
+    plain = Processor(config, trace, info).run(plan)
+    observed = Processor(attached_config, trace, info).run(plan)
+    mismatched = [
+        name for name in PARITY_FIELDS
+        if getattr(plain, name) != getattr(observed, name)
+    ]
+    if mismatched:
+        print(f"observer parity FAILED: {', '.join(mismatched)} differ",
+              file=sys.stderr)
+        return None, False
+    print(f"observer parity: {len(PARITY_FIELDS)} counters identical")
+
+    ok = True
+    baseline_kips = None
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+    if baseline is not None:
+        cell = baseline.get("cells", {}).get(args.observe_cell, {})
+        baseline_kips = cell.get("kips")
+        settings = baseline.get("settings", {})
+        comparable = (
+            settings.get("warmup_instructions") == warm
+            and settings.get("timing_instructions") == timed
+        )
+        if not baseline_kips:
+            print(f"baseline has no {args.observe_cell} cell; "
+                  "skipping the overhead gate")
+        elif not comparable:
+            print("baseline trace settings differ (e.g. --quick); "
+                  "skipping the overhead gate")
+            baseline_kips = None
+        else:
+            ratio = disabled["kips"] / baseline_kips
+            print(
+                f"hooks-off vs committed baseline: {ratio:.3f}x "
+                f"(threshold {1 - args.observe_threshold:.2f}x)"
+            )
+            if ratio < 1.0 - args.observe_threshold:
+                # Advisory like the --baseline trend gate: absolute
+                # KIPS is machine dependent.
+                print(
+                    f"::warning title=observe-overhead::disabled-hook "
+                    f"path is {1 - ratio:.1%} below the committed "
+                    f"baseline for {args.observe_cell} (threshold "
+                    f"{args.observe_threshold:.0%})"
+                )
+                ok = False
+
+    overhead = (
+        attached["wall_s"] / disabled["wall_s"] - 1.0
+        if disabled["wall_s"] else 0.0
+    )
+    print(f"attached-observer overhead: {overhead:+.1%}")
+    report = {
+        "schema": 1,
+        "mode": "observe-overhead",
+        "benchmark": args.benchmark,
+        "cell": args.observe_cell,
+        "settings": {
+            "warmup_instructions": warm,
+            "timing_instructions": timed,
+            "repeat": args.repeat,
+            "quick": args.quick,
+        },
+        "disabled": disabled,
+        "attached": attached,
+        "attached_overhead": round(overhead, 4),
+        "baseline_kips": baseline_kips,
+        "parity_fields_checked": len(PARITY_FIELDS),
+    }
+    return report, ok
+
+
 def attach_comparison(bench, before):
     """Embed *before* as the baseline and compute speedups."""
     speedups = {}
@@ -238,7 +380,31 @@ def main(argv=None):
                         help="relative KIPS drop that warns (default .25)")
     parser.add_argument("--fail-on-regress", action="store_true",
                         help="exit 1 instead of warning on regression")
+    parser.add_argument("--observe-overhead", action="store_true",
+                        help="gate the repro.observe disabled-hook path "
+                             "against the committed baseline")
+    parser.add_argument("--observe-cell", default="NAS/NAV@128",
+                        help="matrix cell for --observe-overhead "
+                             "(default NAS/NAV@128)")
+    parser.add_argument("--observe-threshold", type=float, default=0.02,
+                        help="relative disabled-path slowdown that warns "
+                             "(default .02)")
     args = parser.parse_args(argv)
+
+    if args.observe_overhead:
+        if args.baseline is None:
+            args.baseline = "benchmarks/BENCH_core.json"
+        report, ok = run_observe_overhead(args)
+        if report is None:
+            return 1  # counter parity failure is never advisory
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+        if not ok and args.fail_on_regress:
+            return 1
+        return 0
 
     bench = run_bench(args)
     print(f"geomean: {bench['geomean_kips']:.1f} KIPS")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Validate observe summary JSON documents against the checked-in schema.
+
+CI runs this over the ``summary.json`` produced by
+``repro-experiments observe`` so the artifact contract
+(``schemas/observe_summary.schema.json``) cannot drift silently.
+Validation uses the dependency-free subset validator in
+:mod:`repro.observe.export`.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_observe_summary.py \
+        observe-ci/summary.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.observe.export import validate_summary
+
+DEFAULT_SCHEMA = "schemas/observe_summary.schema.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="summary JSON files to validate")
+    parser.add_argument("--schema", default=DEFAULT_SCHEMA,
+                        help=f"schema path (default {DEFAULT_SCHEMA})")
+    args = parser.parse_args(argv)
+
+    with open(args.schema, "r", encoding="utf-8") as handle:
+        schema = json.load(handle)
+
+    failures = 0
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate_summary(document, schema)
+        if errors:
+            failures += 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Differential & metamorphic verification for the timing simulator.
+
+Three layers, all riding the :mod:`repro.observe` bus (zero overhead
+when detached, bit-identical results when attached):
+
+* :mod:`repro.check.differential` — replays the committed instruction
+  stream against the functional reference (commit order, shadow
+  memory, store-to-load forwarded values, branch outcomes, PC
+  continuity) and flags any architectural divergence.
+* :mod:`repro.check.invariants` — per-cycle microarchitectural
+  assertions: window age order, store-buffer FIFO order, policy-gate
+  soundness (a gated load never issues; ORACLE and NO never squash),
+  structure cross-consistency, stall-accountant conservation.
+* :mod:`repro.check.fuzz` — a seeded metamorphic design-space
+  explorer asserting the paper's cross-policy ordering relations,
+  with failing-seed minimisation and a regression corpus.
+
+:mod:`repro.check.faults` seeds known bugs into a live processor so
+the self-test (``repro-experiments check selftest``) can prove each
+checker actually fires; :mod:`repro.check.harness` wires everything
+together for the CLI and the test suite.
+"""
+
+from repro.check.differential import DifferentialChecker
+from repro.check.faults import FAULTS, fault_names
+from repro.check.fuzz import FuzzCell, fuzz, run_cell
+from repro.check.harness import CheckOutcome, check_benchmark, check_run, selftest
+from repro.check.invariants import InvariantChecker
+from repro.check.report import CheckError, CheckReport, Violation
+
+__all__ = [
+    "CheckError",
+    "CheckOutcome",
+    "CheckReport",
+    "DifferentialChecker",
+    "FAULTS",
+    "FuzzCell",
+    "InvariantChecker",
+    "Violation",
+    "check_benchmark",
+    "check_run",
+    "fault_names",
+    "fuzz",
+    "run_cell",
+    "selftest",
+]

@@ -1,0 +1,291 @@
+"""Run a simulation with every checker attached, plus the self-test.
+
+:func:`check_run` is the one entry point used by the CLI, the tests
+and the fuzzer's deep mode: it wires a
+:class:`~repro.check.differential.DifferentialChecker`, an
+:class:`~repro.check.invariants.InvariantChecker` and (optionally) a
+:class:`~repro.observe.stalls.StallAccountant` onto one observer bus,
+runs the processor, then applies post-run cross-checks that need the
+aggregate :class:`~repro.core.result.SimResult`:
+
+* committed instructions must equal the plan's timed instructions, and
+  the committed load/store/branch mix must equal the timed trace
+  regions' composition;
+* NO and ORACLE must report zero miss-speculations and zero squashed
+  instructions (the paper's Section 2.1/3.4.1 definitions);
+* zero miss-speculations must imply zero squashed instructions;
+* the stall accountant's conservation law (``commit_slots +
+  stall_slots == width x cycles``, ``commit_slots == committed``,
+  ``cycles == result.cycles``) when stall accounting is attached.
+
+:func:`selftest` proves the whole subsystem works by seeding every
+registered fault (:mod:`repro.check.faults`) into its scenario and
+asserting the named check catches it — and that the same scenario is
+violation-free without the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.processor import ProcessorConfig, SpeculationPolicy
+from repro.core.processor import Processor
+from repro.core.result import SimResult
+from repro.observe.bus import ObserverBus
+from repro.check.differential import DifferentialChecker
+from repro.check.faults import FAULTS, fault_names
+from repro.check.invariants import InvariantChecker
+from repro.check.report import CheckError, CheckReport
+from repro.check.reference import independent_trace
+from repro.trace.events import Trace
+from repro.trace.sampling import SamplingPlan, make_sampling_plan
+
+_NO_MISSPECULATION = (SpeculationPolicy.NO, SpeculationPolicy.ORACLE)
+
+
+@dataclass
+class CheckOutcome:
+    """A checked simulation: its result (if it finished) and report."""
+
+    report: CheckReport
+    result: Optional[SimResult] = None
+    #: Non-checker exception text if the simulator itself crashed.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok and self.error is None
+
+
+def check_run(
+    config: ProcessorConfig,
+    trace: Trace,
+    plan: Optional[SamplingPlan] = None,
+    dep_info=None,
+    reference_trace: Optional[Trace] = None,
+    stride: int = 1,
+    fault: Optional[str] = None,
+    fail_fast: bool = False,
+    stalls: bool = False,
+) -> CheckOutcome:
+    """Simulate *trace* under *config* with all checkers attached."""
+    report = CheckReport(fail_fast=fail_fast)
+    sinks = []
+    if fault is not None:
+        sinks.append(FAULTS[fault].sink())  # patch before checkers bind
+    differential = DifferentialChecker(
+        trace, report, reference_trace=reference_trace
+    )
+    invariants = InvariantChecker(trace, report, stride=stride)
+    sinks += [differential, invariants]
+    if stalls:
+        from repro.observe.stalls import StallAccountant
+
+        sinks.append(StallAccountant(config))
+    if plan is None:
+        plan = make_sampling_plan(len(trace))
+    processor = Processor(
+        config, trace, dep_info, observer=ObserverBus(sinks)
+    )
+    result: Optional[SimResult] = None
+    error: Optional[str] = None
+    try:
+        result = processor.run(plan)
+    except CheckError:
+        pass  # already recorded in the (fail-fast) report
+    except Exception as exc:  # noqa: BLE001 - a crash IS a detection
+        error = f"{type(exc).__name__}: {exc}"
+        fail = report.fail_fast
+        report.fail_fast = False
+        report.add(
+            "simulator-crash", "harness",
+            f"simulation aborted with {error}",
+        )
+        report.fail_fast = fail
+    if result is not None:
+        # Post-run checks never fail-fast: the run is over, so collect
+        # everything they have to say.
+        fail = report.fail_fast
+        report.fail_fast = False
+        differential.finalize()
+        _post_checks(result, plan, trace, config, report, stalls)
+        report.fail_fast = fail
+    return CheckOutcome(report=report, result=result, error=error)
+
+
+def _post_checks(
+    result: SimResult,
+    plan: SamplingPlan,
+    trace: Trace,
+    config: ProcessorConfig,
+    report: CheckReport,
+    stalls: bool,
+) -> None:
+    timed = expected_loads = expected_stores = expected_branches = 0
+    for segment in plan.segments:
+        if not segment.timing:
+            continue
+        timed += len(segment)
+        for inst in trace.slice(segment.start, segment.stop):
+            if inst.is_load:
+                expected_loads += 1
+            elif inst.is_store:
+                expected_stores += 1
+            elif inst.is_branch:
+                expected_branches += 1
+
+    if result.committed != timed:
+        report.add(
+            "commit-count", "harness",
+            f"result reports {result.committed} committed "
+            f"instructions but the plan timed {timed}",
+        )
+    for name, got, want in (
+        ("loads", result.committed_loads, expected_loads),
+        ("stores", result.committed_stores, expected_stores),
+        ("branches", result.committed_branches, expected_branches),
+    ):
+        if got != want:
+            report.add(
+                "commit-mix", "harness",
+                f"result reports {got} committed {name} but the timed "
+                f"trace regions contain {want}",
+            )
+
+    policy = config.memdep.policy
+    if policy in _NO_MISSPECULATION and (
+        result.misspeculations or result.squashed_instructions
+    ):
+        report.add(
+            "policy-misspeculation", "harness",
+            f"policy {policy.value} reports "
+            f"{result.misspeculations} miss-speculations and "
+            f"{result.squashed_instructions} squashed instructions; "
+            f"both must be zero",
+        )
+    if not result.misspeculations and result.squashed_instructions:
+        report.add(
+            "squash-without-misspeculation", "harness",
+            f"{result.squashed_instructions} instructions squashed "
+            f"with zero miss-speculations recorded",
+        )
+
+    if stalls:
+        summary = result.extra.get("observe", {}).get("stalls")
+        if summary is None:
+            report.add(
+                "stall-conservation", "harness",
+                "stall accounting requested but no summary attached",
+            )
+        else:
+            conserved = (
+                summary["commit_slots"] + summary["stall_slots"]
+                == summary["slots"]
+            )
+            if not conserved:
+                report.add(
+                    "stall-conservation", "harness",
+                    f"commit_slots {summary['commit_slots']} + "
+                    f"stall_slots {summary['stall_slots']} != slots "
+                    f"{summary['slots']}",
+                )
+            if summary["commit_slots"] != result.committed:
+                report.add(
+                    "stall-conservation", "harness",
+                    f"stall accountant saw {summary['commit_slots']} "
+                    f"commits; the result reports {result.committed}",
+                )
+            if summary["cycles"] != result.cycles:
+                report.add(
+                    "stall-conservation", "harness",
+                    f"stall accountant saw {summary['cycles']} cycles; "
+                    f"the result reports {result.cycles}",
+                )
+
+
+def check_benchmark(
+    name: str,
+    config: ProcessorConfig,
+    settings=None,
+    reference: bool = True,
+    stride: int = 1,
+    fault: Optional[str] = None,
+    fail_fast: bool = False,
+    stalls: bool = False,
+) -> CheckOutcome:
+    """Checked run of a catalog benchmark under *settings*."""
+    from repro.experiments.runner import (
+        DEFAULT_SETTINGS,
+        _dependences_for_length,
+        _plan_for,
+    )
+    from repro.workloads.catalog import get_trace
+
+    if settings is None:
+        settings = DEFAULT_SETTINGS
+    plan = _plan_for(name, settings)
+    request_length = plan.length
+    trace = get_trace(name, request_length, settings.seed)
+    if len(trace) != plan.length:
+        # Kernels run to natural completion, so the trace may be
+        # shorter than requested; rebuild the plan over what exists.
+        from repro.trace.sampling import Segment
+
+        warm = min(settings.warmup_instructions, max(len(trace) - 1, 0))
+        segments = (
+            [Segment(0, warm, timing=False)] if warm else []
+        ) + [Segment(warm, len(trace), timing=True)]
+        plan = SamplingPlan(tuple(segments), len(trace))
+    dep_info = _dependences_for_length(
+        name, len(trace), settings.seed, trace=trace
+    )
+    reference_trace = (
+        independent_trace(name, request_length, settings.seed)
+        if reference else None
+    )
+    return check_run(
+        config,
+        trace,
+        plan=plan,
+        dep_info=dep_info,
+        reference_trace=reference_trace,
+        stride=stride,
+        fault=fault,
+        fail_fast=fail_fast,
+        stalls=stalls,
+    )
+
+
+def selftest() -> dict:
+    """Seed every registered fault; assert each is caught.
+
+    Returns a JSON-serialisable record per fault: whether the clean
+    scenario is violation-free and whether the seeded bug was detected
+    by one of the checks the fault declares.
+    """
+    faults = {}
+    ok = True
+    for name in fault_names():
+        fault = FAULTS[name]
+        config, trace = fault.scenario()
+        clean = check_run(config, trace)
+        faulted = check_run(config, trace, fault=name, fail_fast=True)
+        caught_by = sorted(
+            check for check in faulted.report.counts
+            if check in fault.expect_checks
+        )
+        entry = {
+            "description": fault.description,
+            "clean_ok": clean.ok,
+            "clean_violations": clean.report.total,
+            "expected_checks": list(fault.expect_checks),
+            "caught": bool(caught_by),
+            "caught_by": caught_by,
+            "all_checks_hit": faulted.report.checks_hit(),
+        }
+        if not clean.ok:
+            entry["clean_report"] = clean.report.to_dict()
+        faults[name] = entry
+        ok = ok and clean.ok and bool(caught_by)
+    return {"ok": ok, "faults": faults}

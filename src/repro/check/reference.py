@@ -1,0 +1,105 @@
+"""Functional reference models for the differential checker.
+
+Two independent sources of architectural truth:
+
+* :func:`independent_trace` regenerates a workload's dynamic trace from
+  scratch — a fresh :func:`repro.vm.interpreter.run_program` execution
+  for kernels, a fresh :class:`~repro.workloads.synthetic.SyntheticProgram`
+  for the SPEC'95 stand-ins — deliberately bypassing the catalog cache
+  so a corrupted cached trace cannot vouch for itself.
+* :class:`ShadowMemory` re-executes the *committed* store stream at
+  word granularity and predicts every committed load's value. Initial
+  memory contents are unknown to the checker, so the first read of an
+  unwritten word adopts the load's value; any later disagreement on
+  that word is a real divergence.
+
+Both models share the 4-byte word granularity of
+:mod:`repro.trace.dependences` (every workload in this repo issues
+word-aligned accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.trace.events import Trace
+
+_WORD_SHIFT = 2  # 4-byte words, matching repro.trace.dependences
+
+#: DynInst fields compared between a simulated trace and its
+#: independently regenerated twin.
+TRACE_FIELDS: Tuple[str, ...] = (
+    "seq", "pc", "op", "dest", "srcs", "addr", "size", "value",
+    "taken", "target",
+)
+
+
+def independent_trace(name: str, length: int, seed: int = 0) -> Trace:
+    """Regenerate (name, length, seed) without touching the trace cache."""
+    from repro.workloads.kernels import KERNELS
+    from repro.workloads.spec95 import profile_for
+    from repro.workloads.synthetic import SyntheticProgram
+    from repro.vm.interpreter import run_program
+
+    if name in KERNELS:
+        source, memory = KERNELS[name]()
+        return run_program(
+            source, memory=memory, max_instructions=length, name=name
+        )
+    profile = profile_for(name)
+    return SyntheticProgram(profile, seed=seed).generate(length)
+
+
+def diff_instructions(
+    got: DynInst, want: DynInst
+) -> Iterable[Tuple[str, object, object]]:
+    """Yield (field, got, want) for every differing compared field."""
+    for name in TRACE_FIELDS:
+        a = getattr(got, name)
+        b = getattr(want, name)
+        if a != b:
+            yield name, a, b
+
+
+class ShadowMemory:
+    """Word-granular architectural memory rebuilt from the commit stream."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        #: Words never written nor read yet — their content is the
+        #: program's initial memory image, unknown to the checker.
+        self.adopted = 0
+        self.checked_loads = 0
+        self.stores_applied = 0
+
+    def store(self, addr: int, size: int, value: Optional[int]) -> None:
+        """Apply a committed store (value ``None`` marks it unknown)."""
+        self.stores_applied += 1
+        first = addr >> _WORD_SHIFT
+        last = (addr + size - 1) >> _WORD_SHIFT
+        for word in range(first, last + 1):
+            # Multi-word stores replicate the value per word exactly as
+            # compute_dependence_info does; unknown values poison the
+            # word back to "unwritten".
+            if value is None:
+                self._words.pop(word, None)
+            else:
+                self._words[word] = value
+
+    def load(self, addr: int, size: int, value: Optional[int]) -> Optional[int]:
+        """Check a committed load; returns the expected value or None.
+
+        ``None`` means the word had no known content (first touch): the
+        load's own value is adopted as the initial-memory image.
+        """
+        if value is None:
+            return None
+        word = addr >> _WORD_SHIFT
+        known = self._words.get(word)
+        if known is None:
+            self._words[word] = value
+            self.adopted += 1
+            return None
+        self.checked_loads += 1
+        return known

@@ -1,0 +1,138 @@
+"""Machine-readable violation reports shared by every checker.
+
+A :class:`Violation` is one detected divergence or broken invariant; a
+:class:`CheckReport` collects them across checkers and renders to JSON
+for CI artifacts (``check ... --json-out``). In ``fail_fast`` mode the
+report raises :class:`CheckError` at the first violation — the
+fault-injection self-test uses this so a seeded bug is caught at the
+moment of detection instead of crashing the simulator later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Violation:
+    """One detected divergence or broken microarchitectural invariant."""
+
+    #: Stable machine-readable name, e.g. ``"commit-order"`` or
+    #: ``"window-age-order"`` (docs/TESTING.md lists them all).
+    check: str
+    #: Which checker raised it: ``"differential"``, ``"invariants"``
+    #: or ``"harness"`` (post-run cross-checks).
+    source: str
+    #: Human-readable one-liner with the diverging values.
+    detail: str
+    cycle: Optional[int] = None
+    seq: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "check": self.check,
+            "source": self.source,
+            "detail": self.detail,
+        }
+        if self.cycle is not None:
+            out["cycle"] = self.cycle
+        if self.seq is not None:
+            out["seq"] = self.seq
+        return out
+
+    def __str__(self) -> str:
+        where = []
+        if self.cycle is not None:
+            where.append(f"cycle={self.cycle}")
+        if self.seq is not None:
+            where.append(f"seq={self.seq}")
+        loc = f" [{' '.join(where)}]" if where else ""
+        return f"{self.source}/{self.check}{loc}: {self.detail}"
+
+
+class CheckError(AssertionError):
+    """Raised on the first violation when a report is fail-fast."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class CheckReport:
+    """Accumulates violations from every attached checker.
+
+    ``max_violations`` bounds memory on a badly broken run (the count
+    keeps incrementing; only the detail records stop being retained).
+    """
+
+    def __init__(
+        self, fail_fast: bool = False, max_violations: int = 200
+    ) -> None:
+        self.fail_fast = fail_fast
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self.total = 0
+        #: Violation counts per check name (kept even past the cap).
+        self.counts: Dict[str, int] = {}
+
+    def add(
+        self,
+        check: str,
+        source: str,
+        detail: str,
+        cycle: Optional[int] = None,
+        seq: Optional[int] = None,
+    ) -> None:
+        violation = Violation(check, source, detail, cycle=cycle, seq=seq)
+        self.total += 1
+        self.counts[check] = self.counts.get(check, 0) + 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        if self.fail_fast:
+            raise CheckError(violation)
+
+    @property
+    def ok(self) -> bool:
+        return self.total == 0
+
+    def checks_hit(self) -> List[str]:
+        return sorted(self.counts)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "total": self.total,
+            "counts": dict(self.counts),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable multi-line summary for CLI output."""
+        if self.ok:
+            return "check: OK (no violations)"
+        lines = [f"check: {self.total} violation(s)"]
+        for name in self.checks_hit():
+            lines.append(f"  {name}: {self.counts[name]}")
+        lines.append("first violations:")
+        for violation in self.violations[:limit]:
+            lines.append(f"  {violation}")
+        if self.total > limit:
+            lines.append(f"  ... and {self.total - limit} more")
+        return "\n".join(lines)
+
+
+@dataclass
+class StoreRecord:
+    """A committed store's architectural effect (differential checker)."""
+
+    seq: int
+    addr: int
+    size: int
+    value: Optional[int]
+    write_cycle: Optional[int]
+    commit_cycle: int = field(default=0)

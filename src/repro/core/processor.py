@@ -1167,7 +1167,8 @@ def simulate(
     trace: Trace,
     plan: Optional[SamplingPlan] = None,
     dep_info: Optional[Dict[int, DependenceInfo]] = None,
+    observer=None,
 ) -> SimResult:
     """Convenience wrapper: build a processor for *trace* and run it."""
-    processor = Processor(config, trace, dep_info)
+    processor = Processor(config, trace, dep_info, observer=observer)
     return processor.run(plan)

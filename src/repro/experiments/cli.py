@@ -80,6 +80,8 @@ def _dispatch(argv=None) -> int:
         return _status_main(argv[1:])
     if argv and argv[0] == "observe":
         return _observe_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -335,6 +337,236 @@ def _observe_main(argv) -> int:
         args.latency, settings, args.out, limit=args.limit,
     )
     return 0
+
+
+def _check_main(argv) -> int:
+    """``repro-experiments check {run,selftest,fuzz} ...``.
+
+    Exit codes: 0 clean, 1 violations/failures detected, 2 usage.
+    """
+    import json as jsonlib
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments check",
+        description=(
+            "Differential and metamorphic verification of the "
+            "simulator (see docs/TESTING.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    run_p = sub.add_parser(
+        "run",
+        help="simulate one benchmark with every checker attached",
+    )
+    run_p.add_argument("benchmark", help="benchmark name (e.g. 126.gcc)")
+    run_p.add_argument(
+        "--scheduling", choices=("NAS", "AS"), default="NAS",
+        help="address-based scheduler present (AS) or not (default NAS)",
+    )
+    run_p.add_argument(
+        "--policy", default="NAV",
+        choices=("NO", "NAV", "SEL", "STORE", "SYNC", "ORACLE", "SSET"),
+        help="memory dependence speculation policy (default NAV)",
+    )
+    run_p.add_argument(
+        "--window", type=int, choices=(64, 128), default=128,
+        help="window size preset (default 128)",
+    )
+    run_p.add_argument(
+        "--latency", type=int, default=0,
+        help="AS address-scheduler latency in cycles (default 0)",
+    )
+    run_p.add_argument(
+        "--timing", type=int, default=4_000,
+        help="timed instructions (default 4000)",
+    )
+    run_p.add_argument(
+        "--warmup", type=int, default=2_000,
+        help="functional warm-up instructions (default 2000)",
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    run_p.add_argument(
+        "--stride", type=int, default=1,
+        help="run the per-cycle structure scans every N cycles "
+             "(default 1 = every cycle)",
+    )
+    run_p.add_argument(
+        "--inject", metavar="FAULT", default=None,
+        help="seed a registered fault before checking (see "
+             "'check selftest' for the registry); the run must then "
+             "FAIL, proving the checkers see it",
+    )
+    run_p.add_argument(
+        "--no-reference", action="store_true",
+        help="skip regenerating the independent functional reference "
+             "trace (faster; disables reference-divergence checks)",
+    )
+    run_p.add_argument(
+        "--stalls", action="store_true",
+        help="also attach the stall accountant and assert its "
+             "conservation law",
+    )
+    run_p.add_argument(
+        "--json-out", metavar="FILE",
+        help="write the violation report as JSON to FILE",
+    )
+
+    self_p = sub.add_parser(
+        "selftest",
+        help="seed every registered fault; assert each is caught",
+    )
+    self_p.add_argument(
+        "--json-out", metavar="FILE",
+        help="write the per-fault record as JSON to FILE",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="metamorphic design-space fuzzing (paper relations)",
+    )
+    fuzz_p.add_argument(
+        "--budget", type=int, default=5,
+        help="number of random design-space cells (default 5)",
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzzer RNG seed (default 0)",
+    )
+    fuzz_p.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="oracle-dominance IPC tolerance (default 0.02)",
+    )
+    fuzz_p.add_argument(
+        "--corpus", metavar="FILE", default=None,
+        help="replay this JSON corpus before the random cells",
+    )
+    fuzz_p.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip shrinking failing cells",
+    )
+    fuzz_p.add_argument(
+        "--save-failing", metavar="FILE", default=None,
+        help="write minimised failing cells as a corpus to FILE",
+    )
+    fuzz_p.add_argument(
+        "--json-out", metavar="FILE",
+        help="write the fuzzing outcome as JSON to FILE",
+    )
+
+    args = parser.parse_args(argv)
+
+    def dump(payload, path):
+        if path:
+            with open(path, "w", encoding="utf-8") as handle:
+                jsonlib.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {path}")
+
+    if args.mode == "run":
+        from repro.check import check_benchmark, fault_names
+        from repro.config import SchedulingModel, SpeculationPolicy
+        from repro.config.presets import (
+            continuous_window_64, continuous_window_128,
+        )
+
+        if args.inject is not None and args.inject not in fault_names():
+            print(
+                f"unknown fault {args.inject!r}; registered faults: "
+                f"{', '.join(fault_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        factory = {64: continuous_window_64, 128: continuous_window_128}
+        config = factory[args.window](
+            SchedulingModel(args.scheduling),
+            SpeculationPolicy(args.policy),
+            addr_scheduler_latency=args.latency,
+        )
+        settings = ExperimentSettings(args.timing, args.warmup, args.seed)
+        outcome = check_benchmark(
+            args.benchmark, config, settings,
+            reference=not args.no_reference,
+            stride=args.stride,
+            fault=args.inject,
+            stalls=args.stalls,
+        )
+        report = outcome.report
+        label = (
+            f"{args.benchmark} {args.scheduling}/{args.policy}"
+            f"@w{args.window}"
+        )
+        if outcome.result is not None:
+            print(
+                f"checked {label}: {outcome.result.committed:,} commits, "
+                f"{outcome.result.cycles:,} cycles, "
+                f"IPC {outcome.result.ipc:.3f}"
+            )
+        if args.inject:
+            print(f"injected fault: {args.inject}")
+        print(report.render())
+        dump(report.to_dict(), args.json_out)
+        return 0 if outcome.ok else 1
+
+    if args.mode == "selftest":
+        from repro.check import fault_names, selftest
+
+        record = selftest()
+        for name in fault_names():
+            entry = record["faults"][name]
+            status = "caught" if entry["caught"] else "MISSED"
+            clean = "clean" if entry["clean_ok"] else "DIRTY-CLEAN-RUN"
+            caught_by = ", ".join(entry["caught_by"]) or "-"
+            print(f"{name:16s} {status:7s} by {caught_by:24s} [{clean}]")
+        print(f"selftest: {'OK' if record['ok'] else 'FAILED'} "
+              f"({len(record['faults'])} faults)")
+        dump(record, args.json_out)
+        return 0 if record["ok"] else 1
+
+    # args.mode == "fuzz"
+    from repro.check.fuzz import (
+        FuzzCell, fuzz as run_fuzz, load_corpus, save_corpus,
+    )
+
+    corpus = []
+    if args.corpus:
+        try:
+            corpus = load_corpus(args.corpus)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load corpus {args.corpus}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"replaying {len(corpus)} corpus cells from {args.corpus}")
+    outcome = run_fuzz(
+        budget=args.budget,
+        rng_seed=args.seed,
+        tolerance=args.tolerance,
+        corpus=corpus,
+        minimize=not args.no_minimize,
+        log=print,
+    )
+    print(
+        f"fuzz: {outcome.cells_run} cells, "
+        f"{len(outcome.failures)} relation failures"
+    )
+    for failure in outcome.failures:
+        print(f"  FAIL {failure['relation']}: {failure['detail']}")
+        print(f"       cell: {failure['cell']}")
+    if outcome.minimized:
+        print("minimised reproducers (rerun with "
+              "'check fuzz --corpus FILE' after saving):")
+        for cell in outcome.minimized:
+            print(f"  {cell}")
+    if args.save_failing and outcome.minimized:
+        save_corpus(
+            args.save_failing,
+            [FuzzCell.from_dict(c) for c in outcome.minimized],
+        )
+        print(f"wrote failing corpus to {args.save_failing}")
+    dump(outcome.to_dict(), args.json_out)
+    return 0 if outcome.ok else 1
 
 
 def _cache_main(argv) -> int:

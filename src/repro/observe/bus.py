@@ -19,6 +19,14 @@ Sinks declare what they want:
   every simulated cycle (after issue/dispatch/fetch) plus
   ``on_segment(processor)`` at each timing-segment start and
   ``on_squash(resume_cycle)`` on every violation squash.
+* ``wants_raw`` — receive the live :class:`~repro.core.window.Entry`
+  objects themselves (``raw_dispatch``/``raw_issue``/``raw_mem_issue``/
+  ``raw_blocked``/``raw_squash``/``raw_replay``/``raw_commit`` plus
+  ``raw_fetch(inst, cycle)``). This is the verification-grade feed:
+  no event materialisation, no field copying — the sink sees exactly
+  the state the processor sees. Raw fan-out happens before event
+  materialisation and never touches ``events_emitted``, so attaching
+  a raw sink cannot perturb the summary of other sinks.
 
 The bus itself also keeps cheap named counters (:meth:`note`) and
 high-water marks (:meth:`note_depth`) fed by structure-level hooks in
@@ -113,6 +121,49 @@ class NullObserverSink:
         return {}
 
 
+class RawObserverSink:
+    """No-op base for ``wants_raw`` sinks (override what you need).
+
+    Raw callbacks receive live simulator objects; treat them as
+    strictly read-only — mutating an :class:`Entry` from a sink would
+    change simulated behaviour.
+    """
+
+    wants_raw = True
+    wants_events = False
+    wants_cycles = False
+    summary_key: Optional[str] = None
+
+    def raw_fetch(self, inst, cycle: int) -> None:
+        pass
+
+    def raw_dispatch(self, entry, cycle: int) -> None:
+        pass
+
+    def raw_issue(self, entry, cycle: int) -> None:
+        pass
+
+    def raw_mem_issue(self, entry, cycle: int, forwarded: bool) -> None:
+        pass
+
+    def raw_blocked(self, entry, cycle: int, cause) -> None:
+        pass
+
+    def raw_squash(
+        self, load, store, cycle: int, squashed: int, resume: int
+    ) -> None:
+        pass
+
+    def raw_replay(self, load, cycle: int, reexecuted: int) -> None:
+        pass
+
+    def raw_commit(self, entry, cycle: int) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+
 class ObserverBus:
     """Fans processor hook notifications out to observer sinks."""
 
@@ -120,6 +171,7 @@ class ObserverBus:
         self._sinks: List = []
         self._event_sinks: List = []
         self._cycle_sinks: List = []
+        self._raw_sinks: List = []
         #: Named structure-level counters (store-buffer forwards,
         #: address-scheduler posts, ...).
         self.counters: Dict[str, int] = {}
@@ -135,6 +187,8 @@ class ObserverBus:
             self._event_sinks.append(sink)
         if getattr(sink, "wants_cycles", False):
             self._cycle_sinks.append(sink)
+        if getattr(sink, "wants_raw", False):
+            self._raw_sinks.append(sink)
 
     # -- lifecycle events (hook API; one method per hook point) ----------
 
@@ -150,15 +204,24 @@ class ObserverBus:
             sink.on_event(event)
 
     def emit_fetch(self, inst, cycle: int) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_fetch(inst, cycle)
         self._emit(EV_FETCH, cycle, inst.seq, inst.pc, inst.op.name, None)
 
     def emit_dispatch(self, entry, cycle: int) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_dispatch(entry, cycle)
         inst = entry.inst
         self._emit(
             EV_DISPATCH, cycle, entry.seq, inst.pc, inst.op.name, None
         )
 
     def emit_issue(self, entry, cycle: int) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_issue(entry, cycle)
         inst = entry.inst
         self._emit(
             EV_ISSUE, cycle, entry.seq, inst.pc, inst.op.name, None
@@ -167,6 +230,9 @@ class ObserverBus:
     def emit_mem_issue(
         self, entry, cycle: int, forwarded: bool
     ) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_mem_issue(entry, cycle, forwarded)
         inst = entry.inst
         self._emit(
             EV_MEM_ISSUE, cycle, entry.seq, inst.pc, inst.op.name,
@@ -174,6 +240,9 @@ class ObserverBus:
         )
 
     def emit_blocked(self, entry, cycle: int, cause) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_blocked(entry, cycle, cause)
         inst = entry.inst
         self._emit(
             EV_BLOCKED, cycle, entry.seq, inst.pc, inst.op.name,
@@ -183,6 +252,9 @@ class ObserverBus:
     def emit_squash(
         self, load, store, cycle: int, squashed: int, resume: int
     ) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_squash(load, store, cycle, squashed, resume)
         inst = load.inst
         self._emit(
             EV_SQUASH, cycle, load.seq, inst.pc, inst.op.name,
@@ -196,6 +268,9 @@ class ObserverBus:
             sink.on_squash(resume)
 
     def emit_replay(self, load, cycle: int, reexecuted: int) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_replay(load, cycle, reexecuted)
         inst = load.inst
         self._emit(
             EV_REPLAY, cycle, load.seq, inst.pc, inst.op.name,
@@ -203,6 +278,9 @@ class ObserverBus:
         )
 
     def emit_commit(self, entry, cycle: int) -> None:
+        if self._raw_sinks:
+            for sink in self._raw_sinks:
+                sink.raw_commit(entry, cycle)
         self.events_emitted += 1
         sinks = self._event_sinks
         if not sinks:

@@ -1,0 +1,116 @@
+"""Unit tests for the differential checker and its references."""
+
+from repro.check import check_run
+from repro.check.reference import (
+    ShadowMemory,
+    TRACE_FIELDS,
+    diff_instructions,
+    independent_trace,
+)
+from repro.check.faults import _inst, _micro_trace
+from repro.config.presets import continuous_window_128
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.isa.opcodes import OpClass
+from repro.workloads.catalog import get_trace
+
+
+def _nav_config():
+    return continuous_window_128(
+        SchedulingModel.NAS, SpeculationPolicy.NAIVE
+    )
+
+
+def _store_load_trace(load_value):
+    body = [
+        _inst(0, OpClass.IALU, dest=1),
+        _inst(1, OpClass.STORE, srcs=(1, 1), addr=0x100, value=5),
+        _inst(2, OpClass.LOAD, dest=2, srcs=(1,), addr=0x100,
+              value=load_value),
+    ]
+    return _micro_trace(body, "micro-store-load")
+
+
+def test_clean_micro_trace_has_no_violations():
+    outcome = check_run(_nav_config(), _store_load_trace(load_value=5))
+    assert outcome.ok
+    assert outcome.result is not None
+    summary = outcome.result.extra["observe"]["differential"]
+    assert summary["commits_checked"] == outcome.result.committed
+    assert summary["violations"] == {}
+
+
+def test_value_divergence_from_committed_stores_is_caught():
+    # The functional trace itself lies: the load claims value 9 from a
+    # word the committed store stream left at 5.
+    outcome = check_run(_nav_config(), _store_load_trace(load_value=9))
+    assert not outcome.ok
+    counts = outcome.report.counts
+    assert "shadow-memory" in counts or "forward-value" in counts
+
+
+def test_reference_trace_divergence_is_caught():
+    trace = _store_load_trace(load_value=5)
+    reference = _store_load_trace(load_value=5)
+    reference.instructions[2].value = 6  # reference disagrees
+    outcome = check_run(
+        _nav_config(), trace, reference_trace=reference
+    )
+    assert "reference-divergence" in outcome.report.counts
+    violation = next(
+        v for v in outcome.report.violations
+        if v.check == "reference-divergence"
+    )
+    assert violation.seq == 2
+    assert "value" in violation.detail
+
+
+def test_reference_length_mismatch_is_reported_not_crashed():
+    trace = _store_load_trace(load_value=5)
+    reference = _micro_trace(
+        [_inst(0, OpClass.IALU, dest=1)], "short", filler=2
+    )
+    outcome = check_run(
+        _nav_config(), trace, reference_trace=reference
+    )
+    assert "reference-length" in outcome.report.counts
+    # The bad reference is dropped; the rest of the run still checks.
+    summary = outcome.result.extra["observe"]["differential"]
+    assert not summary["reference_attached"]
+
+
+def test_independent_trace_matches_catalog_trace():
+    name, length, seed = "126.gcc", 600, 0
+    reference = independent_trace(name, length, seed)
+    trace = get_trace(name, length, seed)
+    assert len(reference) == len(trace)
+    for got, want in zip(trace.instructions, reference.instructions):
+        assert got is not want  # genuinely regenerated, not cached
+        assert not list(diff_instructions(got, want))
+
+
+def test_diff_instructions_names_each_divergent_field():
+    a = _inst(0, OpClass.LOAD, dest=1, srcs=(2,), addr=0x100, value=1)
+    b = _inst(0, OpClass.LOAD, dest=1, srcs=(2,), addr=0x104, value=2)
+    fields = {field for field, _, _ in diff_instructions(a, b)}
+    assert fields == {"addr", "value"}
+    assert set(TRACE_FIELDS) >= fields
+
+
+def test_shadow_memory_adopts_then_checks():
+    shadow = ShadowMemory()
+    # First read of an unknown word adopts silently.
+    assert shadow.load(0x200, 4, 17) is None
+    assert shadow.adopted == 1
+    # The adopted value is then enforced.
+    assert shadow.load(0x200, 4, 99) == 17
+    # A store overwrites; subsequent loads see the stored value.
+    shadow.store(0x200, 4, 3)
+    assert shadow.load(0x200, 4, 3) == 3
+    assert shadow.stores_applied == 1
+
+
+def test_shadow_memory_none_store_poisons_the_word():
+    shadow = ShadowMemory()
+    shadow.store(0x300, 4, None)
+    # A poisoned word can never produce a false mismatch.
+    assert shadow.load(0x300, 4, 123) is None

@@ -1,0 +1,77 @@
+"""Attaching the verification checkers must not perturb the model.
+
+Re-runs every golden-parity cell (both benchmarks, every valid
+scheduling/policy combination — see ``tests/test_golden_parity.py``)
+with the differential checker, the invariant checker AND the stall
+accountant attached, and asserts
+
+* every :class:`SimResult` field is bit-identical to the committed
+  golden fixture (the checkers are observers, not participants), and
+* the checkers themselves report zero violations on the trusted
+  simulator.
+"""
+
+import json
+
+import pytest
+
+from tests.test_golden_parity import BENCHMARKS, CELLS, FIELDS, FIXTURE, _cell_id
+
+from repro.check import check_run
+from repro.check.reference import independent_trace
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Independently regenerated functional reference per benchmark."""
+    return {
+        benchmark: independent_trace(benchmark, length, 0)
+        for benchmark, _warm, length in BENCHMARKS
+    }
+
+
+@pytest.mark.parametrize(
+    "workload,warm,length,label,config",
+    CELLS,
+    ids=[_cell_id(c[0], c[3]) for c in CELLS],
+)
+def test_checked_run_is_bit_identical_and_clean(
+    golden, references, workload, warm, length, label, config
+):
+    benchmark = workload
+    trace = get_trace(benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False), Segment(warm, length, timing=True)),
+        length,
+    )
+    outcome = check_run(
+        config, trace, plan=plan, dep_info=info,
+        reference_trace=references[benchmark], stalls=True,
+    )
+    assert outcome.ok, (
+        f"{benchmark}:{label} raised checker violations on the trusted "
+        f"simulator:\n{outcome.report.render()}"
+    )
+    assert outcome.result is not None
+    actual = {name: getattr(outcome.result, name) for name in FIELDS}
+    expected = golden["cells"][_cell_id(benchmark, label)]
+    assert actual == expected, (
+        f"{benchmark}:{label}: attaching checkers changed the model: "
+        + ", ".join(
+            f"{k}: {expected[k]} -> {actual[k]}"
+            for k in FIELDS if expected[k] != actual[k]
+        )
+    )
+    summary = outcome.result.extra["observe"]["differential"]
+    assert summary["commits_checked"] == expected["committed"]
+    assert summary["reference_attached"]

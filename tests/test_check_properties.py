@@ -1,0 +1,179 @@
+"""Property-based differential tests: hot-path memory structures vs
+naive reference models.
+
+The store buffer and the address scheduler both use bisect-and-filter
+fast paths (parallel seq lists, block-granular occupancy filters,
+visibility bounds). These tests drive them through random operation
+sequences and compare every query against a straight-line reference
+model that keeps a plain list and scans it — if a fast path ever
+diverges from the obvious implementation, hypothesis shrinks to a
+minimal operation sequence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memdep.addr_scheduler import AddressScheduler
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+
+_WORDS = st.integers(min_value=0, max_value=9)
+_SIZES = st.sampled_from((1, 2, 4, 8))
+
+
+# ---------------------------------------------------------------------------
+# Store buffer vs a plain-list model
+# ---------------------------------------------------------------------------
+
+def _naive_search(stores, seq, addr, size):
+    """Youngest older overlapping store, by linear scan."""
+    end = addr + size
+    best = None
+    for s_seq, s_addr, s_size in stores:
+        if s_seq >= seq:
+            continue
+        if s_addr < end and addr < s_addr + s_size:
+            if best is None or s_seq > best[0]:
+                best = (s_seq, s_addr, s_size)
+    if best is None:
+        return None, False
+    full = best[1] <= addr and best[1] + best[2] >= end
+    return best[0], full
+
+
+@st.composite
+def buffer_scripts(draw):
+    """Random interleavings of insert / remove / squash / drain ops."""
+    seqs = draw(st.lists(
+        st.integers(0, 400), min_size=1, max_size=40, unique=True,
+    ))
+    ops = []
+    for seq in seqs:
+        ops.append(("insert", seq,
+                    0x1000 + 4 * draw(_WORDS), draw(_SIZES)))
+        action = draw(st.sampled_from(("keep", "remove", "squash")))
+        if action == "remove":
+            ops.append(("remove", seq))
+        elif action == "squash" and draw(st.booleans()):
+            ops.append(("squash", draw(st.integers(0, 400))))
+    probes = draw(st.lists(
+        st.tuples(st.integers(0, 500), _WORDS, _SIZES),
+        min_size=1, max_size=10,
+    ))
+    return ops, probes
+
+
+@given(buffer_scripts())
+@settings(max_examples=80, deadline=None)
+def test_store_buffer_matches_naive_model(script):
+    ops, probes = script
+    buf = StoreBuffer(capacity=64)
+    model = {}  # seq -> (seq, addr, size)
+    for op in ops:
+        if op[0] == "insert":
+            _, seq, addr, size = op
+            if len(model) >= 64 or seq in model:
+                continue
+            buf.insert(StoreBufferEntry(
+                seq=seq, addr=addr, size=size, value=seq,
+                data_ready_cycle=0,
+            ))
+            model[seq] = (seq, addr, size)
+        elif op[0] == "remove":
+            buf.remove(op[1])
+            model.pop(op[1], None)
+        elif op[0] == "squash":
+            buf.squash_younger(op[1])
+            model = {s: e for s, e in model.items() if s < op[1]}
+    assert [e.seq for e in buf.entries()] == sorted(model)
+    for probe_seq, word, size in probes:
+        addr = 0x1000 + 4 * word
+        entry, full = buf.search(probe_seq, addr, size)
+        want_seq, want_full = _naive_search(
+            model.values(), probe_seq, addr, size
+        )
+        got_seq = entry.seq if entry is not None else None
+        assert (got_seq, full) == (want_seq, want_full), (
+            f"search({probe_seq}, {addr:#x}, {size}) -> "
+            f"({got_seq}, {full}); naive model says "
+            f"({want_seq}, {want_full})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Address scheduler vs a plain-list model
+# ---------------------------------------------------------------------------
+
+@st.composite
+def scheduler_scripts(draw):
+    latency = draw(st.integers(0, 2))
+    count = draw(st.integers(1, 25))
+    store_seqs = sorted(draw(st.sets(
+        st.integers(0, 100), min_size=count, max_size=count,
+    )))
+    posts = []
+    for seq in store_seqs:
+        if draw(st.booleans()):
+            posts.append((seq, 0x1000 + 4 * draw(_WORDS), draw(_SIZES),
+                          draw(st.integers(0, 30))))
+    # Only posted stores may be removed (commit removes the record);
+    # removing an unposted seq is a scheduler no-op by design.
+    posted_seqs = [p[0] for p in posts]
+    removed = (
+        draw(st.sets(st.sampled_from(posted_seqs))) if posts else set()
+    )
+    queries = draw(st.lists(
+        st.tuples(st.integers(0, 110), _WORDS, _SIZES,
+                  st.integers(0, 40)),
+        min_size=1, max_size=10,
+    ))
+    return latency, store_seqs, posts, removed, queries
+
+
+class _FakeEntry:
+    def __init__(self, seq, addr, size):
+        self.seq = seq
+        self.inst = type(
+            "I", (), {"addr": addr, "size": size}
+        )()
+
+
+@given(scheduler_scripts())
+@settings(max_examples=80, deadline=None)
+def test_address_scheduler_matches_naive_model(script):
+    latency, store_seqs, posts, removed, queries = script
+    sched = AddressScheduler(latency=latency)
+    for seq in store_seqs:
+        sched.on_store_dispatch(seq)
+    posted = {}   # seq -> (addr, size, visible_cycle)
+    for seq, addr, size, cycle in posts:
+        visible = sched.post_address(_FakeEntry(seq, addr, size), cycle)
+        assert visible == cycle + latency
+        posted[seq] = (addr, size, visible)
+    for seq in removed:
+        sched.remove_store(seq)
+        posted.pop(seq, None)
+    unposted = [
+        s for s in store_seqs
+        if s not in posted and s not in removed
+    ]
+    for query_seq, word, size, cycle in queries:
+        addr = 0x1000 + 4 * word
+        end = addr + size
+
+        want_all = not any(s < query_seq for s in unposted) and all(
+            visible <= cycle
+            for s, (_, _, visible) in posted.items() if s < query_seq
+        )
+        assert sched.all_older_posted(query_seq, cycle) == want_all
+
+        match = sched.youngest_older_match(query_seq, addr, size, cycle)
+        candidates = [
+            s for s, (s_addr, s_size, visible) in posted.items()
+            if s < query_seq and visible <= cycle
+            and s_addr < end and addr < s_addr + s_size
+        ]
+        want = max(candidates) if candidates else None
+        got = match.seq if match is not None else None
+        assert got == want, (
+            f"youngest_older_match({query_seq}, {addr:#x}, {size}, "
+            f"{cycle}) -> {got}; naive model says {want}"
+        )

@@ -1,0 +1,55 @@
+"""Unit tests for the machine-readable violation report."""
+
+import json
+
+import pytest
+
+from repro.check import CheckError, CheckReport, Violation
+
+
+def test_violation_rendering_and_dict():
+    violation = Violation(
+        check="commit-order", source="differential",
+        detail="seq 5 out of order", cycle=12, seq=5,
+    )
+    text = str(violation)
+    assert "differential/commit-order" in text
+    assert "cycle=12" in text and "seq=5" in text
+    assert violation.to_dict() == {
+        "check": "commit-order", "source": "differential",
+        "detail": "seq 5 out of order", "cycle": 12, "seq": 5,
+    }
+
+
+def test_report_accumulates_and_serialises():
+    report = CheckReport()
+    assert report.ok
+    report.add("a", "unit", "first")
+    report.add("a", "unit", "second", cycle=3)
+    report.add("b", "unit", "third", seq=9)
+    assert not report.ok
+    assert report.total == 3
+    assert report.counts == {"a": 2, "b": 1}
+    assert report.checks_hit() == ["a", "b"]
+    doc = json.loads(report.to_json())
+    assert doc["total"] == 3
+    assert len(doc["violations"]) == 3
+    rendered = report.render(limit=2)
+    assert "first" in rendered and "1 more" in rendered
+
+
+def test_fail_fast_raises_with_the_violation_attached():
+    report = CheckReport(fail_fast=True)
+    with pytest.raises(CheckError) as err:
+        report.add("gate-soundness", "invariants", "boom", cycle=1)
+    assert err.value.violation.check == "gate-soundness"
+    assert report.total == 1  # recorded before raising
+
+
+def test_violation_cap_keeps_counts_exact():
+    report = CheckReport(max_violations=5)
+    for index in range(20):
+        report.add("flood", "unit", f"violation {index}")
+    assert len(report.violations) == 5
+    assert report.total == 20
+    assert report.counts["flood"] == 20

@@ -1,0 +1,83 @@
+"""Every SimResult counter must survive the result-store round trip.
+
+The persistent store (schema v2) serialises results through
+``result_to_record`` / ``result_from_record``. This test walks the
+dataclass fields mechanically, so adding a counter to
+:class:`SimResult` without it round-tripping — the classic silent way
+to lose a new metric from cached experiments — fails here.
+"""
+
+import dataclasses
+import json
+
+from repro.core.result import SimResult
+from repro.experiments.export import (
+    RAW_RESULT_FIELDS,
+    result_from_record,
+    result_to_record,
+)
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.store import ResultStore
+
+
+def _distinct_result() -> SimResult:
+    """A SimResult with a different, non-default value in every field."""
+    values = {}
+    for index, field in enumerate(dataclasses.fields(SimResult)):
+        if field.name == "extra":
+            values[field.name] = {
+                "observe": {"stalls": {"slots": 12.0}},
+                "plain": 3.5,
+            }
+        elif field.type in ("int", int):
+            values[field.name] = 1_000 + index
+        else:
+            values[field.name] = f"field-{index}"
+    return SimResult(**values)
+
+
+def test_raw_field_list_covers_the_dataclass():
+    assert RAW_RESULT_FIELDS == tuple(
+        f.name for f in dataclasses.fields(SimResult)
+    )
+
+
+def test_every_field_roundtrips_through_the_record():
+    result = _distinct_result()
+    record = json.loads(json.dumps(result_to_record(result)))
+    restored = result_from_record(record)
+    for field in dataclasses.fields(SimResult):
+        assert getattr(restored, field.name) == getattr(
+            result, field.name
+        ), f"field {field.name} did not round-trip"
+    assert restored == result
+
+
+def test_every_field_roundtrips_through_the_store(tmp_path):
+    result = _distinct_result()
+    store = ResultStore(tmp_path)
+    settings = ExperimentSettings(1_000, 500, 0)
+    key = ("label", "NAS", "NAV")
+    assert store.save("126.gcc", settings, key, result) is not None
+    restored = store.load("126.gcc", settings, key)
+    assert restored is not None
+    for field in dataclasses.fields(SimResult):
+        assert getattr(restored, field.name) == getattr(
+            result, field.name
+        ), f"field {field.name} was lost by the schema-v2 store"
+
+
+def test_mutating_any_counter_changes_the_record():
+    base = result_to_record(_distinct_result())
+    for field in dataclasses.fields(SimResult):
+        if field.name == "extra":
+            continue
+        changed = _distinct_result()
+        value = getattr(changed, field.name)
+        setattr(
+            changed, field.name,
+            value + 1 if isinstance(value, int) else value + "x",
+        )
+        assert result_to_record(changed) != base, (
+            f"field {field.name} is invisible to the record"
+        )

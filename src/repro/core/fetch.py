@@ -110,7 +110,7 @@ class FetchUnit:
         cursor = self.cursor
         pos = cursor._pos
         stop = cursor._stop
-        instructions = cursor._trace.instructions
+        instructions = cursor._instructions
         observer = self.observer
         while (
             fetched < width

@@ -6,7 +6,8 @@ Examples::
     repro-experiments figure1 figure2 --quick
     repro-experiments all --timing 20000 --warmup 12000
     repro-experiments all --store ~/.cache/repro-results --parallel 8
-    repro-experiments cache            # inspect the persistent store
+    repro-experiments all --trace-store ~/.cache/repro-traces
+    repro-experiments cache            # inspect result + trace stores
     repro-experiments status run.jsonl # summarize a telemetry stream
 """
 
@@ -130,6 +131,12 @@ def _dispatch(argv=None) -> int:
              "the REPRO_RESULT_STORE environment variable)",
     )
     parser.add_argument(
+        "--trace-store", metavar="DIR",
+        help="persist compiled traces in DIR so later runs load them "
+             "instead of regenerating (also honoured via the "
+             "REPRO_TRACE_STORE environment variable)",
+    )
+    parser.add_argument(
         "--telemetry", metavar="FILE",
         help="append structured JSONL run telemetry to FILE "
              "(readable with 'repro-experiments status FILE')",
@@ -158,6 +165,10 @@ def _dispatch(argv=None) -> int:
         from repro.experiments.store import set_store
 
         set_store(args.store)
+    if args.trace_store:
+        from repro.trace.tracestore import set_trace_store
+
+        set_trace_store(args.trace_store)
 
     from repro.experiments.runner import cache_stats
     from repro.experiments.telemetry import TelemetryWriter
@@ -570,30 +581,49 @@ def _check_main(argv) -> int:
 
 
 def _cache_main(argv) -> int:
-    """``repro-experiments cache [--path DIR] [--clear]``."""
+    """``repro-experiments cache [--path DIR] [--clear] ...``."""
     from repro.experiments.store import (
         ResultStore, default_store_path,
+    )
+    from repro.trace.tracestore import (
+        TraceStore, default_trace_store_path,
     )
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments cache",
-        description="Inspect or clear the persistent result store.",
+        description=(
+            "Inspect or clear the persistent result and trace stores."
+        ),
     )
     parser.add_argument(
         "--path", metavar="DIR", default=None,
-        help="store directory (default: $REPRO_RESULT_STORE or "
+        help="result-store directory (default: $REPRO_RESULT_STORE or "
              "~/.cache/repro-results)",
+    )
+    parser.add_argument(
+        "--trace-path", metavar="DIR", default=None,
+        help="trace-store directory (default: $REPRO_TRACE_STORE or "
+             "~/.cache/repro-traces)",
     )
     parser.add_argument(
         "--clear", action="store_true",
         help="delete every cached result record",
     )
+    parser.add_argument(
+        "--clear-traces", action="store_true",
+        help="delete every cached compiled trace",
+    )
     args = parser.parse_args(argv)
 
     store = ResultStore(args.path or default_store_path())
-    if args.clear:
-        removed = store.clear()
-        print(f"cleared {removed} cached results from {store.root}")
+    traces = TraceStore(args.trace_path or default_trace_store_path())
+    if args.clear or args.clear_traces:
+        if args.clear:
+            removed = store.clear()
+            print(f"cleared {removed} cached results from {store.root}")
+        if args.clear_traces:
+            removed = traces.clear()
+            print(f"cleared {removed} compiled traces from {traces.root}")
         return 0
     stats = store.stats()
     print(f"store path      {stats['path']}")
@@ -603,6 +633,14 @@ def _cache_main(argv) -> int:
     if not os.path.isdir(store.root):
         print("(store directory does not exist yet — it is created "
               "on the first cached simulation)")
+    tstats = traces.stats()
+    print(f"trace store     {tstats['path']}")
+    print(f"trace format    {tstats['format']}")
+    print(f"trace entries   {tstats['entries']}")
+    print(f"trace size      {tstats['size_bytes'] / 1024:.1f} KiB")
+    if not os.path.isdir(traces.root):
+        print("(trace-store directory does not exist yet — it is "
+              "created on the first generated trace)")
     return 0
 
 

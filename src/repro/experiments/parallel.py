@@ -45,6 +45,7 @@ from repro.experiments.runner import (
     ExperimentSettings,
 )
 from repro.experiments.telemetry import as_writer
+from repro.workloads import catalog as _catalog
 
 #: Scheduler poll interval while waiting on in-flight shards.
 _POLL_SECONDS = 0.01
@@ -62,6 +63,7 @@ def _run_benchmark_shard(
     """
     name, labelled_configs, settings = args
     before = _runner.cache_stats()
+    traces_before = _catalog.trace_stats()
     started = time.perf_counter()
     results = []
     for label, config in labelled_configs:
@@ -69,12 +71,20 @@ def _run_benchmark_shard(
             (label, _runner.run_benchmark(name, config, settings))
         )
     spent = _runner.cache_stats().delta(before)
+    traces = _catalog.trace_stats().delta(traces_before)
     stats = {
         "worker": os.getpid(),
         "wall": time.perf_counter() - started,
         "memory_hits": spent.memory_hits,
         "store_hits": spent.store_hits,
         "simulations": spent.simulations,
+        #: Where this shard's trace came from: "generated" (ran the
+        #: generator), "store_hit" (persistent trace store),
+        #: "inherited" (compiled columns placed pre-fork by
+        #: precompile), "memory" (in-process memo), or None (every
+        #: result was cached — no trace was needed at all).
+        "trace_source": traces.source,
+        "trace_wall": traces.trace_wall,
     }
     return name, results, stats
 
@@ -120,6 +130,7 @@ class _MatrixRun:
         #: counters never see them — the per-shard stats do.
         self.totals = {
             "memory_hits": 0, "store_hits": 0, "simulations": 0,
+            "trace_wall": 0.0,
         }
 
     # -- result folding ------------------------------------------------------
@@ -138,7 +149,10 @@ class _MatrixRun:
             key = (name, self.settings, _runner._config_key(config))
             _runner._result_cache[key] = result
         for key in self.totals:
-            self.totals[key] += int(stats.get(key, 0))
+            value = stats.get(key, 0) or 0
+            self.totals[key] += (
+                float(value) if key == "trace_wall" else int(value)
+            )
         self.writer.emit(
             "shard_finish",
             benchmark=name,
@@ -329,12 +343,24 @@ def run_matrix_parallel(
     retries: int = 2,
     retry_backoff: float = 0.1,
     telemetry=None,
+    precompile: bool = True,
 ) -> Dict[str, Dict[str, SimResult]]:
     """Parallel :func:`repro.experiments.runner.run_matrix`.
 
     Returns ``{config_label: {benchmark: SimResult}}``. With
     ``workers=1`` (or a single benchmark) this degrades to the serial
     path without spawning processes.
+
+    With *precompile* (the default on the pooled path), every
+    benchmark's trace is compiled into packed columns **before** the
+    pool forks: workers inherit the buffers copy-on-write and serve
+    ``get_trace`` from memory instead of regenerating per process —
+    and because shards are keyed by benchmark name (never pickled
+    traces), the retry and serial-fallback paths reuse the same
+    compiled entries. When a persistent trace store is active
+    (:func:`repro.trace.tracestore.set_trace_store` or
+    ``$REPRO_TRACE_STORE``), precompilation loads from and populates
+    it.
 
     *shard_timeout* bounds each shard's wall-clock time, measured from
     submission (``None`` disables). Failed or timed-out shards are
@@ -366,6 +392,22 @@ def run_matrix_parallel(
         workers=workers,
     )
     try:
+        if parallel_path and precompile:
+            precompile_started = time.perf_counter()
+            sources = _catalog.precompile(
+                ((name, _runner._plan_for(name, settings).length)
+                 for name in benchmarks),
+                seed=settings.seed,
+            )
+            counts: Dict[str, int] = {}
+            for source in sources.values():
+                counts[source] = counts.get(source, 0) + 1
+            writer.emit(
+                "trace_precompile",
+                benchmarks=len(sources),
+                wall=time.perf_counter() - precompile_started,
+                **counts,
+            )
         if workers == 1 or len(benchmarks) <= 1:
             run.run_serial(benchmarks)
         else:

@@ -26,9 +26,12 @@ from repro.config.processor import ProcessorConfig
 from repro.core.processor import Processor
 from repro.core.result import SimResult
 from repro.splitwindow.processor import SplitWindowProcessor
-from repro.trace.dependences import compute_dependence_info
 from repro.trace.sampling import SamplingPlan, Segment, parse_ratio
-from repro.workloads.catalog import get_trace
+from repro.workloads.catalog import (
+    get_dependence_info,
+    get_trace,
+    trace_stats,
+)
 from repro.workloads.spec95 import profile_for
 
 
@@ -67,7 +70,6 @@ def quick_settings() -> ExperimentSettings:
 
 
 _result_cache: Dict[Tuple, SimResult] = {}
-_dep_cache: Dict[Tuple[str, int, int], dict] = {}
 
 
 @dataclass
@@ -101,7 +103,6 @@ def cache_stats() -> CacheStats:
 def clear_results() -> None:
     """Drop every cached simulation result and reset cache counters."""
     _result_cache.clear()
-    _dep_cache.clear()
     _cache_stats.memory_hits = 0
     _cache_stats.store_hits = 0
     _cache_stats.simulations = 0
@@ -175,16 +176,17 @@ def run_benchmark(
 
 
 def _dependences_for_length(name: str, length: int, seed: int, trace=None):
-    """Memoized dependence analysis; pass *trace* when already in hand
-    so a catalog-cache miss does not regenerate it."""
-    key = (name, length, seed)
-    info = _dep_cache.get(key)
-    if info is None:
-        if trace is None:
-            trace = get_trace(name, length, seed)
-        info = compute_dependence_info(trace)
-        _dep_cache[key] = info
-    return info
+    """Dependence analysis via the catalog's provenance-keyed memo.
+
+    Pass *trace* when already in hand so a catalog-cache miss does not
+    regenerate it. The analysis is memoized by the trace's provenance
+    ``(name, length, seed, generator_version)`` — and when the trace
+    came from the persistent store, decoded from the packed dependence
+    columns instead of recomputed.
+    """
+    if trace is None:
+        trace = get_trace(name, length, seed)
+    return get_dependence_info(trace)
 
 
 def _plan_for(name: str, settings: ExperimentSettings) -> SamplingPlan:
@@ -265,6 +267,7 @@ def run_matrix(
     benchmarks = list(benchmarks)
     writer, owned = as_writer(telemetry)
     before = cache_stats()
+    traces_before = trace_stats()
     started = time.perf_counter()
     writer.emit(
         "matrix_start",
@@ -282,6 +285,7 @@ def run_matrix(
             }
     finally:
         spent = cache_stats().delta(before)
+        traces = trace_stats().delta(traces_before)
         writer.emit(
             "matrix_finish",
             mode="serial",
@@ -289,6 +293,10 @@ def run_matrix(
             memory_hits=spent.memory_hits,
             store_hits=spent.store_hits,
             simulations=spent.simulations,
+            traces_generated=traces.generated,
+            trace_store_hits=traces.store_hits,
+            traces_inherited=traces.inherited,
+            trace_wall=traces.trace_wall,
         )
         if owned:
             writer.close()

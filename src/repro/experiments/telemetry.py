@@ -13,11 +13,17 @@ line into a telemetry file. Each event carries at least:
     Unix timestamp (``time.time()``) when the event was emitted.
 
 Shard events add ``benchmark``, ``attempt`` and — on ``shard_finish``
-— ``wall`` (seconds), ``worker`` (pid) and the cache counters
-``memory_hits`` / ``store_hits`` / ``simulations`` for that shard.
+— ``wall`` (seconds), ``worker`` (pid), the cache counters
+``memory_hits`` / ``store_hits`` / ``simulations``, and the trace
+acquisition split for that shard: ``trace_source`` (``generated`` /
+``store_hit`` / ``inherited`` / ``memory`` / null) and ``trace_wall``
+(seconds spent producing or loading traces and dependence analyses).
 ``matrix_finish`` carries the same counters aggregated over the whole
 matrix, which is how "a warm re-run performed zero re-simulations" is
-verified mechanically.
+verified mechanically. The parallel runner additionally emits one
+``trace_precompile`` event before forking, counting how many
+benchmark traces came from the in-process memo, the persistent trace
+store, or fresh generation.
 
 The format is append-only and line-oriented so a crashed run leaves a
 readable prefix; :func:`read_telemetry` skips any torn final line.
@@ -139,6 +145,21 @@ def summarize_telemetry(events: Iterable[dict]) -> dict:
         for key in counters:
             counters[key] += int(event.get(key, 0))
 
+    trace_sources: dict = {}
+    for event in by_name.get("shard_finish", ()):
+        source = event.get("trace_source")
+        if source:
+            trace_sources[source] = trace_sources.get(source, 0) + 1
+    if finishes:
+        trace_wall = sum(
+            float(e.get("trace_wall", 0)) for e in finishes
+        )
+    else:
+        trace_wall = sum(
+            float(e.get("trace_wall", 0))
+            for e in by_name.get("shard_finish", ())
+        )
+
     cached = counters["memory_hits"] + counters["store_hits"]
     total = cached + counters["simulations"]
     summary = {
@@ -155,6 +176,8 @@ def summarize_telemetry(events: Iterable[dict]) -> dict:
         "wall_p50": percentile(walls, 0.5) if walls else 0.0,
         "wall_p95": percentile(walls, 0.95) if walls else 0.0,
         "wall_max": max(walls) if walls else 0.0,
+        "trace_wall": trace_wall,
+        "trace_sources": trace_sources,
     }
     summary.update(counters)
     return summary
@@ -188,4 +211,14 @@ def render_summary(summary: dict) -> str:
             f"max {summary['wall_max']:.2f}s"
         ),
     ]
+    sources = summary.get("trace_sources") or {}
+    if sources or summary.get("trace_wall"):
+        shards = ", ".join(
+            f"{count} {source}"
+            for source, count in sorted(sources.items())
+        ) or "none"
+        lines.append(
+            f"traces             {shards} "
+            f"(acquisition {summary.get('trace_wall', 0.0):.2f}s)"
+        )
     return "\n".join(lines)

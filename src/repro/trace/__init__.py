@@ -2,17 +2,39 @@
 
 from repro.trace.events import Trace
 from repro.trace.cursor import TraceCursor
+from repro.trace.compiled import (
+    COMPILED_FORMAT_VERSION,
+    CompiledTrace,
+    TraceFormatError,
+    compile_trace,
+)
 from repro.trace.dependences import (
     compute_true_dependences,
     dependence_distance_histogram,
 )
 from repro.trace.sampling import SamplingPlan, Segment, make_sampling_plan
+from repro.trace.tracestore import (
+    TRACE_STORE_ENV_VAR,
+    TraceStore,
+    active_trace_store,
+    default_trace_store_path,
+    set_trace_store,
+)
 from repro.trace.depgraph import trace_to_dot
 
 __all__ = [
     "trace_to_dot",
     "Trace",
     "TraceCursor",
+    "COMPILED_FORMAT_VERSION",
+    "CompiledTrace",
+    "TraceFormatError",
+    "compile_trace",
+    "TRACE_STORE_ENV_VAR",
+    "TraceStore",
+    "active_trace_store",
+    "default_trace_store_path",
+    "set_trace_store",
     "compute_true_dependences",
     "dependence_distance_histogram",
     "SamplingPlan",

@@ -1,0 +1,682 @@
+"""Structure-of-arrays compiled traces.
+
+A :class:`~repro.trace.events.Trace` is ~30k :class:`DynInst` objects;
+producing one means running the VM interpreter or the synthetic
+generator, and sharing one between processes means pickling every
+object. The evaluation's shape is "same instruction stream, many
+machine configurations" (Section 3 of the paper), so the stream is
+worth compiling once into a form that is cheap to persist, share and
+re-materialize.
+
+:class:`CompiledTrace` packs each ``DynInst`` field into one parallel
+column:
+
+* ``pc``/``dest``/``addr``/``size``/``value``/``target`` are int64
+  ``array('q')`` columns. Nullable columns (``dest``, ``addr``,
+  ``value``, ``target``) carry a one-bit-per-instruction null mask, so
+  ``None`` costs one bit and no sentinel value is stolen from the
+  integer domain. The rare integer outside int64 range goes to a
+  per-column overflow side table, keeping the round trip bit-exact for
+  arbitrary Python ints.
+* ``op`` is one byte per instruction indexing an ``op_names`` table
+  recorded alongside the columns (robust to :class:`OpClass` members
+  being reordered between versions).
+* ``taken`` is one byte per instruction (0=None, 1=False, 2=True).
+* ``srcs`` tuples are flattened into one int64 column plus an offsets
+  column (CSR-style), so variable arity costs 8 bytes per source.
+* The precomputed dependence map (:func:`compute_dependence_info`)
+  packs into three more columns: dependent load seqs, producing store
+  seqs and a stale-value-equality bitmask.
+
+``seq`` is implicit (column index), which also makes prefix slicing
+exact: the first *n* rows of every column ARE the compiled form of the
+first *n* instructions, and a dependence map restricted to loads below
+*n* is exactly the dependence map of the prefix (a load's producing
+store is always older than the load).
+
+Materialization back to ``DynInst`` objects is lazy — a consumer that
+only needs the dependence map or the composition summary never builds
+a single object — and trusted (the O(n) seq re-validation in
+``Trace.__post_init__`` is skipped; the compiler already proved it).
+
+``to_bytes``/``from_bytes`` give a versioned, checksummed binary
+encoding used by :mod:`repro.trace.tracestore`:
+
+    b"RPTC" | u32 format | u32 header_len | header JSON | payload
+    | sha256(header JSON + payload)
+
+Columns sit at 8-byte-aligned offsets inside the payload so a reader
+may address them directly in an ``mmap`` of the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.trace.dependences import DependenceInfo
+from repro.trace.events import Trace
+
+#: Bump when the column layout or the header schema changes; old files
+#: then fail the format check and are regenerated.
+COMPILED_FORMAT_VERSION = 1
+
+_MAGIC = b"RPTC"
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Columns serialized into the payload, in file order.
+_INT_COLUMNS = ("pc", "dest", "size", "addr", "value", "target",
+                "srcs_off", "srcs_flat", "dep_load", "dep_store")
+_BYTE_COLUMNS = ("op", "taken")
+_MASK_COLUMNS = ("dest_null", "addr_null", "value_null", "target_null",
+                 "dep_stale")
+
+
+class TraceCompileError(ValueError):
+    """A trace cannot be represented in the compiled format."""
+
+
+class TraceFormatError(ValueError):
+    """A byte stream is not a valid compiled trace."""
+
+
+def _pack_ints(values: Sequence[int], overflow: Dict[str, Dict[str, int]],
+               column: str) -> array:
+    """int64 column; out-of-range entries go to the overflow table."""
+    try:
+        return array("q", values)
+    except OverflowError:
+        pass
+    spill = overflow.setdefault(column, {})
+    packed = array("q", bytes(8 * len(values)))
+    for i, value in enumerate(values):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            packed[i] = value
+        else:
+            spill[str(i)] = value
+    return packed
+
+
+def _pack_mask(flags: Sequence[bool]) -> bytes:
+    """One bit per entry, LSB-first within each byte."""
+    mask = bytearray((len(flags) + 7) // 8)
+    for i, flag in enumerate(flags):
+        if flag:
+            mask[i >> 3] |= 1 << (i & 7)
+    return bytes(mask)
+
+
+def _mask_bit(mask: bytes, i: int) -> int:
+    return (mask[i >> 3] >> (i & 7)) & 1
+
+
+def _slice_mask(mask: bytes, length: int) -> bytes:
+    """The first *length* bits of *mask*, spare tail bits zeroed."""
+    out = bytearray(mask[: (length + 7) // 8])
+    if length & 7 and out:
+        out[-1] &= (1 << (length & 7)) - 1
+    return bytes(out)
+
+
+class CompiledTrace:
+    """One trace compiled into packed parallel columns.
+
+    Construct with :func:`compile_trace` or :meth:`from_bytes`; the
+    raw constructor trusts its arguments.
+    """
+
+    __slots__ = (
+        "name", "suite", "length", "kind", "budget",
+        "pc", "op", "dest", "dest_null", "size", "addr", "addr_null",
+        "value", "value_null", "taken", "target", "target_null",
+        "srcs_off", "srcs_flat", "overflow",
+        "dep_load", "dep_store", "dep_stale",
+        "_instructions", "_op_names",
+    )
+
+    def __init__(self, *, name: str, suite: Optional[str], length: int,
+                 kind: str, budget: Optional[int],
+                 pc: array, op: bytes, dest: array, dest_null: bytes,
+                 size: array, addr: array, addr_null: bytes,
+                 value: array, value_null: bytes, taken: bytes,
+                 target: array, target_null: bytes,
+                 srcs_off: array, srcs_flat: array,
+                 overflow: Dict[str, Dict[str, int]],
+                 dep_load: Optional[array] = None,
+                 dep_store: Optional[array] = None,
+                 dep_stale: Optional[bytes] = None) -> None:
+        self.name = name
+        self.suite = suite
+        self.length = length
+        #: "kernel" (VM execution, runs to natural completion under an
+        #: instruction budget) or "synthetic" (prefix-stable stream).
+        self.kind = kind
+        #: For kernels: the ``max_instructions`` budget the run was
+        #: generated under (>= length, since the run completed).
+        self.budget = budget
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.dest_null = dest_null
+        self.size = size
+        self.addr = addr
+        self.addr_null = addr_null
+        self.value = value
+        self.value_null = value_null
+        self.taken = taken
+        self.target = target
+        self.target_null = target_null
+        self.srcs_off = srcs_off
+        self.srcs_flat = srcs_flat
+        self.overflow = overflow
+        self.dep_load = dep_load
+        self.dep_store = dep_store
+        self.dep_stale = dep_stale
+        self._instructions: Optional[List[DynInst]] = None
+        #: Op-name order the ``op`` bytes index into; None means the
+        #: current :class:`OpClass` definition order (fresh compile).
+        self._op_names: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def has_dependences(self) -> bool:
+        return self.dep_load is not None
+
+    # -- materialization -----------------------------------------------------
+
+    @property
+    def instructions(self) -> List[DynInst]:
+        """The materialized ``DynInst`` list (built once, on demand)."""
+        if self._instructions is None:
+            self._instructions = self._materialize_all()
+        return self._instructions
+
+    def _materialize_all(self) -> List[DynInst]:
+        n = self.length
+        ops = _op_table(self)
+        pc, dest, size = self.pc, self.dest, self.size
+        addr, value, target = self.addr, self.value, self.target
+        op_col, taken_col = self.op, self.taken
+        dest_null, addr_null = self.dest_null, self.addr_null
+        value_null, target_null = self.value_null, self.target_null
+        srcs_off, srcs_flat = self.srcs_off, self.srcs_flat
+        spill = {
+            column: {int(i): v for i, v in table.items()}
+            for column, table in self.overflow.items()
+        }
+        new = DynInst.__new__
+        out: List[DynInst] = []
+        append = out.append
+        taken_map = (None, False, True)
+        srcs_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        for i in range(n):
+            byte = i >> 3
+            bit = 1 << (i & 7)
+            lo, hi = srcs_off[i], srcs_off[i + 1]
+            srcs = tuple(srcs_flat[lo:hi])
+            # Source tuples repeat heavily (same static instruction);
+            # interning them keeps the materialized trace compact.
+            srcs = srcs_cache.setdefault(srcs, srcs)
+            # Assigned one attribute at a time, in dataclass field
+            # order, so instances keep CPython's key-sharing dicts —
+            # replacing __dict__ wholesale would give every DynInst a
+            # combined dict (~2x the memory, measurably slower to read
+            # in the simulator's hot loops).
+            inst = new(DynInst)
+            inst.seq = i
+            inst.pc = pc[i]
+            inst.op = ops[op_col[i]]
+            inst.dest = None if dest_null[byte] & bit else dest[i]
+            inst.srcs = srcs
+            inst.addr = None if addr_null[byte] & bit else addr[i]
+            inst.size = size[i]
+            inst.value = None if value_null[byte] & bit else value[i]
+            inst.taken = taken_map[taken_col[i]]
+            inst.target = None if target_null[byte] & bit else target[i]
+            append(inst)
+        for column, table in spill.items():
+            for i, big in table.items():
+                if column == "srcs_flat":
+                    lo = None
+                    for j in range(n):
+                        if self.srcs_off[j] <= i < self.srcs_off[j + 1]:
+                            lo = j
+                            break
+                    srcs = list(out[lo].srcs)
+                    srcs[i - self.srcs_off[lo]] = big
+                    out[lo].srcs = tuple(srcs)
+                else:
+                    setattr(out[i], column, big)
+        return out
+
+    def instruction(self, i: int) -> DynInst:
+        """One materialized instruction (materializes the whole list)."""
+        return self.instructions[i]
+
+    def materialize(self, provenance: Optional[Tuple] = None) -> Trace:
+        """A :class:`Trace` over the (shared) materialized list.
+
+        Skips the O(n) seq validation — the compiler proved it.
+        """
+        return Trace.trusted(
+            self.instructions, name=self.name, suite=self.suite,
+            provenance=provenance,
+        )
+
+    # -- packed-column fast paths --------------------------------------------
+
+    def dependence_info(self) -> Optional[Dict[int, DependenceInfo]]:
+        """Decode the packed dependence map, or None if not attached."""
+        if self.dep_load is None:
+            return None
+        stale = self.dep_stale
+        return {
+            load: DependenceInfo(
+                store_seq=store, stale_equal=bool(_mask_bit(stale, i))
+            )
+            for i, (load, store) in enumerate(
+                zip(self.dep_load, self.dep_store)
+            )
+        }
+
+    def true_dependences(self) -> Optional[Dict[int, int]]:
+        """load seq -> producing store seq, or None if not attached."""
+        if self.dep_load is None:
+            return None
+        return dict(zip(self.dep_load, self.dep_store))
+
+    def attach_dependences(
+        self, info: Dict[int, DependenceInfo]
+    ) -> None:
+        """Pack *info* (:func:`compute_dependence_info` result) in."""
+        loads = sorted(info)
+        self.dep_load = array("q", loads)
+        self.dep_store = array("q", (info[k].store_seq for k in loads))
+        self.dep_stale = _pack_mask([info[k].stale_equal for k in loads])
+
+    def compute_dependence_info(self) -> Dict[int, DependenceInfo]:
+        """:func:`repro.trace.dependences.compute_dependence_info`
+        straight off the packed columns — no object materialization.
+
+        Word granularity (4 bytes) matches the object-walk version
+        bit for bit; a test asserts the equivalence.
+        """
+        ops = _op_table(self)
+        load_idx = _op_index(ops, OpClass.LOAD)
+        store_idx = _op_index(ops, OpClass.STORE)
+        op_col, addr_col, size_col = self.op, self.addr, self.size
+        value_col, value_null = self.value, self.value_null
+        memory: Dict[int, int] = {}
+        last_store: Dict[int, int] = {}
+        pre_write: Dict[int, int] = {}
+        info: Dict[int, DependenceInfo] = {}
+        for i in range(self.length):
+            op = op_col[i]
+            if op == store_idx:
+                addr = addr_col[i]
+                word = addr >> 2
+                pre_write[i] = memory.get(word, 0)
+                stored = (
+                    0 if value_null[i >> 3] & (1 << (i & 7))
+                    else value_col[i]
+                )
+                for w in range(word, (addr + size_col[i] - 1 >> 2) + 1):
+                    last_store[w] = i
+                    memory[w] = stored
+            elif op == load_idx:
+                addr = addr_col[i]
+                youngest = -1
+                for w in range(addr >> 2, (addr + size_col[i] - 1 >> 2) + 1):
+                    seq = last_store.get(w, -1)
+                    if seq > youngest:
+                        youngest = seq
+                if youngest >= 0:
+                    correct = (
+                        0 if value_null[i >> 3] & (1 << (i & 7))
+                        else value_col[i]
+                    )
+                    info[i] = DependenceInfo(
+                        store_seq=youngest,
+                        stale_equal=pre_write.get(youngest, 0) == correct,
+                    )
+        if self.overflow:
+            # Out-of-int64 addresses/values/sizes are possible in
+            # principle; fall back to the reference implementation
+            # rather than replicate overflow patching here.
+            from repro.trace.dependences import compute_dependence_info
+
+            return compute_dependence_info(self.materialize())
+        return info
+
+    def summary_counts(self) -> Dict[str, int]:
+        """Loads/stores/branches straight off the ``op`` column."""
+        ops = _op_table(self)
+        counts = [0] * len(ops)
+        for op in self.op:
+            counts[op] += 1
+        loads = counts[_op_index(ops, OpClass.LOAD)]
+        stores = counts[_op_index(ops, OpClass.STORE)]
+        branches = sum(
+            counts[i] for i, op in enumerate(ops) if op.branch_class
+        )
+        return {
+            "instructions": self.length,
+            "loads": loads,
+            "stores": stores,
+            "branches": branches,
+        }
+
+    # -- prefix slicing ------------------------------------------------------
+
+    def slice_prefix(self, length: int) -> "CompiledTrace":
+        """The compiled form of the first *length* instructions.
+
+        Exact for prefix-stable streams (the synthetic generator): row
+        *i* of every column only describes instruction *i*, and the
+        dependence map restricted to loads below *length* is the
+        dependence map of the prefix.
+        """
+        if not 0 <= length <= self.length:
+            raise ValueError(
+                f"prefix {length} out of range for trace of "
+                f"{self.length}"
+            )
+        if length == self.length:
+            return self
+        ops_order = self._op_names
+        flat_stop = self.srcs_off[length]
+        overflow: Dict[str, Dict[str, int]] = {}
+        for column, table in self.overflow.items():
+            stop = flat_stop if column == "srcs_flat" else length
+            kept = {i: v for i, v in table.items() if int(i) < stop}
+            if kept:
+                overflow[column] = kept
+        dep_load = dep_store = dep_stale = None
+        if self.dep_load is not None:
+            import bisect
+
+            stop = bisect.bisect_left(self.dep_load, length)
+            dep_load = self.dep_load[:stop]
+            dep_store = self.dep_store[:stop]
+            dep_stale = _slice_mask(self.dep_stale, stop)
+        prefix = CompiledTrace(
+            name=self.name, suite=self.suite, length=length,
+            kind=self.kind, budget=self.budget,
+            pc=self.pc[:length], op=self.op[:length],
+            dest=self.dest[:length],
+            dest_null=_slice_mask(self.dest_null, length),
+            size=self.size[:length], addr=self.addr[:length],
+            addr_null=_slice_mask(self.addr_null, length),
+            value=self.value[:length],
+            value_null=_slice_mask(self.value_null, length),
+            taken=self.taken[:length], target=self.target[:length],
+            target_null=_slice_mask(self.target_null, length),
+            srcs_off=self.srcs_off[:length + 1],
+            srcs_flat=self.srcs_flat[:flat_stop],
+            overflow=overflow,
+            dep_load=dep_load, dep_store=dep_store, dep_stale=dep_stale,
+        )
+        prefix._op_names = ops_order
+        return prefix
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Versioned, checksummed binary encoding (see module doc)."""
+        chunks: List[bytes] = []
+        columns: Dict[str, Dict] = {}
+        offset = 0
+        for column in _INT_COLUMNS:
+            data = getattr(self, column, None)
+            if data is None:
+                continue
+            raw = data.tobytes()
+            columns[column] = {
+                "typecode": "q", "count": len(data), "offset": offset,
+            }
+            chunks.append(raw)
+            offset += len(raw)
+        for column in _BYTE_COLUMNS + _MASK_COLUMNS:
+            data = getattr(self, column, None)
+            if data is None:
+                continue
+            pad = (-offset) % 8
+            if pad:
+                chunks.append(b"\0" * pad)
+                offset += pad
+            columns[column] = {
+                "typecode": "B", "count": len(data), "offset": offset,
+            }
+            chunks.append(bytes(data))
+            offset += len(data)
+        payload = b"".join(chunks)
+        header = {
+            "format": COMPILED_FORMAT_VERSION,
+            "name": self.name,
+            "suite": self.suite,
+            "length": self.length,
+            "kind": self.kind,
+            "budget": self.budget,
+            "op_names": [op.name for op in OpClass],
+            "byteorder": "little",
+            "overflow": self.overflow,
+            "columns": columns,
+        }
+        header_bytes = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        pad = (-(len(_MAGIC) + 8 + len(header_bytes))) % 8
+        header_bytes += b" " * pad
+        digest = hashlib.sha256(header_bytes + payload).digest()
+        return b"".join((
+            _MAGIC,
+            struct.pack("<II", COMPILED_FORMAT_VERSION, len(header_bytes)),
+            header_bytes,
+            payload,
+            digest,
+        ))
+
+    @classmethod
+    def from_bytes(cls, blob) -> "CompiledTrace":
+        """Decode :meth:`to_bytes` output (accepts any buffer/mmap).
+
+        Raises :class:`TraceFormatError` on any structural problem —
+        wrong magic, version skew, truncation, checksum mismatch.
+        """
+        blob = memoryview(blob)
+        if len(blob) < len(_MAGIC) + 8 + 32:
+            raise TraceFormatError("truncated compiled trace")
+        if bytes(blob[:4]) != _MAGIC:
+            raise TraceFormatError("bad magic")
+        version, header_len = struct.unpack_from("<II", blob, 4)
+        if version != COMPILED_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"format {version} != {COMPILED_FORMAT_VERSION}"
+            )
+        body_start = 12 + header_len
+        if len(blob) < body_start + 32:
+            raise TraceFormatError("truncated compiled trace")
+        header_bytes = bytes(blob[12:body_start])
+        payload = blob[body_start:-32]
+        checksum = hashlib.sha256(header_bytes)
+        checksum.update(payload)
+        if checksum.digest() != bytes(blob[-32:]):
+            raise TraceFormatError("checksum mismatch")
+        try:
+            header = json.loads(header_bytes)
+            columns = header["columns"]
+            length = header["length"]
+            name = header["name"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TraceFormatError(f"bad header: {exc}") from None
+
+        def int_column(column: str) -> Optional[array]:
+            spec = columns.get(column)
+            if spec is None:
+                return None
+            out = array("q")
+            start = spec["offset"]
+            out.frombytes(payload[start:start + 8 * spec["count"]])
+            if len(out) != spec["count"]:
+                raise TraceFormatError(f"short column {column}")
+            return out
+
+        def byte_column(column: str) -> Optional[bytes]:
+            spec = columns.get(column)
+            if spec is None:
+                return None
+            start = spec["offset"]
+            raw = bytes(payload[start:start + spec["count"]])
+            if len(raw) != spec["count"]:
+                raise TraceFormatError(f"short column {column}")
+            return raw
+
+        try:
+            compiled = cls(
+                name=name, suite=header.get("suite"), length=length,
+                kind=header.get("kind", "synthetic"),
+                budget=header.get("budget"),
+                pc=int_column("pc"), op=byte_column("op"),
+                dest=int_column("dest"), dest_null=byte_column("dest_null"),
+                size=int_column("size"),
+                addr=int_column("addr"), addr_null=byte_column("addr_null"),
+                value=int_column("value"),
+                value_null=byte_column("value_null"),
+                taken=byte_column("taken"),
+                target=int_column("target"),
+                target_null=byte_column("target_null"),
+                srcs_off=int_column("srcs_off"),
+                srcs_flat=int_column("srcs_flat"),
+                overflow=header.get("overflow", {}),
+                dep_load=int_column("dep_load"),
+                dep_store=int_column("dep_store"),
+                dep_stale=byte_column("dep_stale"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise TraceFormatError(f"bad columns: {exc}") from None
+        for column in ("pc", "op", "dest", "size", "addr", "value",
+                       "taken", "target"):
+            data = getattr(compiled, column)
+            if data is None or len(data) != length:
+                raise TraceFormatError(f"column {column} wrong length")
+        if (compiled.srcs_off is None
+                or len(compiled.srcs_off) != length + 1):
+            raise TraceFormatError("column srcs_off wrong length")
+        # Rebuild the OpClass mapping by name so a reordered enum in a
+        # future version cannot silently remap opcodes.
+        try:
+            _op_table(compiled, header["op_names"])
+        except KeyError as exc:
+            raise TraceFormatError(f"unknown op class {exc}") from None
+        compiled._op_names = header["op_names"]
+        return compiled
+
+
+# Per-instance op tables: from_bytes records the file's op-name order;
+# compile_trace always uses the current OpClass order.
+def _op_table(compiled: CompiledTrace,
+              names: Optional[List[str]] = None) -> Tuple[OpClass, ...]:
+    if names is None:
+        names = getattr(compiled, "_op_names", None)
+    if names is None:
+        return tuple(OpClass)
+    return tuple(OpClass[name] for name in names)
+
+
+def _op_index(ops: Tuple[OpClass, ...], member: OpClass) -> int:
+    return ops.index(member)
+
+
+def compile_trace(
+    trace: Trace,
+    dep_info: Optional[Dict[int, DependenceInfo]] = None,
+    kind: str = "synthetic",
+    budget: Optional[int] = None,
+) -> CompiledTrace:
+    """Pack *trace* into a :class:`CompiledTrace`.
+
+    The conversion is bit-exact and reversible for every ``DynInst``
+    field (including ``None`` encodings and arbitrary-precision ints).
+    *dep_info* (a :func:`compute_dependence_info` result) is packed
+    alongside when given.
+    """
+    instructions = trace.instructions
+    n = len(instructions)
+    op_index = {op: i for i, op in enumerate(OpClass)}
+    overflow: Dict[str, Dict[str, int]] = {}
+
+    pcs: List[int] = []
+    ops = bytearray(n)
+    dests: List[int] = []
+    dest_null: List[bool] = []
+    sizes: List[int] = []
+    addrs: List[int] = []
+    addr_null: List[bool] = []
+    values: List[int] = []
+    value_null: List[bool] = []
+    takens = bytearray(n)
+    targets: List[int] = []
+    target_null: List[bool] = []
+    srcs_off: List[int] = [0]
+    srcs_flat: List[int] = []
+
+    for i, inst in enumerate(instructions):
+        pcs.append(inst.pc)
+        ops[i] = op_index[inst.op]
+        dest = inst.dest
+        dest_null.append(dest is None)
+        dests.append(0 if dest is None else dest)
+        sizes.append(inst.size)
+        addr = inst.addr
+        addr_null.append(addr is None)
+        addrs.append(0 if addr is None else addr)
+        value = inst.value
+        value_null.append(value is None)
+        values.append(0 if value is None else value)
+        taken = inst.taken
+        if taken is None:
+            takens[i] = 0
+        elif taken is True:
+            takens[i] = 2
+        elif taken is False:
+            takens[i] = 1
+        else:
+            raise TraceCompileError(
+                f"seq {i}: taken={taken!r} is not a bool or None"
+            )
+        target = inst.target
+        target_null.append(target is None)
+        targets.append(0 if target is None else target)
+        srcs_flat.extend(inst.srcs)
+        srcs_off.append(len(srcs_flat))
+
+    compiled = CompiledTrace(
+        name=trace.name, suite=trace.suite, length=n,
+        kind=kind, budget=budget,
+        pc=_pack_ints(pcs, overflow, "pc"),
+        op=bytes(ops),
+        dest=_pack_ints(dests, overflow, "dest"),
+        dest_null=_pack_mask(dest_null),
+        size=_pack_ints(sizes, overflow, "size"),
+        addr=_pack_ints(addrs, overflow, "addr"),
+        addr_null=_pack_mask(addr_null),
+        value=_pack_ints(values, overflow, "value"),
+        value_null=_pack_mask(value_null),
+        taken=bytes(takens),
+        target=_pack_ints(targets, overflow, "target"),
+        target_null=_pack_mask(target_null),
+        srcs_off=_pack_ints(srcs_off, overflow, "srcs_off"),
+        srcs_flat=_pack_ints(srcs_flat, overflow, "srcs_flat"),
+        overflow=overflow,
+    )
+    if dep_info is not None:
+        compiled.attach_dependences(dep_info)
+    return compiled

@@ -15,14 +15,21 @@ from repro.trace.events import Trace
 
 
 class TraceCursor:
-    """Sequential view over a (sub-)range of a trace."""
+    """Sequential view over a (sub-)range of a trace.
+
+    Accepts a :class:`Trace` or anything exposing an ``instructions``
+    list (e.g. :class:`~repro.trace.compiled.CompiledTrace`, which
+    materializes it lazily on first access). The list is bound once at
+    construction so the fetch hot loop indexes it directly.
+    """
 
     def __init__(self, trace: Trace, start: int = 0,
                  stop: Optional[int] = None) -> None:
         self._trace = trace
+        self._instructions = trace.instructions
         if stop is None:
-            stop = len(trace)
-        if not 0 <= start <= stop <= len(trace):
+            stop = len(self._instructions)
+        if not 0 <= start <= stop <= len(self._instructions):
             raise ValueError("cursor range out of bounds")
         self._start = start
         self._stop = stop
@@ -50,13 +57,13 @@ class TraceCursor:
         index = self._pos + offset
         if index >= self._stop:
             return None
-        return self._trace[index]
+        return self._instructions[index]
 
     def advance(self) -> DynInst:
         """Consume and return the next instruction."""
         if self.exhausted:
             raise StopIteration("trace cursor exhausted")
-        inst = self._trace[self._pos]
+        inst = self._instructions[self._pos]
         self._pos += 1
         return inst
 

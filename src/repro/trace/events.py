@@ -9,8 +9,8 @@ miss-speculation never changes the control path, only timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import DynInst, TraceSummary
 
@@ -23,6 +23,15 @@ class Trace:
     name: str = "trace"
     #: Optional tag: "int" or "fp" (SPEC'95 class) for summary grouping.
     suite: Optional[str] = None
+    #: Where this trace came from, when the catalog produced it:
+    #: ``(name, length, seed, generator_version)``. Keys the dependence
+    #: memos so analyses survive trace-cache eviction and can be shared
+    #: across processes. ``None`` for hand-built traces. Excluded from
+    #: equality: two traces with identical instructions are the same
+    #: trace regardless of how they were obtained.
+    provenance: Optional[Tuple[str, int, int, str]] = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         for i, inst in enumerate(self.instructions):
@@ -31,6 +40,27 @@ class Trace:
                     f"trace {self.name}: instruction {i} has seq "
                     f"{inst.seq}; sequence numbers must be 0..N-1"
                 )
+
+    @classmethod
+    def trusted(
+        cls,
+        instructions: List[DynInst],
+        name: str = "trace",
+        suite: Optional[str] = None,
+        provenance: Optional[Tuple[str, int, int, str]] = None,
+    ) -> "Trace":
+        """Construct without the O(n) seq re-validation.
+
+        For producers that guarantee ``seq == index`` by construction
+        (the compiled-trace materializer); everything else should use
+        the normal constructor.
+        """
+        trace = cls.__new__(cls)
+        trace.instructions = instructions
+        trace.name = name
+        trace.suite = suite
+        trace.provenance = provenance
+        return trace
 
     def __len__(self) -> int:
         return len(self.instructions)

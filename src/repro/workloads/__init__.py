@@ -17,10 +17,15 @@ from repro.workloads.spec95 import (
 )
 from repro.workloads.synthetic import SyntheticProgram
 from repro.workloads.catalog import (
+    DEFAULT_LENGTH,
+    GENERATOR_VERSION,
     get_trace,
     get_dependences,
+    get_dependence_info,
     clear_cache,
     kernel_trace,
+    precompile,
+    trace_stats,
     KERNEL_NAMES,
 )
 
@@ -32,9 +37,14 @@ __all__ = [
     "ALL_BENCHMARKS",
     "profile_for",
     "SyntheticProgram",
+    "DEFAULT_LENGTH",
+    "GENERATOR_VERSION",
     "get_trace",
     "get_dependences",
+    "get_dependence_info",
     "clear_cache",
     "kernel_trace",
+    "precompile",
+    "trace_stats",
     "KERNEL_NAMES",
 ]

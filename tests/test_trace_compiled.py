@@ -1,0 +1,229 @@
+"""Tests for the structure-of-arrays compiled trace format.
+
+The contract under test: compilation is bit-exact and reversible for
+every ``DynInst`` field (``None`` encodings, negative and
+arbitrary-precision ints included), the binary encoding survives a
+round trip and rejects every structural corruption, prefix slicing is
+exact, and the packed-column dependence fast path matches the
+reference object-walk analysis bit for bit.
+"""
+
+import pytest
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.trace.compiled import (
+    COMPILED_FORMAT_VERSION,
+    CompiledTrace,
+    TraceFormatError,
+    compile_trace,
+)
+from repro.trace.dependences import (
+    compute_dependence_info,
+    compute_true_dependences,
+)
+from repro.trace.events import Trace
+from repro.workloads.catalog import get_trace
+
+
+def _exotic_trace():
+    """Hand-built trace exercising every field's edge encodings."""
+    instructions = [
+        # Plain ALU op: dest set, no memory, no branch.
+        DynInst(seq=0, pc=0x1000, op=OpClass.IALU, dest=3, srcs=(1, 2)),
+        # Store with a negative value and multi-byte size.
+        DynInst(seq=1, pc=0x1004, op=OpClass.STORE, srcs=(3, 4),
+                addr=0x2000, size=8, value=-123456789),
+        # Load reading it back; dest None is impossible for loads in
+        # practice but value may be huge (overflow table).
+        DynInst(seq=2, pc=0x1008, op=OpClass.LOAD, dest=5, srcs=(4,),
+                addr=0x2000, size=8, value=-123456789),
+        # Branch taken=False with a target.
+        DynInst(seq=3, pc=0x100C, op=OpClass.BRANCH, srcs=(5,),
+                taken=False, target=0x1010),
+        # Branch taken=True.
+        DynInst(seq=4, pc=0x1010, op=OpClass.BRANCH, srcs=(),
+                taken=True, target=0x1000),
+        # Arbitrary-precision integers: pc and value beyond int64.
+        DynInst(seq=5, pc=2**80, op=OpClass.STORE, srcs=(6,),
+                addr=0x3000, size=4, value=2**100 + 7),
+        DynInst(seq=6, pc=0x1018, op=OpClass.LOAD, dest=7, srcs=(),
+                addr=0x3000, size=4, value=-(2**70)),
+        # Everything-None row (no dest, no mem, no branch outcome).
+        DynInst(seq=7, pc=0x101C, op=OpClass.FADD, dest=None, srcs=()),
+    ]
+    return Trace(instructions=instructions, name="exotic", suite=None)
+
+
+def _assert_instructions_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for a, e in zip(actual, expected):
+        for field in ("seq", "pc", "op", "dest", "srcs", "addr",
+                      "size", "value", "taken", "target"):
+            assert getattr(a, field) == getattr(e, field), (
+                f"seq {e.seq}: {field} {getattr(a, field)!r} != "
+                f"{getattr(e, field)!r}"
+            )
+
+
+def test_round_trip_every_field_including_none_and_huge_ints():
+    trace = _exotic_trace()
+    compiled = compile_trace(trace)
+    # Huge ints landed in the overflow side tables, not in-column.
+    assert "pc" in compiled.overflow
+    assert "value" in compiled.overflow
+    _assert_instructions_equal(compiled.instructions, trace.instructions)
+
+
+def test_round_trip_through_bytes():
+    trace = _exotic_trace()
+    blob = compile_trace(trace).to_bytes()
+    decoded = CompiledTrace.from_bytes(blob)
+    assert decoded.name == "exotic"
+    assert decoded.length == len(trace)
+    _assert_instructions_equal(decoded.instructions, trace.instructions)
+    # Re-encoding is deterministic.
+    assert decoded.to_bytes() == blob
+
+
+def test_round_trip_synthetic_trace():
+    trace = get_trace("126.gcc", 2_000)
+    decoded = CompiledTrace.from_bytes(compile_trace(trace).to_bytes())
+    _assert_instructions_equal(decoded.instructions, trace.instructions)
+    assert decoded.suite == trace.suite
+
+
+def test_column_consumers_never_materialize():
+    """Dependence decoding and summary counts work straight off the
+    packed columns — no DynInst object is ever built for them."""
+    trace = get_trace("102.swim", 1_500)
+    info = compute_dependence_info(trace)
+    compiled = compile_trace(trace, dep_info=info)
+    compiled._instructions = None  # drop the compile-time share
+    assert compiled.dependence_info() == info
+    assert compiled.summary_counts()["instructions"] == 1_500
+    assert compiled.compute_dependence_info() == info
+    assert compiled._instructions is None
+
+
+def test_materialize_rebuilds_and_stamps_provenance():
+    trace = get_trace("102.swim", 1_500)
+    compiled = compile_trace(trace)
+    compiled._instructions = None
+    materialized = compiled.materialize(
+        provenance=("102.swim", 1_500, 0, "test")
+    )
+    assert materialized.instructions == trace.instructions
+    assert materialized.provenance == ("102.swim", 1_500, 0, "test")
+    # The materialized list is built once and shared thereafter.
+    assert compiled.materialize().instructions is (
+        materialized.instructions
+    )
+
+
+def test_summary_counts_match_object_walk():
+    trace = get_trace("126.gcc", 2_000)
+    counts = compile_trace(trace).summary_counts()
+    assert counts["instructions"] == 2_000
+    assert counts["loads"] == sum(
+        1 for i in trace.instructions if i.op is OpClass.LOAD
+    )
+    assert counts["stores"] == sum(
+        1 for i in trace.instructions if i.op is OpClass.STORE
+    )
+
+
+def test_packed_dependence_fast_path_matches_reference():
+    for name in ("126.gcc", "102.swim"):
+        trace = get_trace(name, 3_000)
+        compiled = compile_trace(trace)
+        assert compiled.compute_dependence_info() == (
+            compute_dependence_info(trace)
+        )
+
+
+def test_packed_dependence_fast_path_overflow_fallback():
+    trace = _exotic_trace()
+    compiled = compile_trace(trace)
+    assert compiled.overflow  # huge ints force the fallback path
+    assert compiled.compute_dependence_info() == (
+        compute_dependence_info(trace)
+    )
+
+
+def test_attached_dependences_decode_exactly():
+    trace = get_trace("147.vortex", 2_500)
+    info = compute_dependence_info(trace)
+    compiled = compile_trace(trace, dep_info=info)
+    assert compiled.has_dependences
+    assert compiled.dependence_info() == info
+    assert compiled.true_dependences() == compute_true_dependences(trace)
+    # Through serialization too.
+    decoded = CompiledTrace.from_bytes(compiled.to_bytes())
+    assert decoded.dependence_info() == info
+
+
+def test_prefix_slice_equals_shorter_generation():
+    long = get_trace("126.gcc", 3_000)
+    short = get_trace("126.gcc", 1_000)
+    info = compute_dependence_info(long)
+    prefix = compile_trace(long, dep_info=info).slice_prefix(1_000)
+    assert prefix.length == 1_000
+    _assert_instructions_equal(prefix.instructions, short.instructions)
+    # The restricted dependence map is the prefix's dependence map.
+    assert prefix.dependence_info() == compute_dependence_info(short)
+
+
+def test_prefix_slice_bounds():
+    compiled = compile_trace(get_trace("126.gcc", 1_000))
+    assert compiled.slice_prefix(1_000) is compiled
+    with pytest.raises(ValueError):
+        compiled.slice_prefix(1_001)
+    with pytest.raises(ValueError):
+        compiled.slice_prefix(-1)
+    empty = compiled.slice_prefix(0)
+    assert empty.length == 0 and empty.instructions == []
+
+
+def test_from_bytes_rejects_bad_magic():
+    blob = bytearray(compile_trace(_exotic_trace()).to_bytes())
+    blob[:4] = b"NOPE"
+    with pytest.raises(TraceFormatError, match="magic"):
+        CompiledTrace.from_bytes(bytes(blob))
+
+
+def test_from_bytes_rejects_version_skew():
+    import struct
+
+    blob = bytearray(compile_trace(_exotic_trace()).to_bytes())
+    struct.pack_into("<I", blob, 4, COMPILED_FORMAT_VERSION + 1)
+    with pytest.raises(TraceFormatError, match="format"):
+        CompiledTrace.from_bytes(bytes(blob))
+
+
+def test_from_bytes_rejects_truncation():
+    blob = compile_trace(get_trace("126.gcc", 500)).to_bytes()
+    for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(TraceFormatError):
+            CompiledTrace.from_bytes(blob[:cut])
+
+
+def test_from_bytes_rejects_bit_flips():
+    blob = compile_trace(get_trace("126.gcc", 500)).to_bytes()
+    for position in (20, len(blob) // 2, len(blob) - 5):
+        corrupted = bytearray(blob)
+        corrupted[position] ^= 0x40
+        with pytest.raises(TraceFormatError):
+            CompiledTrace.from_bytes(bytes(corrupted))
+
+
+def test_op_table_decodes_by_name_not_position():
+    """A file's op bytes index the *recorded* name order, so decoding
+    stays correct even if OpClass members were reordered between the
+    writing and reading versions."""
+    trace = _exotic_trace()
+    decoded = CompiledTrace.from_bytes(compile_trace(trace).to_bytes())
+    assert decoded._op_names == [op.name for op in OpClass]
+    _assert_instructions_equal(decoded.instructions, trace.instructions)
+    # And the name table survives prefix slicing.
+    assert decoded.slice_prefix(4)._op_names == decoded._op_names

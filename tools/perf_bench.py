@@ -33,6 +33,17 @@ Modes:
     within ``--observe-threshold`` of the committed
     ``benchmarks/BENCH_core.json`` number for that cell, and assert
     both runs produce identical simulation counters.
+``--trace-bench``
+    Benchmark the compiled-trace pipeline (``BENCH_trace.json`` by
+    convention). Stage 1 times each pipeline component per benchmark —
+    generate + analyse (the cold path) against store-load +
+    materialize + dependence-decode (the warm path) — and checks the
+    loaded trace matches the fresh one. Stage 2 launches fresh
+    subprocesses running the same parallel matrix cold (no store, no
+    precompile — the pre-store behaviour, every worker regenerating
+    its trace) and warm (persistent store + pre-fork precompile,
+    workers inheriting packed columns copy-on-write), and verifies
+    both produce bit-identical results.
 
 Usage::
 
@@ -309,6 +320,262 @@ def run_observe_overhead(args):
     return report, ok
 
 
+#: Child process for the --trace-bench end-to-end comparison: one full
+#: parallel matrix in a fresh interpreter, so in-process memos start
+#: cold and the only difference between modes is the trace pipeline.
+#: argv: mode(baseline|compiled) telemetry warm timed workers names...
+_TRACE_BENCH_CHILD = """
+import hashlib, json, sys, time
+
+mode, tele = sys.argv[1], sys.argv[2]
+warm, timed, workers = map(int, sys.argv[3:6])
+names = sys.argv[6:]
+
+from repro.config.presets import continuous_window_128
+from repro.config.processor import SchedulingModel, SpeculationPolicy
+from repro.experiments.parallel import run_matrix_parallel
+from repro.experiments.runner import ExperimentSettings
+
+if mode == "baseline":
+    from repro.trace.tracestore import set_trace_store
+    set_trace_store(None)  # pre-store behaviour, env var ignored
+
+nas = SchedulingModel.NAS
+configs = {
+    f"NAS/{p.value}": continuous_window_128(nas, p)
+    for p in (SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+              SpeculationPolicy.SYNC, SpeculationPolicy.ORACLE)
+}
+settings = ExperimentSettings(
+    timing_instructions=timed, warmup_instructions=warm
+)
+started = time.perf_counter()
+out = run_matrix_parallel(
+    names, configs, settings, workers=workers, telemetry=tele,
+    precompile=(mode != "baseline"),
+)
+wall = time.perf_counter() - started
+signature = sorted(
+    (label, name, r.cycles, r.committed, r.misspeculations)
+    for label, cells in out.items() for name, r in cells.items()
+)
+digest = hashlib.sha256(
+    json.dumps(signature).encode("utf-8")
+).hexdigest()
+print(json.dumps({"wall": wall, "digest": digest,
+                  "points": len(signature)}))
+"""
+
+
+def _trace_bench_child(mode, store_dir, warm, timed, workers, names):
+    """Run one end-to-end matrix in a fresh interpreter."""
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.trace.tracestore import TRACE_STORE_ENV_VAR
+
+    telemetry = tempfile.mktemp(suffix=f".{mode}.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if mode == "compiled":
+        env[TRACE_STORE_ENV_VAR] = store_dir
+    else:
+        env.pop(TRACE_STORE_ENV_VAR, None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _TRACE_BENCH_CHILD, mode, telemetry,
+         str(warm), str(timed), str(workers), *names],
+        env=env, capture_output=True, text=True, check=False,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"trace-bench {mode} child failed:\n{proc.stderr}"
+        )
+    report = json.loads(proc.stdout.strip().splitlines()[-1])
+
+    precompile_wall = 0.0
+    shard_trace_wall = 0.0
+    try:
+        with open(telemetry, "r", encoding="utf-8") as handle:
+            for line in handle:
+                event = json.loads(line)
+                if event.get("event") == "trace_precompile":
+                    precompile_wall += float(event.get("wall", 0.0))
+                elif event.get("event") == "matrix_finish":
+                    shard_trace_wall += float(
+                        event.get("trace_wall", 0.0)
+                    )
+    finally:
+        try:
+            os.unlink(telemetry)
+        except OSError:
+            pass
+    report["trace_wall"] = precompile_wall + shard_trace_wall
+    return report
+
+
+def run_trace_bench(args):
+    """Compiled-trace pipeline benchmark (see module docstring)."""
+    import shutil
+    import tempfile
+
+    from repro.trace.compiled import compile_trace
+    from repro.trace.dependences import compute_dependence_info
+    from repro.trace.tracestore import TraceStore, set_trace_store
+    from repro.workloads.catalog import (
+        DEFAULT_LENGTH, GENERATOR_VERSION, clear_cache, get_trace,
+    )
+    from repro.workloads.spec95 import ALL_BENCHMARKS, INT_BENCHMARKS
+
+    length = 8_000 if args.quick else DEFAULT_LENGTH
+    benchmarks = list(INT_BENCHMARKS if args.quick else ALL_BENCHMARKS)
+
+    # Stage 1: per-benchmark component timings. The store is disabled
+    # so get_trace() is pure generation; every stage is timed directly.
+    set_trace_store(None)
+    store_dir = tempfile.mkdtemp(prefix="trace-bench-store-")
+    store = TraceStore(store_dir)
+    per = {}
+    print(f"trace pipeline, {len(benchmarks)} benchmarks x "
+          f"{length:,} instructions (best of {args.repeat}):")
+    for name in benchmarks:
+        cold_best = None
+        trace = info = None
+        for _ in range(args.repeat):
+            clear_cache()
+            started = time.perf_counter()
+            trace = get_trace(name, length, seed=0)
+            info = compute_dependence_info(trace)
+            cold = time.perf_counter() - started
+            if cold_best is None or cold < cold_best:
+                cold_best = cold
+
+        started = time.perf_counter()
+        compiled = compile_trace(trace, dep_info=info)
+        compile_s = time.perf_counter() - started
+        started = time.perf_counter()
+        store.save(compiled, 0, GENERATOR_VERSION)
+        save_s = time.perf_counter() - started
+
+        warm_best = None
+        loaded = None
+        for _ in range(args.repeat):
+            started = time.perf_counter()
+            loaded = store.load(name, length, 0, GENERATOR_VERSION)
+            materialized = loaded.materialize(
+                provenance=trace.provenance
+            )
+            decoded = loaded.dependence_info()
+            warm = time.perf_counter() - started
+            if warm_best is None or warm < warm_best:
+                warm_best = warm
+
+        if materialized.instructions != trace.instructions:
+            raise SystemExit(
+                f"{name}: store round-trip diverged from the fresh trace"
+            )
+        if decoded != info:
+            raise SystemExit(
+                f"{name}: packed dependence map diverged from analysis"
+            )
+
+        per[name] = {
+            "cold_s": round(cold_best, 6),
+            "warm_s": round(warm_best, 6),
+            "compile_s": round(compile_s, 6),
+            "save_s": round(save_s, 6),
+            "speedup": round(cold_best / warm_best, 3),
+        }
+        print(f"  {name:>12}: cold {cold_best * 1000:7.1f}ms  "
+              f"warm {warm_best * 1000:6.1f}ms  "
+              f"{per[name]['speedup']:5.1f}x")
+
+    cold_total = sum(c["cold_s"] for c in per.values())
+    warm_total = sum(c["warm_s"] for c in per.values())
+    pipeline = {
+        "per_benchmark": per,
+        "cold_total_s": round(cold_total, 6),
+        "warm_total_s": round(warm_total, 6),
+        "speedup_geomean": round(
+            geomean([c["speedup"] for c in per.values()]), 3
+        ),
+        "speedup_total": round(cold_total / warm_total, 3),
+    }
+    print(f"pipeline speedup: {pipeline['speedup_total']:.1f}x total, "
+          f"{pipeline['speedup_geomean']:.1f}x geomean")
+
+    # Stage 2: end-to-end cold-start matrices in fresh interpreters.
+    # Stage 1 already warmed the store, so "compiled" models a CI run
+    # with a restored trace cache; "baseline" is the pre-store runner.
+    end_to_end = None
+    ok = True
+    if not args.skip_e2e:
+        warm = 3_000 if args.quick else 10_000
+        timed = length - warm
+        matrix_names = benchmarks[:3 if args.quick else 6]
+        baseline = _trace_bench_child(
+            "baseline", store_dir, warm, timed, args.workers,
+            matrix_names,
+        )
+        compiled_run = _trace_bench_child(
+            "compiled", store_dir, warm, timed, args.workers,
+            matrix_names,
+        )
+        identical = baseline["digest"] == compiled_run["digest"]
+        end_to_end = {
+            "benchmarks": matrix_names,
+            "configs": 4,
+            "points": baseline["points"],
+            "workers": args.workers,
+            "baseline": {
+                "wall_s": round(baseline["wall"], 3),
+                "trace_wall_s": round(baseline["trace_wall"], 3),
+            },
+            "compiled": {
+                "wall_s": round(compiled_run["wall"], 3),
+                "trace_wall_s": round(compiled_run["trace_wall"], 3),
+            },
+            "wall_speedup": round(
+                baseline["wall"] / compiled_run["wall"], 3
+            ),
+            "trace_wall_speedup": round(
+                baseline["trace_wall"] / compiled_run["trace_wall"], 3
+            ) if compiled_run["trace_wall"] else None,
+            "results_identical": identical,
+        }
+        print(
+            f"end-to-end ({baseline['points']} points): "
+            f"baseline {baseline['wall']:.2f}s "
+            f"(traces {baseline['trace_wall']:.2f}s) vs compiled "
+            f"{compiled_run['wall']:.2f}s "
+            f"(traces {compiled_run['trace_wall']:.2f}s) -> "
+            f"{end_to_end['wall_speedup']:.2f}x wall, "
+            f"results {'identical' if identical else 'DIVERGED'}"
+        )
+        if not identical:
+            print("::error title=trace-bench::compiled-trace matrix "
+                  "results diverged from the regenerated baseline",
+                  file=sys.stderr)
+            ok = False
+
+    shutil.rmtree(store_dir, ignore_errors=True)
+    report = {
+        "schema": 1,
+        "mode": "trace-bench",
+        "settings": {
+            "trace_length": length,
+            "benchmarks": len(benchmarks),
+            "repeat": args.repeat,
+            "quick": args.quick,
+        },
+        "pipeline": pipeline,
+        "end_to_end": end_to_end,
+    }
+    return report, ok
+
+
 def attach_comparison(bench, before):
     """Embed *before* as the baseline and compute speedups."""
     speedups = {}
@@ -389,7 +656,25 @@ def main(argv=None):
     parser.add_argument("--observe-threshold", type=float, default=0.02,
                         help="relative disabled-path slowdown that warns "
                              "(default .02)")
+    parser.add_argument("--trace-bench", action="store_true",
+                        help="benchmark the compiled-trace pipeline "
+                             "(BENCH_trace.json by convention)")
+    parser.add_argument("--skip-e2e", action="store_true",
+                        help="trace-bench: skip the subprocess "
+                             "end-to-end matrix comparison")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="trace-bench: parallel-runner workers for "
+                             "the end-to-end comparison (default 2)")
     args = parser.parse_args(argv)
+
+    if args.trace_bench:
+        report, ok = run_trace_bench(args)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}")
+        return 0 if ok else 1
 
     if args.observe_overhead:
         if args.baseline is None:

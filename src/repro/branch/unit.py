@@ -70,44 +70,61 @@ class BranchUnit:
         the ground truth. The returned prediction says whether the front
         end would have steered fetch correctly.
         """
-        actual_taken = bool(inst.taken)
-        actual_target = inst.target
+        return BranchPrediction(*self.predict_and_train_raw(
+            inst.pc, inst.op, inst.taken, inst.target
+        ))
 
-        if inst.op is OpClass.BRANCH:
+    def predict_and_train_raw(
+        self,
+        pc: int,
+        op: OpClass,
+        taken,
+        actual_target: Optional[int],
+    ):
+        """Scalar core of :meth:`predict_and_train`.
+
+        Takes the branch's fields directly so column-driven callers
+        (the vector backend) can predict without materializing a
+        ``DynInst``. Returns ``(predicted_taken, predicted_target,
+        correct)``.
+        """
+        actual_taken = bool(taken)
+
+        if op is OpClass.BRANCH:
             predicted_taken = self.direction.predict_and_train(
-                inst.pc, actual_taken
+                pc, actual_taken
             )
-            predicted_target = self.btb.lookup(inst.pc)
+            predicted_target = self.btb.lookup(pc)
             if actual_taken and actual_target is not None:
-                self.btb.update(inst.pc, actual_target)
+                self.btb.update(pc, actual_target)
             correct = predicted_taken == actual_taken and (
                 not actual_taken or predicted_target == actual_target
             )
-        elif inst.op is OpClass.CALL:
+        elif op is OpClass.CALL:
             predicted_taken = True
-            predicted_target = self.btb.lookup(inst.pc)
+            predicted_target = self.btb.lookup(pc)
             if actual_target is not None:
-                self.btb.update(inst.pc, actual_target)
+                self.btb.update(pc, actual_target)
             # Return address: the instruction after the call.
-            self.ras.push(inst.pc + 4)
+            self.ras.push(pc + 4)
             correct = predicted_target == actual_target
-        elif inst.op is OpClass.RETURN:
+        elif op is OpClass.RETURN:
             predicted_taken = True
             predicted_target = self.ras.pop()
             correct = predicted_target == actual_target
-        elif inst.op is OpClass.JUMP:
+        elif op is OpClass.JUMP:
             predicted_taken = True
-            predicted_target = self.btb.lookup(inst.pc)
+            predicted_target = self.btb.lookup(pc)
             if actual_target is not None:
-                self.btb.update(inst.pc, actual_target)
+                self.btb.update(pc, actual_target)
             correct = predicted_target == actual_target
         else:
-            raise ValueError(f"not a branch-class instruction: {inst}")
+            raise ValueError(f"not a branch-class op: {op!r}")
 
         self.predictions += 1
         if not correct:
             self.mispredictions += 1
-        return BranchPrediction(predicted_taken, predicted_target, correct)
+        return predicted_taken, predicted_target, correct
 
     @property
     def misprediction_rate(self) -> float:

@@ -1168,7 +1168,19 @@ def simulate(
     plan: Optional[SamplingPlan] = None,
     dep_info: Optional[Dict[int, DependenceInfo]] = None,
     observer=None,
+    backend: Optional[str] = None,
 ) -> SimResult:
-    """Convenience wrapper: build a processor for *trace* and run it."""
-    processor = Processor(config, trace, dep_info, observer=observer)
+    """Convenience wrapper: build a processor for *trace* and run it.
+
+    *backend* picks the simulator core (``"reference"`` or
+    ``"vector"``); None defers to ``config.backend`` and then the
+    ``$REPRO_BACKEND`` environment variable. All backends produce
+    bit-identical results — see :mod:`repro.core.backend`.
+    """
+    from repro.core.backend import get_backend, resolve_backend
+
+    name = resolve_backend(backend, config)
+    processor = get_backend(name)(
+        config, trace, dep_info, observer=observer
+    )
     return processor.run(plan)

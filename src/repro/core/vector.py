@@ -1,0 +1,1840 @@
+"""Structure-of-arrays simulator core (the ``vector`` backend).
+
+A line-by-line port of :class:`repro.core.processor.Processor` onto
+packed per-instruction columns consumed straight from
+:class:`~repro.trace.compiled.CompiledTrace`: no ``DynInst`` or
+``Entry`` objects exist on the fast path. Every per-entry attribute of
+the reference core becomes one slot of a preallocated array indexed by
+``seq``, and object identity (the reference's ``entry.squashed`` /
+``is entry`` tests) becomes an *incarnation serial*: ``serial[seq]``
+increments each time ``seq`` is (re-)dispatched after a squash, and any
+record that captured ``(seq, ref)`` is stale exactly when
+``ref != serial[seq]``.
+
+The port must stay bit-identical to the reference — the golden-parity
+suite and CI's ``backend-parity`` job compare every :class:`SimResult`
+field. Anything this core cannot express (observability, timelines,
+telemetry, split windows) is routed to the reference backend by
+:func:`repro.core.backend.vector_limitation`; this class rejects those
+arguments outright.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.branch.unit import BranchUnit
+from repro.config.processor import (
+    ProcessorConfig,
+    SchedulingModel,
+    SpeculationPolicy,
+)
+from repro.core.lsq import UnexecutedStoreTracker
+from repro.core.processor import (
+    SimulationStuck,
+    _EV_COMPLETE,
+    _EV_POST,
+    _EV_READY,
+    _EV_WRITE,
+    _GATE_ALL_STORES,
+    _GATE_AS,
+    _GATE_BARRIER,
+    _GATE_OPEN,
+    _GATE_ORACLE,
+    _GATE_PREDICTED,
+    _GATE_SYNC,
+)
+from repro.core.result import SimResult
+from repro.core.scheduler import FunctionalUnits
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import REG_ZERO
+from repro.memdep.store_sets import StoreSetPredictor
+from repro.memdep.sync import MDPT
+from repro.memdep.tables import TwoBitPredictorTable
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.store_buffer import StoreBuffer, StoreBufferEntry
+from repro.trace.compiled import CompiledTrace, _mask_bit, _op_table
+from repro.trace.dependences import DependenceInfo
+from repro.trace.sampling import SamplingPlan, make_sampling_plan
+
+_TAKEN_MAP = (None, False, True)
+
+
+def _class_table(ops, predicate) -> bytes:
+    """256-byte translate table: op byte -> 1 where predicate holds."""
+    table = bytearray(256)
+    for i, op in enumerate(ops):
+        if predicate(op):
+            table[i] = 1
+    return bytes(table)
+
+
+class _Columns:
+    """Static per-seq columns shared by every segment of one run."""
+
+    __slots__ = (
+        "n", "name", "suite", "ops", "opb", "pc", "size", "addr",
+        "value", "target", "taken", "dest_eff", "srcs_off", "srcs_flat",
+        "is_load_b", "is_store_b", "branch_b", "mem_b", "fp_b",
+        "dep_of", "stale_of",
+    )
+
+
+def _columns_from_compiled(compiled: CompiledTrace) -> _Columns:
+    n = compiled.length
+    col = _Columns()
+    col.n = n
+    col.name = compiled.name
+    col.suite = compiled.suite
+    ops = _op_table(compiled)
+    col.ops = ops
+    col.opb = bytes(compiled.op)
+    col.pc = compiled.pc.tolist()
+    col.size = compiled.size.tolist()
+    col.addr = compiled.addr.tolist()
+    value = compiled.value.tolist()
+    target = compiled.target.tolist()
+    dest = compiled.dest.tolist()
+    # Null masks: sparse per-byte walk (most bytes are 0x00 or 0xff).
+    for mask, out, null in (
+        (compiled.value_null, value, None),
+        (compiled.target_null, target, None),
+    ):
+        for bi, byte in enumerate(mask):
+            if not byte:
+                continue
+            base = bi << 3
+            for bit in range(8):
+                if byte & (1 << bit):
+                    i = base + bit
+                    if i < n:
+                        out[i] = null
+    # dest: None packs as 0 and REG_ZERO == 0; both mean "no register
+    # result" to dispatch/commit/squash, so fold them to -1. (addr nulls
+    # stay 0 — only memory ops read the addr column.)
+    col.dest_eff = [d if d else -1 for d in dest]
+    col.taken = [_TAKEN_MAP[b] for b in compiled.taken]
+    col.srcs_off = compiled.srcs_off
+    col.srcs_flat = compiled.srcs_flat.tolist()
+    for column, table in compiled.overflow.items():
+        if column == "pc":
+            for i, big in table.items():
+                col.pc[int(i)] = big
+        elif column == "addr":
+            for i, big in table.items():
+                col.addr[int(i)] = big
+        elif column == "size":
+            for i, big in table.items():
+                col.size[int(i)] = big
+        elif column == "value":
+            for i, big in table.items():
+                value[int(i)] = big
+        elif column == "target":
+            for i, big in table.items():
+                target[int(i)] = big
+        elif column == "dest":
+            for i, big in table.items():
+                col.dest_eff[int(i)] = big
+        elif column == "srcs_flat":
+            for i, big in table.items():
+                col.srcs_flat[int(i)] = big
+    col.value = value
+    col.target = target
+    col.is_load_b = col.opb.translate(
+        _class_table(ops, lambda op: op is OpClass.LOAD)
+    )
+    col.is_store_b = col.opb.translate(
+        _class_table(ops, lambda op: op is OpClass.STORE)
+    )
+    col.branch_b = col.opb.translate(
+        _class_table(ops, lambda op: op.branch_class)
+    )
+    col.mem_b = col.opb.translate(
+        _class_table(ops, lambda op: op.mem_class)
+    )
+    col.fp_b = col.opb.translate(
+        _class_table(ops, lambda op: op.fp_class)
+    )
+    return col
+
+
+def _columns_from_trace(trace) -> _Columns:
+    """Fallback: build the same columns from a materialized Trace."""
+    instructions = trace.instructions
+    n = len(instructions)
+    col = _Columns()
+    col.n = n
+    col.name = trace.name
+    col.suite = getattr(trace, "suite", None)
+    ops = tuple(OpClass)
+    op_index = {op: i for i, op in enumerate(ops)}
+    col.ops = ops
+    opb = bytearray(n)
+    col.pc = pc = [0] * n
+    col.size = size = [0] * n
+    col.addr = addr = [0] * n
+    col.value = value = [None] * n
+    col.target = target = [None] * n
+    col.taken = taken = [None] * n
+    col.dest_eff = dest_eff = [-1] * n
+    srcs_off = [0] * (n + 1)
+    srcs_flat: List[int] = []
+    for i, inst in enumerate(instructions):
+        opb[i] = op_index[inst.op]
+        pc[i] = inst.pc
+        size[i] = inst.size
+        if inst.addr is not None:
+            addr[i] = inst.addr
+        value[i] = inst.value
+        target[i] = inst.target
+        taken[i] = inst.taken
+        d = inst.dest
+        if d is not None and d != REG_ZERO:
+            dest_eff[i] = d
+        srcs_flat.extend(inst.srcs)
+        srcs_off[i + 1] = len(srcs_flat)
+    col.opb = bytes(opb)
+    col.srcs_off = srcs_off
+    col.srcs_flat = srcs_flat
+    col.is_load_b = col.opb.translate(
+        _class_table(ops, lambda op: op is OpClass.LOAD)
+    )
+    col.is_store_b = col.opb.translate(
+        _class_table(ops, lambda op: op is OpClass.STORE)
+    )
+    col.branch_b = col.opb.translate(
+        _class_table(ops, lambda op: op.branch_class)
+    )
+    col.mem_b = col.opb.translate(
+        _class_table(ops, lambda op: op.mem_class)
+    )
+    col.fp_b = col.opb.translate(
+        _class_table(ops, lambda op: op.fp_class)
+    )
+    return col
+
+
+def _attach_dependences(
+    col: _Columns,
+    source,
+    dep_info: Optional[Dict[int, DependenceInfo]],
+) -> None:
+    """Fill ``dep_of``/``stale_of`` (static: identical every dispatch)."""
+    n = col.n
+    dep_of = [-1] * n
+    # Entry.stale_equal defaults to True; loads without a DependenceInfo
+    # record keep that default in the reference core.
+    stale_of = bytearray(b"\x01" * n)
+    if dep_info is not None:
+        for seq, info in dep_info.items():
+            dep_of[seq] = info.store_seq
+            if not info.stale_equal:
+                stale_of[seq] = 0
+    elif isinstance(source, CompiledTrace) and source.has_dependences:
+        stale = source.dep_stale
+        for i, (load, store) in enumerate(
+            zip(source.dep_load, source.dep_store)
+        ):
+            dep_of[load] = store
+            if not _mask_bit(stale, i):
+                stale_of[load] = 0
+    else:
+        if isinstance(source, CompiledTrace):
+            info = source.compute_dependence_info()
+        else:
+            from repro.trace.dependences import compute_dependence_info
+
+            info = compute_dependence_info(source)
+        for seq, rec in info.items():
+            dep_of[seq] = rec.store_seq
+            if not rec.stale_equal:
+                stale_of[seq] = 0
+    col.dep_of = dep_of
+    col.stale_of = stale_of
+
+
+class _VAddrSched:
+    """Seq-keyed port of :class:`repro.memdep.addr_scheduler
+    .AddressScheduler` (records are always current incarnations:
+    squash truncates by seq before any re-dispatch)."""
+
+    __slots__ = (
+        "latency", "_unposted", "_seqs", "_addrs", "_sizes",
+        "_visibles", "_blocks", "_max_visible", "posts", "searches",
+    )
+
+    def __init__(self, latency: int) -> None:
+        self.latency = latency
+        self._unposted: List[int] = []
+        self._seqs: List[int] = []
+        self._addrs: List[int] = []
+        self._sizes: List[int] = []
+        self._visibles: List[int] = []
+        self._blocks: dict = {}
+        self._max_visible = -1
+        self.posts = 0
+        self.searches = 0
+
+    def on_store_dispatch(self, seq: int) -> None:
+        self._unposted.append(seq)
+
+    def post_address(
+        self, seq: int, addr: int, size: int, cycle: int
+    ) -> int:
+        unposted = self._unposted
+        lo, hi = 0, len(unposted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if unposted[mid] < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(unposted) and unposted[lo] == seq:
+            unposted.pop(lo)
+        visible = cycle + self.latency
+        seqs = self._seqs
+        lo, hi = 0, len(seqs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seqs[mid] < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        seqs.insert(lo, seq)
+        self._addrs.insert(lo, addr)
+        self._sizes.insert(lo, size)
+        self._visibles.insert(lo, visible)
+        blocks = self._blocks
+        for block in range(addr >> 3, ((addr + size - 1) >> 3) + 1):
+            blocks[block] = blocks.get(block, 0) + 1
+        if visible > self._max_visible:
+            self._max_visible = visible
+        self.posts += 1
+        return visible
+
+    def _uncover(self, index: int) -> None:
+        addr = self._addrs[index]
+        size = self._sizes[index]
+        blocks = self._blocks
+        for block in range(addr >> 3, ((addr + size - 1) >> 3) + 1):
+            count = blocks[block] - 1
+            if count:
+                blocks[block] = count
+            else:
+                del blocks[block]
+
+    def remove_store(self, seq: int) -> None:
+        import bisect
+
+        seqs = self._seqs
+        index = bisect.bisect_left(seqs, seq)
+        if index < len(seqs) and seqs[index] == seq:
+            self._uncover(index)
+            del seqs[index]
+            del self._addrs[index]
+            del self._sizes[index]
+            del self._visibles[index]
+
+    def squash(self, from_seq: int) -> None:
+        import bisect
+
+        cut = bisect.bisect_left(self._unposted, from_seq)
+        del self._unposted[cut:]
+        cut = bisect.bisect_left(self._seqs, from_seq)
+        for index in range(cut, len(self._seqs)):
+            self._uncover(index)
+        del self._seqs[cut:]
+        del self._addrs[cut:]
+        del self._sizes[cut:]
+        del self._visibles[cut:]
+
+    def all_older_posted(self, seq: int, cycle: int) -> bool:
+        if self._unposted and self._unposted[0] < seq:
+            return False
+        if self._max_visible <= cycle:
+            return True
+        visibles = self._visibles
+        for i, rseq in enumerate(self._seqs):
+            if rseq >= seq:
+                break
+            if visibles[i] > cycle:
+                return False
+        return True
+
+    def youngest_older_match(
+        self, seq: int, addr: int, size: int, cycle: int
+    ) -> int:
+        """Seq of the youngest older visible overlapping store, or -1."""
+        import bisect
+
+        self.searches += 1
+        blocks = self._blocks
+        end = addr + size
+        for block in range(addr >> 3, ((end - 1) >> 3) + 1):
+            if block in blocks:
+                break
+        else:
+            return -1
+        addrs = self._addrs
+        sizes = self._sizes
+        visibles = self._visibles
+        for i in range(bisect.bisect_left(self._seqs, seq) - 1, -1, -1):
+            if visibles[i] > cycle:
+                continue
+            raddr = addrs[i]
+            if raddr < end and addr < raddr + sizes[i]:
+                return self._seqs[i]
+        return -1
+
+
+class VectorProcessor:
+    """One simulated machine bound to one (compiled) trace.
+
+    Accepts a :class:`CompiledTrace` (fast path) or a materialized
+    :class:`~repro.trace.events.Trace` (columns are rebuilt from the
+    objects). ``run(plan)`` returns the same bit-identical
+    :class:`SimResult` as the reference :class:`Processor`.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace,
+        dep_info: Optional[Dict[int, DependenceInfo]] = None,
+    ) -> None:
+        if config.split.enabled:
+            raise ValueError(
+                "split-window configs require the reference backend"
+            )
+        if config.observe:
+            raise ValueError(
+                "observability requires the reference backend"
+            )
+        self.config = config
+        if isinstance(trace, CompiledTrace):
+            col = _columns_from_compiled(trace)
+        else:
+            col = _columns_from_trace(trace)
+        _attach_dependences(col, trace, dep_info)
+        self.col = col
+        self.hierarchy = MemoryHierarchy(config)
+        self.branch_unit = BranchUnit(config.branch)
+
+        memdep = config.memdep
+        self.as_mode = memdep.scheduling is SchedulingModel.AS
+        self.policy = memdep.policy
+        self.predictor: Optional[TwoBitPredictorTable] = None
+        self.mdpt: Optional[MDPT] = None
+        if self.policy in (
+            SpeculationPolicy.SELECTIVE, SpeculationPolicy.STORE_BARRIER
+        ):
+            self.predictor = TwoBitPredictorTable(
+                entries=memdep.predictor_entries,
+                assoc=memdep.predictor_assoc,
+                threshold=memdep.confidence_threshold,
+            )
+        elif self.policy is SpeculationPolicy.SYNC:
+            self.mdpt = MDPT(
+                entries=memdep.predictor_entries,
+                assoc=memdep.predictor_assoc,
+            )
+        self.store_sets = None
+        if self.policy is SpeculationPolicy.STORE_SETS:
+            self.store_sets = StoreSetPredictor(
+                ssit_entries=memdep.predictor_entries,
+                lfst_entries=memdep.lfst_entries,
+            )
+
+        if self.as_mode:
+            self._gate_kind = _GATE_AS
+        elif self.policy is SpeculationPolicy.NAIVE:
+            self._gate_kind = _GATE_OPEN
+        elif self.policy is SpeculationPolicy.NO:
+            self._gate_kind = _GATE_ALL_STORES
+        elif self.policy is SpeculationPolicy.SELECTIVE:
+            self._gate_kind = _GATE_PREDICTED
+        elif self.policy is SpeculationPolicy.STORE_BARRIER:
+            self._gate_kind = _GATE_BARRIER
+        elif self.policy in (
+            SpeculationPolicy.SYNC, SpeculationPolicy.STORE_SETS
+        ):
+            self._gate_kind = _GATE_SYNC
+        elif self.policy is SpeculationPolicy.ORACLE:
+            self._gate_kind = _GATE_ORACLE
+        else:
+            raise AssertionError(f"unhandled policy {self.policy}")
+
+        self._selective = memdep.recovery == "selective"
+        # Latency by op *byte* (latency tables are config-bound, so this
+        # is per-processor, not per-column-set).
+        self.lat = [
+            config.latencies.latency(op) for op in col.ops
+        ]
+        self._issue_width = config.window.issue_width
+        self._scan_budget = config.window.issue_width * 3
+
+        n = col.n
+        # Per-seq dynamic state (reference Entry fields). Allocated once
+        # for the whole trace; a dispatch resets the slots it uses.
+        self.serial = [0] * n
+        self.sq = bytearray(n)        # squashed (current incarnation)
+        self.inw = bytearray(n)       # in window
+        self.a_pend = [0] * n
+        self.d_pend = [0] * n
+        self.a_rdy = [0] * n
+        self.d_rdy = [0] * n
+        self.issue = [-1] * n         # issue_cycle
+        self.agen = [-1] * n          # agen_done
+        self.memc = [-1] * n          # mem_issue_cycle
+        self.comp = [-1] * n          # complete_cycle
+        self.write = [-1] * n         # write_cycle
+        self.execd = bytearray(n)     # executed
+        self.in_rp = bytearray(n)     # in_ready_pool
+        self.in_mp = bytearray(n)     # in_mem_pool
+        self.spec = bytearray(n)      # speculative
+        self.fwd = [-1] * n           # forwarded_from
+        self.waiters = [None] * n     # [(waiter_seq, is_data, ref)]
+        self.consumers = [None] * n if self.as_mode else None
+        self.producers = [None] * n if self._selective else None
+        self.pred_dep = bytearray(n)
+        self.barrier = bytearray(n)
+        self.sync_syn = [-1] * n
+        self.sync_ws = [-1] * n       # sync_wait_store seq
+        self.sync_ws_ref = [0] * n    # ... captured incarnation
+        self.fd_start = [-1] * n      # fd_wait_start
+        self.fd_cls = bytearray(n)    # 0=None 1="false" 2="true"
+        self.fd_res = [-1] * n        # fd_resolved_cycle
+
+        self.cycle = 0
+        self._next_flush = memdep.flush_interval
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, plan: Optional[SamplingPlan] = None) -> SimResult:
+        if plan is None:
+            plan = make_sampling_plan(self.col.n)
+        total = SimResult(
+            config_label=self.config.label,
+            benchmark=self.col.name,
+            suite=self.col.suite,
+        )
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for segment in plan.segments:
+                if segment.timing:
+                    total.merge(
+                        self._run_segment(segment.start, segment.stop)
+                    )
+                else:
+                    self._warm_segment(segment.start, segment.stop)
+        finally:
+            if was_enabled:
+                gc.enable()
+        self._snapshot_caches(total)
+        return total
+
+    # ------------------------------------------------------------------
+    # functional warm-up (sampling)
+    # ------------------------------------------------------------------
+
+    def _warm_segment(self, start: int, stop: int) -> None:
+        col = self.col
+        hierarchy = self.hierarchy
+        icache_touch = hierarchy.icache.touch
+        dcache_touch = hierarchy.dcache.touch
+        l2_touch = hierarchy.l2.touch
+        predict = self.branch_unit.predict_and_train_raw
+        pcs = col.pc
+        addrs = col.addr
+        opb = col.opb
+        ops = col.ops
+        branch_b = col.branch_b
+        mem_b = col.mem_b
+        taken = col.taken
+        target = col.target
+        block_shift = self.config.icache.block_bytes.bit_length() - 1
+        last_block = -1
+        for seq in range(start, stop):
+            pc = pcs[seq]
+            block = pc >> block_shift
+            if block != last_block:
+                icache_touch(pc)
+                l2_touch(pc)
+                last_block = block
+            if branch_b[seq]:
+                predict(pc, ops[opb[seq]], taken[seq], target[seq])
+            elif mem_b[seq]:
+                addr = addrs[seq]
+                dcache_touch(addr)
+                l2_touch(addr)
+        self.cycle += max(1, (stop - start) // 2)
+
+    # ------------------------------------------------------------------
+    # timing simulation
+    # ------------------------------------------------------------------
+
+    def _run_segment(self, start: int, stop: int) -> SimResult:
+        cfg = self.config
+        col = self.col
+        if not 0 <= start <= stop <= col.n:
+            # Same contract (and message) as the reference TraceCursor.
+            raise ValueError("cursor range out of bounds")
+        stats = SimResult(
+            config_label=cfg.label,
+            benchmark=col.name,
+            suite=col.suite,
+        )
+        self.stats = stats
+        # window = contiguous seq range [w_head, w_head + w_count)
+        self.w_head = 0
+        self.w_count = 0
+        self.w_size = cfg.window.size
+        self.last_writer: Dict[int, int] = {}
+        # fetch state
+        self.f_pos = start
+        self.f_stop = stop
+        self.f_buffer = deque()       # (seq, dispatch_at)
+        self.f_stalled = self.cycle
+        self.f_wait = -1              # waiting_on_branch seq
+        self.f_recent: dict = {}
+        fetch_cfg = cfg.fetch
+        self.f_cap = fetch_cfg.width * fetch_cfg.front_end_depth
+        self.funits = FunctionalUnits(cfg.window)
+        self.rp: List = []            # ready pool: (seq, ref) heap
+        self.load_items: List = []    # mem pool: (seq, push_serial, ref)
+        self.load_dead = 0
+        self.load_live: Optional[List[int]] = None
+        self.swp_items: List = []
+        self.swp_dead = 0
+        self.swp_live: Optional[List[int]] = None
+        self._mp_serial = 0
+        self.store_buffer = StoreBuffer(cfg.window.store_buffer_size)
+        self.unexec_stores = UnexecutedStoreTracker()
+        self.barrier_stores = UnexecutedStoreTracker()
+        self._syn: Dict[int, List] = {}   # synonym -> [(seq, ref)]
+        self._det: Dict[int, List] = {}   # store_seq -> [(load, ref)]
+        self.addr_sched = (
+            _VAddrSched(cfg.memdep.addr_scheduler_latency)
+            if self.as_mode else None
+        )
+        self._events: List = []
+        self._event_serial = 0
+        self._hint = -1
+        self._progress = False
+
+        start_cycle = self.cycle
+        branch_unit = self.branch_unit
+        branch_stats_base = (
+            branch_unit.predictions, branch_unit.mispredictions,
+        )
+
+        events = self._events
+        advance_clock = self._advance_clock
+        process_events = self._process_events
+        commit = self._commit
+        begin_cycle = self.funits.begin_cycle
+        issue_memory = self._issue_memory
+        issue_exec = self._issue_exec
+        dispatch = self._dispatch
+        fetch_tick = self._fetch_tick
+        maybe_flush = self._maybe_flush_tables
+        buffer = self.f_buffer
+
+        while True:
+            if (
+                not buffer and self.f_pos >= self.f_stop
+                and not self.w_count and not events
+            ):
+                break
+            advance_clock()
+            process_events()
+            commit()
+            begin_cycle(self.cycle)
+            issue_memory()
+            issue_exec()
+            dispatch()
+            if fetch_tick(self.cycle):
+                self._progress = True
+            if self.cycle >= self._next_flush:
+                maybe_flush()
+
+        stats.cycles = self.cycle - start_cycle
+        stats.branch_predictions = (
+            branch_unit.predictions - branch_stats_base[0]
+        )
+        stats.branch_mispredictions = (
+            branch_unit.mispredictions - branch_stats_base[1]
+        )
+        stats.load_forwards = self.store_buffer.forwards
+        return stats
+
+    # -- clock ---------------------------------------------------------
+
+    def _advance_clock(self) -> None:
+        if self._progress or self.rp:
+            self._progress = False
+            self.cycle += 1
+            return
+        best = self._hint
+        self._hint = -1
+        if self._events:
+            when = self._events[0][0]
+            if best < 0 or when < best:
+                best = when
+        buffer = self.f_buffer
+        if buffer:
+            nxt = buffer[0][1]
+            if best < 0 or nxt < best:
+                best = nxt
+        if (
+            self.f_wait < 0
+            and self.f_pos < self.f_stop
+            and len(buffer) < self.f_cap
+        ):
+            when = self.f_stalled
+            if best < 0 or when < best:
+                best = when
+        if best < 0:
+            raise SimulationStuck(
+                f"no progress possible at cycle {self.cycle} "
+                f"(window={self.w_count}, "
+                f"loads={len(self.load_items) - self.load_dead}, "
+                f"writes={len(self.swp_items) - self.swp_dead})"
+            )
+        nxt_cycle = self.cycle + 1
+        self.cycle = best if best > nxt_cycle else nxt_cycle
+
+    def _schedule(self, cycle: int, kind: int, seq: int) -> None:
+        self._event_serial += 1
+        heapq.heappush(
+            self._events,
+            (cycle, self._event_serial, kind, seq, self.serial[seq]),
+        )
+
+    # -- events --------------------------------------------------------
+
+    def _process_events(self) -> None:
+        events = self._events
+        if not events or events[0][0] > self.cycle:
+            return
+        cycle = self.cycle
+        pop = heapq.heappop
+        serial = self.serial
+        sq = self.sq
+        while events and events[0][0] <= cycle:
+            _, _, kind, seq, ref = pop(events)
+            if ref != serial[seq] or sq[seq]:
+                continue
+            if kind == _EV_READY:
+                self._rp_push(seq)
+            elif kind == _EV_COMPLETE:
+                self._on_complete(seq)
+            elif kind == _EV_WRITE:
+                self._on_store_write(seq)
+            elif kind == _EV_POST:
+                self._progress = True
+
+    def _on_complete(self, seq: int) -> None:
+        done = self.comp[seq]
+        if done >= 0 and done > self.cycle:
+            self._schedule(done, _EV_COMPLETE, seq)
+            return
+        self.execd[seq] = 1
+        waiters = self.waiters[seq]
+        if waiters:
+            serial = self.serial
+            sq = self.sq
+            d_pend = self.d_pend
+            a_pend = self.a_pend
+            d_rdy = self.d_rdy
+            a_rdy = self.a_rdy
+            maybe_ready = self._maybe_ready
+            for wseq, is_data, wref in waiters:
+                if wref != serial[wseq] or sq[wseq]:
+                    continue
+                if is_data:
+                    d_pend[wseq] -= 1
+                    if done > d_rdy[wseq]:
+                        d_rdy[wseq] = done
+                else:
+                    a_pend[wseq] -= 1
+                    if done > a_rdy[wseq]:
+                        a_rdy[wseq] = done
+                maybe_ready(wseq)
+            if self.as_mode:
+                consumers = self.consumers[seq]
+                if consumers:
+                    consumers.extend(waiters)
+                else:
+                    self.consumers[seq] = waiters
+            self.waiters[seq] = []
+        if self.col.branch_b[seq]:
+            self._resume_after_branch(seq, done)
+        self._progress = True
+
+    def _on_store_write(self, seq: int) -> None:
+        wc = self.write[seq]
+        if wc >= 0 and wc > self.cycle:
+            self._schedule(wc, _EV_WRITE, seq)
+            return
+        cycle = wc
+        self.execd[seq] = 1
+        self.hierarchy.store(self.col.addr[seq], cycle)
+        self._progress = True
+
+        records = self._det.get(seq)
+        if not records:
+            return
+        serial = self.serial
+        sq = self.sq
+        memc = self.memc
+        fwd = self.fwd
+        violators = None
+        for ls, ref in records:
+            if ref != serial[ls] or sq[ls]:
+                continue
+            mc = memc[ls]
+            if mc < 0 or mc > cycle:
+                continue
+            if fwd[ls] == seq:
+                continue
+            if violators is None:
+                violators = [ls]
+            else:
+                violators.append(ls)
+        if violators is None:
+            return
+        if self.as_mode:
+            stale_of = self.col.stale_of
+            violators = [
+                ls for ls in violators
+                if not stale_of[ls]
+                and self._value_propagated(ls, cycle)
+            ]
+        if violators:
+            oldest = min(violators)
+            if self._selective:
+                self._selective_reexecute(oldest, seq, cycle)
+            else:
+                self._squash_for_violation(oldest, seq, cycle)
+
+    def _value_propagated(self, ls: int, write_cycle: int) -> bool:
+        consumers = self.consumers[ls]
+        waiters = self.waiters[ls]
+        if consumers and waiters:
+            combined = consumers + waiters
+        elif consumers:
+            combined = consumers
+        elif waiters:
+            combined = waiters
+        else:
+            return False
+        serial = self.serial
+        sq = self.sq
+        issue = self.issue
+        propagated = False
+        for wseq, _, wref in combined:
+            if wref != serial[wseq] or sq[wseq]:
+                continue
+            ic = issue[wseq]
+            if ic >= 0 and ic <= write_cycle:
+                propagated = True
+                break
+        if not propagated:
+            d_rdy = self.d_rdy
+            a_rdy = self.a_rdy
+            fix = write_cycle + 1
+            for wseq, is_data, wref in combined:
+                if (
+                    wref != serial[wseq] or sq[wseq]
+                    or issue[wseq] >= 0
+                ):
+                    continue
+                if is_data:
+                    if fix > d_rdy[wseq]:
+                        d_rdy[wseq] = fix
+                elif fix > a_rdy[wseq]:
+                    a_rdy[wseq] = fix
+        return propagated
+
+    def _store_buffer_insert(self, seq: int, data_ready: int) -> None:
+        buffer = self.store_buffer
+        if buffer.full:
+            head_seq = self.w_head if self.w_count else seq
+            if not buffer.evict_oldest_before(head_seq):
+                raise SimulationStuck("store buffer wedged")
+        col = self.col
+        wc = self.write[seq]
+        buffer.insert(StoreBufferEntry(
+            seq=seq,
+            addr=col.addr[seq],
+            size=col.size[seq],
+            value=col.value[seq],
+            data_ready_cycle=data_ready,
+            drain_cycle=wc if wc >= 0 else None,
+        ))
+
+    # -- squash --------------------------------------------------------
+
+    def _window_squash_from(self, seq: int) -> int:
+        """Flag entries with seq >= *seq* squashed; returns the count."""
+        sq = self.sq
+        inw = self.inw
+        dest_eff = self.col.dest_eff
+        last_writer = self.last_writer
+        tail = self.w_head + self.w_count - 1
+        dirty = None
+        for s in range(tail, seq - 1, -1):
+            sq[s] = 1
+            inw[s] = 0
+            d = dest_eff[s]
+            if d >= 0 and last_writer.get(d) == s:
+                del last_writer[d]
+                if dirty is None:
+                    dirty = set()
+                dirty.add(d)
+        count = tail - seq + 1
+        self.w_count = seq - self.w_head
+        if dirty:
+            for s in range(seq - 1, self.w_head - 1, -1):
+                d = dest_eff[s]
+                if d in dirty:
+                    last_writer[d] = s
+                    dirty.discard(d)
+                    if not dirty:
+                        break
+        return count
+
+    def _syn_squash(self, from_seq: int) -> None:
+        syn = self._syn
+        for key in list(syn):
+            kept = [rec for rec in syn[key] if rec[0] < from_seq]
+            if kept:
+                syn[key] = kept
+            else:
+                del syn[key]
+
+    def _det_squash(self, from_seq: int) -> None:
+        det = self._det
+        for key in list(det):
+            kept = [rec for rec in det[key] if rec[0] < from_seq]
+            if kept:
+                det[key] = kept
+            else:
+                del det[key]
+
+    def _sset_squash(self, from_seq: int) -> None:
+        lfst = self.store_sets._lfst
+        serial = self.serial
+        sq = self.sq
+        for slot, handle in enumerate(lfst):
+            if handle is None:
+                continue
+            s, _, ref = handle
+            if ref != serial[s] or sq[s] or s >= from_seq:
+                lfst[slot] = None
+
+    def _squash_for_violation(
+        self, ls: int, ss: int, cycle: int
+    ) -> None:
+        stats = self.stats
+        stats.misspeculations += 1
+        count = self._window_squash_from(ls)
+        stats.squashed_instructions += count
+        self.load_live = None
+        self.swp_live = None
+        self.unexec_stores.squash(ls)
+        self.barrier_stores.squash(ls)
+        self._syn_squash(ls)
+        self._det_squash(ls)
+        self.store_buffer.squash_younger(ls)
+        if self.addr_sched is not None:
+            self.addr_sched.squash(ls)
+        if self.store_sets is not None:
+            self._sset_squash(ls)
+        resume = cycle + self.config.memdep.squash_refill_penalty
+        self._fetch_squash(ls, resume)
+
+        pcs = self.col.pc
+        if self.policy is SpeculationPolicy.SELECTIVE:
+            self.predictor.record_misspeculation(pcs[ls])
+        elif self.policy is SpeculationPolicy.STORE_BARRIER:
+            self.predictor.record_misspeculation(pcs[ss])
+        elif self.policy is SpeculationPolicy.SYNC:
+            self.mdpt.record_violation(pcs[ls], pcs[ss])
+        elif self.policy is SpeculationPolicy.STORE_SETS:
+            self.store_sets.record_violation(pcs[ls], pcs[ss])
+
+    def _selective_reexecute(
+        self, ls: int, ss: int, cycle: int
+    ) -> None:
+        stats = self.stats
+        stats.misspeculations += 1
+        col = self.col
+        lat = self.lat
+        opb = col.opb
+        is_load_b = col.is_load_b
+        is_store_b = col.is_store_b
+        comp = self.comp
+        write = self.write
+        issue = self.issue
+        producers = self.producers
+        new_complete: Dict[int, int] = {}
+        reexecuted = 0
+
+        self.fwd[ls] = ss
+        old = comp[ls]
+        corrected = max(old if old >= 0 else 0, cycle + 1)
+        if corrected != old:
+            comp[ls] = corrected
+            self._schedule(corrected, _EV_COMPLETE, ls)
+        new_complete[ls] = corrected
+
+        a_rdy = self.a_rdy
+        d_rdy = self.d_rdy
+        sq = self.sq
+        for s in range(self.w_head, self.w_head + self.w_count):
+            if s <= ls or sq[s]:
+                continue
+            bump = 0
+            prods = producers[s]
+            if prods:
+                for p in prods:
+                    when = new_complete.get(p)
+                    if when is not None and when > bump:
+                        bump = when
+            if not bump or issue[s] < 0:
+                if bump:
+                    if bump > a_rdy[s]:
+                        a_rdy[s] = bump
+                    if bump > d_rdy[s]:
+                        d_rdy[s] = bump
+                continue
+            latency = lat[opb[s]]
+            if is_load_b[s]:
+                latency += 2
+            corrected = bump + latency
+            old = write[s] if is_store_b[s] else comp[s]
+            if old >= 0 and corrected > old:
+                reexecuted += 1
+                if is_store_b[s]:
+                    write[s] = corrected
+                    comp[s] = corrected
+                    self._schedule(corrected, _EV_WRITE, s)
+                else:
+                    comp[s] = corrected
+                    self._schedule(corrected, _EV_COMPLETE, s)
+                new_complete[s] = corrected
+        stats.squashed_instructions += reexecuted
+
+    # -- commit --------------------------------------------------------
+
+    def _commit(self) -> None:
+        if not self.w_count:
+            return
+        stats = self.stats
+        budget = self._issue_width
+        cycle = self.cycle
+        col = self.col
+        is_load_b = col.is_load_b
+        is_store_b = col.is_store_b
+        branch_b = col.branch_b
+        dest_eff = col.dest_eff
+        comp = self.comp
+        write = self.write
+        last_writer = self.last_writer
+        committed = 0
+        while budget and self.w_count:
+            h = self.w_head
+            done = write[h] if is_store_b[h] else comp[h]
+            if done < 0 or done > cycle:
+                break
+            self.w_head = h + 1
+            self.w_count -= 1
+            self.inw[h] = 0
+            d = dest_eff[h]
+            if d >= 0 and last_writer.get(d) == h:
+                del last_writer[d]
+            budget -= 1
+            committed += 1
+            if is_load_b[h]:
+                stats.committed_loads += 1
+                if self.spec[h]:
+                    stats.speculative_loads += 1
+                cls = self.fd_cls[h]
+                if cls == 1:
+                    stats.false_dependence_loads += 1
+                    if self.fd_res[h] >= 0:
+                        stats.false_dependence_latency += (
+                            self.fd_res[h] - self.fd_start[h]
+                        )
+                elif cls == 2:
+                    stats.true_dependence_loads += 1
+            elif is_store_b[h]:
+                stats.committed_stores += 1
+                self._det.pop(h, None)
+                syn = self.sync_syn[h]
+                if syn != -1:
+                    producers = self._syn.get(syn)
+                    if producers:
+                        rec = (h, self.serial[h])
+                        if rec in producers:
+                            producers.remove(rec)
+                            if not producers:
+                                del self._syn[syn]
+                if self.addr_sched is not None:
+                    self.addr_sched.remove_store(h)
+                if self.store_sets is not None:
+                    self._sset_store_retired(h)
+            elif branch_b[h]:
+                stats.committed_branches += 1
+        if committed:
+            stats.committed += committed
+            self._progress = True
+
+    def _sset_store_retired(self, seq: int) -> None:
+        predictor = self.store_sets
+        ssid = predictor.ssid_of(self.col.pc[seq])
+        if ssid is None:
+            return
+        slot = predictor._ssid_slot(ssid)
+        handle = predictor._lfst[slot]
+        if (
+            handle is not None
+            and handle[0] == seq
+            and handle[2] == self.serial[seq]
+        ):
+            predictor._lfst[slot] = None
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        capacity = self.w_size
+        occupancy = self.w_count
+        if occupancy >= capacity:
+            return
+        buffer = self.f_buffer
+        maybe_ready = self._maybe_ready
+        budget = self._issue_width
+        cycle = self.cycle
+        is_load_b = self.col.is_load_b
+        is_store_b = self.col.is_store_b
+        while budget and occupancy < capacity:
+            if not buffer or buffer[0][1] > cycle:
+                break
+            s = buffer.popleft()[0]
+            occupancy += 1
+            self._dispatch_entry(s, cycle)
+            budget -= 1
+            self._progress = True
+            if is_load_b[s]:
+                self._on_load_dispatch(s)
+            elif is_store_b[s]:
+                self._on_store_dispatch(s)
+            maybe_ready(s)
+
+    def _dispatch_entry(self, s: int, cycle: int) -> None:
+        ser = self.serial[s] + 1
+        self.serial[s] = ser
+        self.sq[s] = 0
+        self.inw[s] = 1
+        self.a_rdy[s] = cycle
+        self.d_rdy[s] = cycle
+        if ser > 1:
+            # Re-dispatch after a squash: restore Entry defaults.
+            self.a_pend[s] = 0
+            self.d_pend[s] = 0
+            self.issue[s] = -1
+            self.agen[s] = -1
+            self.memc[s] = -1
+            self.comp[s] = -1
+            self.write[s] = -1
+            self.execd[s] = 0
+            self.in_rp[s] = 0
+            self.in_mp[s] = 0
+            self.spec[s] = 0
+            self.fwd[s] = -1
+            self.waiters[s] = None
+            if self.consumers is not None:
+                self.consumers[s] = None
+            if self.producers is not None:
+                self.producers[s] = None
+            self.pred_dep[s] = 0
+            self.barrier[s] = 0
+            self.sync_syn[s] = -1
+            self.sync_ws[s] = -1
+            self.fd_start[s] = -1
+            self.fd_cls[s] = 0
+            self.fd_res[s] = -1
+        col = self.col
+        srcs_off = col.srcs_off
+        srcs_flat = col.srcs_flat
+        last_writer = self.last_writer
+        is_store = col.is_store_b[s]
+        lo = srcs_off[s]
+        hi = srcs_off[s + 1]
+        producers = self.producers
+        comp = self.comp
+        waiters = self.waiters
+        for k in range(lo, hi):
+            src = srcs_flat[k]
+            if src == REG_ZERO:
+                continue
+            is_data = bool(is_store) and k == lo + 1
+            p = last_writer.get(src)
+            if p is None:
+                # The rename map never holds squashed producers: commit
+                # and squash-repair both maintain that invariant.
+                continue
+            if producers is not None:
+                plist = producers[s]
+                if plist is None:
+                    producers[s] = [p]
+                else:
+                    plist.append(p)
+            pdone = comp[p]
+            if pdone >= 0:
+                if is_data:
+                    if pdone > self.d_rdy[s]:
+                        self.d_rdy[s] = pdone
+                elif pdone > self.a_rdy[s]:
+                    self.a_rdy[s] = pdone
+            else:
+                wl = waiters[p]
+                if wl is None:
+                    waiters[p] = [(s, is_data, ser)]
+                else:
+                    wl.append((s, is_data, ser))
+                if is_data:
+                    self.d_pend[s] += 1
+                else:
+                    self.a_pend[s] += 1
+        d = col.dest_eff[s]
+        if d >= 0:
+            last_writer[d] = s
+        if not self.w_count:
+            self.w_head = s
+        self.w_count += 1
+
+    def _on_load_dispatch(self, s: int) -> None:
+        ds = self.col.dep_of[s]
+        if ds >= 0:
+            det = self._det
+            rec = (s, self.serial[s])
+            dl = det.get(ds)
+            if dl is None:
+                det[ds] = [rec]
+            else:
+                dl.append(rec)
+        policy = self.policy
+        if policy is SpeculationPolicy.SELECTIVE:
+            if self.predictor.predicts_dependence(self.col.pc[s]):
+                self.pred_dep[s] = 1
+        elif policy is SpeculationPolicy.SYNC:
+            prediction = self.mdpt.predict_load(self.col.pc[s])
+            if prediction is not None:
+                synonym = prediction.synonym
+                self.sync_syn[s] = synonym
+                best = -1
+                best_ref = 0
+                serial = self.serial
+                sq = self.sq
+                for ws, ref in self._syn.get(synonym, ()):
+                    if ref != serial[ws] or sq[ws] or ws >= s:
+                        continue
+                    if ws > best:
+                        best = ws
+                        best_ref = ref
+                if best >= 0:
+                    self.sync_ws[s] = best
+                    self.sync_ws_ref[s] = best_ref
+        elif policy is SpeculationPolicy.STORE_SETS:
+            predictor = self.store_sets
+            ssid = predictor.ssid_of(self.col.pc[s])
+            if ssid is not None:
+                handle = predictor._lfst[predictor._ssid_slot(ssid)]
+                if handle is not None:
+                    ws, _, ref = handle
+                    if (
+                        ref == self.serial[ws] and not self.sq[ws]
+                        and ws < s
+                    ):
+                        self.sync_ws[s] = ws
+                        self.sync_ws_ref[s] = ref
+
+    def _on_store_dispatch(self, s: int) -> None:
+        self.unexec_stores.on_dispatch(s)
+        if self.addr_sched is not None:
+            self.addr_sched.on_store_dispatch(s)
+        policy = self.policy
+        if policy is SpeculationPolicy.STORE_BARRIER:
+            if self.predictor.predicts_dependence(self.col.pc[s]):
+                self.barrier[s] = 1
+                self.barrier_stores.on_dispatch(s)
+        elif policy is SpeculationPolicy.SYNC:
+            prediction = self.mdpt.predict_store(self.col.pc[s])
+            if prediction is not None:
+                synonym = prediction.synonym
+                self.sync_syn[s] = synonym
+                rec = (s, self.serial[s])
+                producers = self._syn.get(synonym)
+                if producers is None:
+                    self._syn[synonym] = [rec]
+                else:
+                    producers.append(rec)
+        elif policy is SpeculationPolicy.STORE_SETS:
+            predictor = self.store_sets
+            ssid = predictor.ssid_of(self.col.pc[s])
+            if ssid is not None:
+                slot = predictor._ssid_slot(ssid)
+                previous = predictor._lfst[slot]
+                predictor._lfst[slot] = (s, 0, self.serial[s])
+                if previous is not None:
+                    ws, _, ref = previous
+                    if ref == self.serial[ws] and not self.sq[ws]:
+                        self.sync_ws[s] = ws
+                        self.sync_ws_ref[s] = ref
+
+    # -- readiness -----------------------------------------------------
+
+    def _rp_push(self, s: int) -> None:
+        if self.in_rp[s] or self.sq[s]:
+            return
+        self.in_rp[s] = 1
+        heapq.heappush(self.rp, (s, self.serial[s]))
+
+    def _rp_pop(self) -> int:
+        rp = self.rp
+        serial = self.serial
+        in_rp = self.in_rp
+        sq = self.sq
+        while rp:
+            s, ref = heapq.heappop(rp)
+            if ref != serial[s]:
+                # Stale record of a prior incarnation; the flag belongs
+                # to the current one — leave it alone.
+                continue
+            in_rp[s] = 0
+            if not sq[s]:
+                return s
+        return -1
+
+    def _mp_push(self, items: List, s: int) -> bool:
+        """Push *s* onto a mem pool. Returns True if pushed."""
+        if self.in_mp[s] or self.sq[s]:
+            return False
+        self.in_mp[s] = 1
+        self._mp_serial += 1
+        item = (s, self._mp_serial, self.serial[s])
+        if not items or s > items[-1][0]:
+            items.append(item)
+        else:
+            import bisect
+
+            bisect.insort(items, item)
+        return True
+
+    def _mp_live(self, which: str) -> List[int]:
+        """Live seqs, oldest-first, pruning dead records (MemPool
+        ``live_entries`` port)."""
+        if which == "load":
+            live = self.load_live
+            items = self.load_items
+        else:
+            live = self.swp_live
+            items = self.swp_items
+        if live is not None:
+            return live
+        if not items:
+            live = []
+        else:
+            serial = self.serial
+            sq = self.sq
+            in_mp = self.in_mp
+            live = [
+                s for s, _, ref in items
+                if ref == serial[s] and in_mp[s] and not sq[s]
+            ]
+            if len(live) != len(items):
+                items = [(s, 0, serial[s]) for s in live]
+                if which == "load":
+                    self.load_items = items
+                    self.load_dead = 0
+                else:
+                    self.swp_items = items
+                    self.swp_dead = 0
+        if which == "load":
+            self.load_live = live
+        else:
+            self.swp_live = live
+        return live
+
+    def _mp_remove(self, which: str, s: int) -> None:
+        if self.in_mp[s]:
+            self.in_mp[s] = 0
+            if which == "load":
+                self.load_dead += 1
+                self.load_live = None
+            else:
+                self.swp_dead += 1
+                self.swp_live = None
+
+    def _maybe_ready(self, s: int) -> None:
+        if self.issue[s] >= 0 or self.in_rp[s]:
+            if (
+                self.col.is_store_b[s] and self.as_mode
+                and self.agen[s] >= 0
+                and not self.d_pend[s]
+                and not self.in_mp[s]
+                and self.write[s] < 0
+            ):
+                if self._mp_push(self.swp_items, s):
+                    self.swp_live = None
+                self._progress = True
+            return
+        if self.col.is_store_b[s] and not self.as_mode:
+            if self.a_pend[s] or self.d_pend[s]:
+                return
+            ready_at = self.a_rdy[s]
+            if self.d_rdy[s] > ready_at:
+                ready_at = self.d_rdy[s]
+        else:
+            if self.a_pend[s]:
+                return
+            ready_at = self.a_rdy[s]
+        if ready_at <= self.cycle:
+            self._rp_push(s)
+        else:
+            self._schedule(ready_at, _EV_READY, s)
+
+    # -- issue ---------------------------------------------------------
+
+    def _issue_exec(self) -> None:
+        funits = self.funits
+        if not self.rp:
+            return
+        cycle = self.cycle
+        as_mode = self.as_mode
+        pop = self._rp_pop
+        can_issue = funits.can_issue_unit
+        take_issue = funits.take_issue_unit
+        col = self.col
+        is_store_b = col.is_store_b
+        is_load_b = col.is_load_b
+        fp_b = col.fp_b
+        a_pend = self.a_pend
+        d_pend = self.d_pend
+        a_rdy = self.a_rdy
+        d_rdy = self.d_rdy
+        deferred: List[int] = []
+        progress = False
+        scans = self._scan_budget
+        issue_width = funits._issue_width
+        while funits._issued < issue_width and scans:
+            scans -= 1
+            s = pop()
+            if s < 0:
+                break
+            nas_store = is_store_b[s] and not as_mode
+            if nas_store:
+                if a_pend[s] or d_pend[s]:
+                    continue
+                ready_at = a_rdy[s]
+                if d_rdy[s] > ready_at:
+                    ready_at = d_rdy[s]
+            elif a_pend[s]:
+                continue
+            else:
+                ready_at = a_rdy[s]
+            if ready_at > cycle:
+                self._schedule(ready_at, _EV_READY, s)
+                continue
+            uses_fp = fp_b[s]
+            if not can_issue(uses_fp):
+                deferred.append(s)
+                continue
+            if nas_store:
+                ws = self.sync_ws[s]
+                if (
+                    ws >= 0
+                    and self.sync_ws_ref[s] == self.serial[ws]
+                    and not self.sq[ws]
+                    and self.issue[ws] < 0
+                ):
+                    deferred.append(s)
+                    continue
+                if not funits.can_access_memory():
+                    deferred.append(s)
+                    continue
+                take_issue(uses_fp)
+                funits.take_port()
+                self._do_issue_store_nas(s)
+            elif is_store_b[s]:
+                take_issue(uses_fp)
+                self._do_issue_store_agen_as(s)
+            elif is_load_b[s]:
+                take_issue(uses_fp)
+                self._do_issue_load_agen(s)
+            else:
+                take_issue(uses_fp)
+                self._do_issue_alu(s)
+            progress = True
+        if deferred:
+            push = self._rp_push
+            for s in deferred:
+                push(s)
+            progress = True
+        if progress:
+            self._progress = True
+
+    def _do_issue_alu(self, s: int) -> None:
+        cycle = self.cycle
+        self.issue[s] = cycle
+        done = cycle + self.lat[self.col.opb[s]]
+        self.comp[s] = done
+        self._schedule(done, _EV_COMPLETE, s)
+
+    def _do_issue_load_agen(self, s: int) -> None:
+        cycle = self.cycle
+        self.issue[s] = cycle
+        done = cycle + 1
+        self.agen[s] = done
+        if self._mp_push(self.load_items, s):
+            self.load_live = None
+        if self._hint < 0 or done < self._hint:
+            self._hint = done
+
+    def _do_issue_store_nas(self, s: int) -> None:
+        cycle = self.cycle
+        self.issue[s] = cycle
+        self.agen[s] = cycle + 1
+        wc = cycle + 2
+        self.write[s] = wc
+        self.comp[s] = wc
+        self.unexec_stores.on_execute(s)
+        if self.barrier[s]:
+            self.barrier_stores.on_execute(s)
+        self._store_buffer_insert(s, data_ready=cycle + 1)
+        self._schedule(wc, _EV_WRITE, s)
+
+    def _do_issue_store_agen_as(self, s: int) -> None:
+        cycle = self.cycle
+        self.issue[s] = cycle
+        agen = cycle + 1
+        self.agen[s] = agen
+        col = self.col
+        visible = self.addr_sched.post_address(
+            s, col.addr[s], col.size[s], agen
+        )
+        self._schedule(visible, _EV_POST, s)
+        if not self.d_pend[s]:
+            if self._mp_push(self.swp_items, s):
+                self.swp_live = None
+
+    # -- memory stage --------------------------------------------------
+
+    def _issue_memory(self) -> None:
+        loads = self._mp_live("load")
+        if self.as_mode:
+            writes = self._mp_live("swp")
+            if writes:
+                if loads:
+                    candidates = sorted(loads + writes)
+                else:
+                    candidates = writes
+            else:
+                candidates = loads
+        else:
+            candidates = loads
+        if not candidates:
+            return
+        funits = self.funits
+        cycle = self.cycle
+        kind = self._gate_kind
+        hint = self._hint
+        progress = False
+        ports_left = funits.ports_left
+        if kind == _GATE_ALL_STORES or kind == _GATE_PREDICTED:
+            blocked_from = self.unexec_stores.oldest()
+        elif kind == _GATE_BARRIER:
+            blocked_from = self.barrier_stores.oldest()
+        else:
+            blocked_from = None
+        col = self.col
+        is_store_b = col.is_store_b
+        agen = self.agen
+        note_fd_wait = self._note_fd_wait
+        fd_start = self.fd_start
+        for s in candidates:
+            if not ports_left:
+                progress = True
+                break
+            if is_store_b[s]:
+                ready = self.d_rdy[s]
+                a = agen[s]
+                if a > ready:
+                    ready = a
+                if ready > cycle:
+                    if hint < 0 or ready < hint:
+                        hint = ready
+                    continue
+                ports_left -= 1
+                funits.take_port()
+                self._mp_remove("swp", s)
+                wc = cycle + 1
+                self.write[s] = wc
+                self.comp[s] = wc
+                self.unexec_stores.on_execute(s)
+                if self.barrier[s]:
+                    self.barrier_stores.on_execute(s)
+                self._store_buffer_insert(s, data_ready=cycle + 1)
+                self._schedule(wc, _EV_WRITE, s)
+                progress = True
+                continue
+            # -- loads: the policy gate, inlined -----------------------
+            a = agen[s]
+            if a < 0 or a > cycle:
+                if a >= 0 and (hint < 0 or a < hint):
+                    hint = a
+                continue
+            if kind == _GATE_OPEN:
+                pass
+            elif kind == _GATE_ALL_STORES:
+                if blocked_from is not None and blocked_from < s:
+                    if fd_start[s] < 0:
+                        note_fd_wait(s)
+                    continue
+            elif kind == _GATE_PREDICTED:
+                if (
+                    self.pred_dep[s]
+                    and blocked_from is not None
+                    and blocked_from < s
+                ):
+                    if fd_start[s] < 0:
+                        note_fd_wait(s)
+                    continue
+            elif kind == _GATE_BARRIER:
+                if blocked_from is not None and blocked_from < s:
+                    if fd_start[s] < 0:
+                        note_fd_wait(s)
+                    continue
+            elif kind == _GATE_SYNC:
+                ws = self.sync_ws[s]
+                if (
+                    ws >= 0
+                    and self.sync_ws_ref[s] == self.serial[ws]
+                    and not self.sq[ws]
+                    and not self.execd[ws]
+                ):
+                    issued = self.issue[ws]
+                    if issued < 0:
+                        continue
+                    if cycle < issued + 1:
+                        if hint < 0 or issued + 1 < hint:
+                            hint = issued + 1
+                        continue
+            elif kind == _GATE_ORACLE:
+                ds = col.dep_of[s]
+                if ds >= 0 and self.inw[ds] and not self.execd[ds]:
+                    issued = self.issue[ds]
+                    if issued < 0:
+                        if fd_start[s] < 0:
+                            note_fd_wait(s)
+                        continue
+                    if cycle < issued + 1:
+                        if hint < 0 or issued + 1 < hint:
+                            hint = issued + 1
+                        continue
+            else:  # _GATE_AS
+                open_, gate_hint = self._load_gate_as(s)
+                if not open_:
+                    if gate_hint is not None and (
+                        hint < 0 or gate_hint < hint
+                    ):
+                        hint = gate_hint
+                    continue
+            if fd_start[s] >= 0 and self.fd_res[s] < 0:
+                self.fd_res[s] = cycle
+            ports_left -= 1
+            funits.take_port()
+            self._mp_remove("load", s)
+            self._access_memory(s)
+            progress = True
+        self._hint = hint
+        if progress:
+            self._progress = True
+
+    def _access_memory(self, s: int) -> None:
+        cycle = self.cycle
+        col = self.col
+        self.memc[s] = cycle
+        if self.unexec_stores.any_older_than(s):
+            self.spec[s] = 1
+        addr = col.addr[s]
+        buffered, full = self.store_buffer.search(
+            s, addr, col.size[s]
+        )
+        if buffered is not None and full:
+            complete = max(cycle + 1, buffered.data_ready_cycle + 1)
+            self.fwd[s] = buffered.seq
+        elif buffered is not None:
+            start = max(cycle, buffered.data_ready_cycle)
+            complete = self.hierarchy.load(addr, start)
+        else:
+            complete = self.hierarchy.load(addr, cycle)
+        self.comp[s] = complete
+        self._schedule(complete, _EV_COMPLETE, s)
+
+    def _load_gate_as(self, s: int):
+        cycle = self.cycle
+        sched = self.addr_sched
+        search_from = self.agen[s] + sched.latency
+        if cycle < search_from:
+            return False, search_from
+        if self.policy is SpeculationPolicy.NO:
+            if not sched.all_older_posted(s, cycle):
+                self._note_fd_wait(s)
+                return False, None
+        col = self.col
+        m = sched.youngest_older_match(
+            s, col.addr[s], col.size[s], cycle
+        )
+        if m >= 0:
+            wc = self.write[m]
+            if wc < 0:
+                return False, None
+            if cycle < wc:
+                return False, wc
+        return True, None
+
+    def _note_fd_wait(self, s: int) -> None:
+        if self.fd_start[s] >= 0:
+            return
+        self.fd_start[s] = self.cycle
+        ds = self.col.dep_of[s]
+        if ds >= 0 and self.inw[ds] and not self.execd[ds]:
+            self.fd_cls[s] = 2
+        else:
+            self.fd_cls[s] = 1
+
+    # -- fetch ---------------------------------------------------------
+
+    def _fetch_tick(self, cycle: int) -> int:
+        if cycle < self.f_stalled or self.f_wait >= 0:
+            return 0
+        buffer = self.f_buffer
+        buffer_cap = self.f_cap
+        if len(buffer) >= buffer_cap:
+            return 0
+        cfg = self.config
+        fetched = 0
+        blocks_used = 0
+        current_block = None
+        width = cfg.fetch.width
+        max_blocks = cfg.fetch.max_blocks_per_cycle
+        block_shift = cfg.icache.block_bytes.bit_length() - 1
+        recent_blocks = self.f_recent
+        recent_cap = 4 * max_blocks
+        hit_by = cycle + cfg.icache.hit_latency
+        dispatch_at = cycle + cfg.fetch.front_end_depth
+        col = self.col
+        pcs = col.pc
+        branch_b = col.branch_b
+        opb = col.opb
+        ops = col.ops
+        taken = col.taken
+        target = col.target
+        predict = self.branch_unit.predict_and_train_raw
+        fetch_block = self.hierarchy.fetch
+        pos = self.f_pos
+        stop = self.f_stop
+        while (
+            fetched < width
+            and len(buffer) < buffer_cap
+            and pos < stop
+        ):
+            pc = pcs[pos]
+            block = pc >> block_shift
+            if block != current_block:
+                if blocks_used >= max_blocks:
+                    break
+                blocks_used += 1
+                current_block = block
+                available = recent_blocks.get(block)
+                if available is None:
+                    available = fetch_block(pc, cycle)
+                    recent_blocks[block] = available
+                    if len(recent_blocks) > recent_cap:
+                        oldest = next(iter(recent_blocks))
+                        del recent_blocks[oldest]
+                if available > hit_by:
+                    self.f_stalled = available
+                    break
+            s = pos
+            pos += 1
+            buffer.append((s, dispatch_at))
+            fetched += 1
+            if branch_b[s]:
+                correct = predict(
+                    pc, ops[opb[s]], taken[s], target[s]
+                )[2]
+                if not correct:
+                    self.f_wait = s
+                    break
+                if taken[s]:
+                    current_block = None
+        self.f_pos = pos
+        return fetched
+
+    def _fetch_squash(self, seq: int, resume_cycle: int) -> None:
+        buffer = self.f_buffer
+        while buffer and buffer[-1][0] >= seq:
+            buffer.pop()
+        if self.f_pos > seq:
+            self.f_pos = seq
+        if self.f_wait >= 0 and self.f_wait >= seq:
+            self.f_wait = -1
+        if resume_cycle > self.f_stalled:
+            self.f_stalled = resume_cycle
+
+    def _resume_after_branch(self, seq: int, cycle: int) -> None:
+        if self.f_wait == seq:
+            self.f_wait = -1
+            resume = cycle + self.config.branch_redirect_penalty
+            if resume > self.f_stalled:
+                self.f_stalled = resume
+
+    # -- periodic table flushes ----------------------------------------
+
+    def _maybe_flush_tables(self) -> None:
+        if self.cycle < self._next_flush:
+            return
+        interval = self.config.memdep.flush_interval
+        while self._next_flush <= self.cycle:
+            self._next_flush += interval
+        if self.predictor is not None:
+            self.predictor.flush()
+        if self.mdpt is not None:
+            self.mdpt.flush()
+        if self.store_sets is not None:
+            self.store_sets.flush()
+
+    # -- cache stat snapshots ------------------------------------------
+
+    def _snapshot_caches(self, stats: SimResult) -> None:
+        stats.dcache_accesses = self.hierarchy.dcache.accesses
+        stats.dcache_misses = self.hierarchy.dcache.misses
+        stats.icache_accesses = self.hierarchy.icache.accesses
+        stats.icache_misses = self.hierarchy.icache.misses
+        stats.l2_accesses = self.hierarchy.l2.accesses
+        stats.l2_misses = self.hierarchy.l2.misses
+
+
+
+

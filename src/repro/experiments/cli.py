@@ -53,6 +53,27 @@ ARTIFACTS: Dict[str, Callable] = {
     "ablation-split": ablation_split_geometry,
 }
 
+def _backend_choices():
+    from repro.core.backend import available_backends
+
+    return available_backends()
+
+
+def _apply_backend(name) -> None:
+    """Make *name* the process-wide default simulator backend.
+
+    Exported through ``$REPRO_BACKEND`` rather than threaded through
+    every artifact driver: the figure/table code calls
+    ``run_benchmark`` without a backend argument, and pool workers
+    inherit the environment across ``fork``.
+    """
+    if name:
+        from repro.core.backend import BACKEND_ENV, resolve_backend
+
+        resolve_backend(name)  # fail fast on typos
+        os.environ[BACKEND_ENV] = name
+
+
 _ORDER = (
     "table1", "figure1", "table3", "figure2", "table4", "figure3",
     "figure4", "figure5", "figure6", "figure7", "summary", "stalls",
@@ -142,6 +163,12 @@ def _dispatch(argv=None) -> int:
              "(readable with 'repro-experiments status FILE')",
     )
     parser.add_argument(
+        "--backend", choices=_backend_choices(), default=None,
+        help="simulator backend for every run (default: "
+             "$REPRO_BACKEND or 'reference'; backends are "
+             "bit-identical — 'vector' is just faster)",
+    )
+    parser.add_argument(
         "--observe", metavar="DIR", nargs="?", const="observe",
         default=None,
         help="after the artifacts, write an observability bundle "
@@ -156,6 +183,7 @@ def _dispatch(argv=None) -> int:
         settings = ExperimentSettings(6_000, 4_000, args.seed)
     else:
         settings = ExperimentSettings(args.timing, args.warmup, args.seed)
+    _apply_backend(args.backend)
 
     names = list(args.artifacts)
     if "all" in names:
@@ -466,6 +494,11 @@ def _check_main(argv) -> int:
         "--json-out", metavar="FILE",
         help="write the fuzzing outcome as JSON to FILE",
     )
+    fuzz_p.add_argument(
+        "--backend", choices=_backend_choices(), default=None,
+        help="simulator backend for every fuzzed cell (default: "
+             "$REPRO_BACKEND or 'reference')",
+    )
 
     args = parser.parse_args(argv)
 
@@ -541,6 +574,7 @@ def _check_main(argv) -> int:
         FuzzCell, fuzz as run_fuzz, load_corpus, save_corpus,
     )
 
+    _apply_backend(args.backend)
     corpus = []
     if args.corpus:
         try:

@@ -60,15 +60,19 @@ def _run_benchmark_shard(
     Returns ``(benchmark, [(label, result), ...], stats)`` where
     *stats* carries the worker pid, shard wall time and the cache
     counters this shard accumulated (memory/store hits, simulations).
+    The optional fourth tuple element names the simulator backend
+    (older three-element tuples still work).
     """
-    name, labelled_configs, settings = args
+    name, labelled_configs, settings = args[:3]
+    backend = args[3] if len(args) > 3 else None
     before = _runner.cache_stats()
     traces_before = _catalog.trace_stats()
     started = time.perf_counter()
     results = []
     for label, config in labelled_configs:
         results.append(
-            (label, _runner.run_benchmark(name, config, settings))
+            (label,
+             _runner.run_benchmark(name, config, settings, backend))
         )
     spent = _runner.cache_stats().delta(before)
     traces = _catalog.trace_stats().delta(traces_before)
@@ -106,9 +110,11 @@ class _MatrixRun:
         shard_timeout: Optional[float],
         retries: int,
         retry_backoff: float,
+        backend: Optional[str] = None,
     ) -> None:
         self.benchmarks = benchmarks
         self.labelled = labelled
+        self.backend = backend
         self.configs_by_label = dict(labelled)
         #: Every telemetry record carries the shard's full cell key
         #: (benchmark + the config labels it covers) so JSONL traces
@@ -175,7 +181,7 @@ class _MatrixRun:
         )
         try:
             _, shard, stats = _run_benchmark_shard(
-                (name, self.labelled, self.settings)
+                (name, self.labelled, self.settings, self.backend)
             )
         except Exception as exc:
             self.failed.append(name)
@@ -243,7 +249,8 @@ class _MatrixRun:
             try:
                 handle = pool.apply_async(
                     _run_benchmark_shard,
-                    ((name, self.labelled, self.settings),),
+                    ((name, self.labelled, self.settings,
+                      self.backend),),
                 )
             except Exception:
                 return [name] + pending
@@ -344,6 +351,7 @@ def run_matrix_parallel(
     retry_backoff: float = 0.1,
     telemetry=None,
     precompile: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[str, SimResult]]:
     """Parallel :func:`repro.experiments.runner.run_matrix`.
 
@@ -368,8 +376,15 @@ def run_matrix_parallel(
     *retry_backoff* seconds; shards that still fail are omitted from
     the result while all surviving shards are returned. *telemetry* is
     a :class:`~repro.experiments.telemetry.TelemetryWriter` or a JSONL
-    path receiving the structured event stream.
+    path receiving the structured event stream. *backend* names the
+    simulator backend forwarded to every cell (workers inherit it
+    through the shard tuple, so pool, retry and serial-fallback paths
+    all use the same core); the resolved name is recorded in the
+    ``matrix_start`` telemetry event and on each fresh result's
+    ``extra["backend"]``.
     """
+    from repro.core.backend import resolve_backend
+
     benchmarks = list(benchmarks)
     labelled = list(configs.items())
     if workers is None:
@@ -379,13 +394,14 @@ def run_matrix_parallel(
     writer, owned = as_writer(telemetry)
     run = _MatrixRun(
         benchmarks, labelled, settings, writer,
-        shard_timeout, retries, retry_backoff,
+        shard_timeout, retries, retry_backoff, backend,
     )
     started = time.perf_counter()
     parallel_path = workers > 1 and len(benchmarks) > 1
     writer.emit(
         "matrix_start",
         mode="parallel" if parallel_path else "serial",
+        backend=resolve_backend(backend),
         benchmarks=len(benchmarks),
         configs=len(labelled),
         points=len(benchmarks) * len(labelled),

@@ -19,15 +19,17 @@ telemetry stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.config.presets import config_name
 from repro.config.processor import ProcessorConfig
+from repro.core.backend import resolve_backend, vector_limitation
 from repro.core.processor import Processor
 from repro.core.result import SimResult
 from repro.splitwindow.processor import SplitWindowProcessor
 from repro.trace.sampling import SamplingPlan, Segment, parse_ratio
 from repro.workloads.catalog import (
+    get_compiled,
     get_dependence_info,
     get_trace,
     trace_stats,
@@ -134,15 +136,23 @@ def run_benchmark(
     name: str,
     config: ProcessorConfig,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    backend: Optional[str] = None,
 ) -> SimResult:
     """Simulate one (benchmark, config) point, with caching.
 
     Lookup order: in-process memo, then the persistent store (if one
     is active — see :func:`repro.experiments.store.set_store`), then
     an actual simulation. Fresh simulations populate both layers.
+
+    *backend* selects the simulator core (precedence: argument >
+    ``config.backend`` > ``$REPRO_BACKEND`` > ``"reference"``).
+    Backends are bit-identical, so cache keys ignore the choice — a
+    result produced by either backend satisfies both; fresh results
+    record their producer in ``extra["backend"]``.
     """
     from repro.experiments.store import active_store
 
+    backend_name = resolve_backend(backend, config)
     config_key = _config_key(config)
     key = (name, settings, config_key)
     cached = _result_cache.get(key)
@@ -157,17 +167,29 @@ def run_benchmark(
             _result_cache[key] = restored
             return restored
     plan = _plan_for(name, settings)
-    trace = get_trace(name, plan.length, settings.seed)
-    info = _dependences_for_length(
-        name, plan.length, settings.seed, trace=trace
-    )
     if config.split.enabled:
         # The split-window model has no functional-warm mode; its caches
         # warm during the run, and comparisons against it use the same
         # treatment on both sides.
+        backend_name = "reference"
+        trace = get_trace(name, plan.length, settings.seed)
+        info = _dependences_for_length(
+            name, plan.length, settings.seed, trace=trace
+        )
         result = SplitWindowProcessor(config, trace, info).run()
+    elif backend_name == "vector" and vector_limitation(config) is None:
+        from repro.core.vector import VectorProcessor
+
+        compiled = get_compiled(name, plan.length, settings.seed)
+        result = VectorProcessor(config, compiled).run(plan)
     else:
+        backend_name = "reference"
+        trace = get_trace(name, plan.length, settings.seed)
+        info = _dependences_for_length(
+            name, plan.length, settings.seed, trace=trace
+        )
         result = Processor(config, trace, info).run(plan)
+    result.extra["backend"] = backend_name
     _cache_stats.simulations += 1
     _result_cache[key] = result
     if store is not None:
@@ -233,6 +255,7 @@ def run_benchmark_seeds(
     config: ProcessorConfig,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     seeds: Tuple[int, ...] = (0, 1, 2),
+    backend: Optional[str] = None,
 ) -> list:
     """One (benchmark, config) point across several workload seeds.
 
@@ -240,10 +263,11 @@ def run_benchmark_seeds(
     the spread of the returned results bounds workload-generation noise
     (see :func:`repro.stats.summary.mean_and_spread`).
     """
+    extra = {} if backend is None else {"backend": backend}
     results = []
     for seed in seeds:
         seeded = _dc_replace(settings, seed=seed)
-        results.append(run_benchmark(name, config, seeded))
+        results.append(run_benchmark(name, config, seeded, **extra))
     return results
 
 
@@ -252,13 +276,16 @@ def run_matrix(
     configs: Mapping[str, ProcessorConfig],
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     telemetry=None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[str, SimResult]]:
     """Results for every (benchmark, config) pair.
 
     Returns ``{config_label: {benchmark: SimResult}}``. *telemetry*
     (an :class:`~repro.experiments.telemetry.TelemetryWriter` or a
     path) gets ``matrix_start``/``matrix_finish`` events including the
-    cache hit/miss counters accumulated over the matrix.
+    cache hit/miss counters accumulated over the matrix and the
+    backend the sweep ran on. *backend* is forwarded to every
+    :func:`run_benchmark` cell.
     """
     import time
 
@@ -272,6 +299,7 @@ def run_matrix(
     writer.emit(
         "matrix_start",
         mode="serial",
+        backend=resolve_backend(backend),
         benchmarks=len(benchmarks),
         configs=len(configs),
         points=len(benchmarks) * len(configs),
@@ -280,7 +308,7 @@ def run_matrix(
         out: Dict[str, Dict[str, SimResult]] = {}
         for label, config in configs.items():
             out[label] = {
-                name: run_benchmark(name, config, settings)
+                name: run_benchmark(name, config, settings, backend)
                 for name in benchmarks
             }
     finally:

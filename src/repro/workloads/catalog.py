@@ -217,6 +217,64 @@ def get_trace(
     return trace
 
 
+def get_compiled(
+    name: str, length: int = DEFAULT_LENGTH, seed: int = 0
+) -> CompiledTrace:
+    """Packed columns for benchmark *name* — no ``DynInst`` objects.
+
+    The vector backend's entry point: same three-layer lookup as
+    :func:`get_trace` (compiled memo, persistent store, generation) but
+    the result stays columnar, so a sweep running on the ``vector``
+    backend never materializes an instruction list. The returned trace
+    always carries its packed dependence map. The compiled memo stays
+    authoritative: a trace served here and one served by
+    :func:`get_trace` for the same request come from the same columns.
+    """
+    started = perf_counter()
+    canonical = _canonical_name(name)
+    series = (canonical, seed)
+
+    entry = _compiled_cache.get(series)
+    if entry is not None:
+        compiled, origin = entry
+        served = _serve(compiled, length)
+        if served is not None:
+            _compiled_cache.move_to_end(series)
+            if not served.has_dependences:
+                served.attach_dependences(
+                    _dependence_info_for(served, canonical, seed)
+                )
+            if origin == "precompiled":
+                _trace_stats.inherited += 1
+            else:
+                _trace_stats.memory_hits += 1
+            _trace_stats.trace_wall += perf_counter() - started
+            return served
+
+    store = active_trace_store()
+    if store is not None:
+        compiled = store.load(canonical, length, seed,
+                              GENERATOR_VERSION)
+        if compiled is not None:
+            _remember_compiled(series, compiled, "loaded")
+            if not compiled.has_dependences:
+                compiled.attach_dependences(
+                    _dependence_info_for(compiled, canonical, seed)
+                )
+            _trace_stats.store_hits += 1
+            _trace_stats.trace_wall += perf_counter() - started
+            return compiled
+
+    trace, kind = _generate(canonical, length, seed)
+    _trace_stats.generated += 1
+    compiled = _compile_with_dependences(trace, kind, length)
+    if store is not None:
+        store.save(compiled, seed, GENERATOR_VERSION)
+    _remember_compiled(series, compiled, "compiled")
+    _trace_stats.trace_wall += perf_counter() - started
+    return compiled
+
+
 def _generate(canonical: str, length: int, seed: int):
     """Run the generator; returns ``(trace, kind)`` with provenance."""
     if canonical in KERNELS:

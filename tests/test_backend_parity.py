@@ -1,0 +1,154 @@
+"""Cross-backend parity: the vector core against the golden fixture.
+
+Runs every cell of the golden-parity suite (tests/test_golden_parity.py)
+through the **vector** backend and compares each counter bit-for-bit
+against the same committed fixture the reference backend is held to —
+proving the fixture (and every result-store key derived from these
+numbers) is backend-agnostic.
+
+CI's ``backend-parity`` job runs this file with the vector backend and
+uploads ``$BACKEND_PARITY_ARTIFACT`` (default
+``backend-parity-failures.json``) when any cell diverges: one record
+per failing cell with the config label, benchmark, and the per-field
+expected/actual diff — enough to reproduce without re-running the job.
+
+Also here: the cross-backend observe-parity check. Observability
+forces the vector backend to delegate to the reference core, so an
+observed run must produce the *same* stall-attribution totals no
+matter which backend was requested.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.processor import simulate
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import SamplingPlan, Segment
+from repro.workloads.catalog import get_trace
+
+from tests.test_golden_parity import CELLS, FIELDS, FIXTURE, _cell_id
+
+#: Where a divergence report is written for CI artifact upload.
+ARTIFACT_ENV = "BACKEND_PARITY_ARTIFACT"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(FIXTURE):
+        pytest.fail(f"missing golden fixture {FIXTURE}")
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _record_failure(cell, label, benchmark, diffs):
+    """Append one failing-cell record to the CI artifact file."""
+    path = os.environ.get(
+        ARTIFACT_ENV, "backend-parity-failures.json"
+    )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        report = {"backend": "vector", "failures": []}
+    report["failures"].append({
+        "cell": cell,
+        "config": label,
+        "benchmark": benchmark,
+        "diff": diffs,
+    })
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _simulate_vector(benchmark, warm, length, config):
+    trace = get_trace(benchmark, length, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False),
+         Segment(warm, length, timing=True)),
+        length,
+    )
+    result = simulate(config, trace, plan, info, backend="vector")
+    return {name: getattr(result, name) for name in FIELDS}
+
+
+@pytest.mark.parametrize(
+    "workload,warm,length,label,config",
+    CELLS,
+    ids=[_cell_id(c[0], c[3]) for c in CELLS],
+)
+def test_vector_matches_golden(
+    golden, workload, warm, length, label, config
+):
+    cell = _cell_id(workload, label)
+    assert cell in golden["cells"], f"no golden numbers for {cell}"
+    expected = golden["cells"][cell]
+    actual = _simulate_vector(workload, warm, length, config)
+    if actual != expected:
+        diffs = {
+            name: {"expected": expected[name], "actual": actual[name]}
+            for name in FIELDS if expected[name] != actual[name]
+        }
+        _record_failure(cell, label, workload, diffs)
+        pytest.fail(
+            f"{cell}: vector backend diverged from the golden "
+            "fixture: " + ", ".join(
+                f"{k}: {d['expected']} -> {d['actual']}"
+                for k, d in diffs.items()
+            )
+        )
+
+
+@pytest.mark.parametrize("policy_name", ["NAV", "SEL"])
+def test_observe_parity_across_backends(policy_name):
+    """Observed runs are backend-independent, including stall totals.
+
+    ``config.observe`` forces the vector backend to delegate, so both
+    requests must resolve to the same simulation — identical counters
+    *and* an identical per-cause stall attribution that satisfies the
+    conservation law (docs/OBSERVABILITY.md).
+    """
+    import dataclasses
+
+    from repro.config.presets import continuous_window_128
+    from repro.config.processor import SchedulingModel, SpeculationPolicy
+
+    policy = {
+        "NAV": SpeculationPolicy.NAIVE,
+        "SEL": SpeculationPolicy.SELECTIVE,
+    }[policy_name]
+    config = dataclasses.replace(
+        continuous_window_128(SchedulingModel.NAS, policy),
+        observe=True,
+    )
+    warm, length = 500, 2_000
+    trace = get_trace("126.gcc", length, seed=0)
+    info = compute_dependence_info(trace)
+    plan = SamplingPlan(
+        (Segment(0, warm, timing=False),
+         Segment(warm, length, timing=True)),
+        length,
+    )
+    by_backend = {}
+    for backend in ("reference", "vector"):
+        result = simulate(config, trace, plan, info, backend=backend)
+        for name in FIELDS:
+            by_backend.setdefault(name, {})[backend] = getattr(
+                result, name
+            )
+        stalls = result.extra["observe"]["stalls"]
+        # Conservation: every issue slot is a commit or a charged stall.
+        assert stalls["slots"] == stalls["width"] * stalls["cycles"]
+        assert (
+            stalls["commit_slots"] + stalls["stall_slots"]
+            == stalls["slots"]
+        )
+        assert sum(stalls["causes"].values()) == stalls["stall_slots"]
+        by_backend.setdefault("causes", {})[backend] = stalls["causes"]
+    for name, values in by_backend.items():
+        assert values["reference"] == values["vector"], (
+            f"{policy_name}: observed {name} differs across backends"
+        )

@@ -22,14 +22,153 @@ Usage (CI)::
     PYTHONPATH=src python tools/ci_bench.py \\
         --out ci-bench --baseline benchmarks/baseline_ci.json
 
-Exit codes: 0 ok, 1 IPC drift beyond threshold, 2 warm pass
-re-simulated (store regression), 3 baseline missing/incompatible.
+``--gate MEASURED.json`` switches to the structured throughput
+comparator used by the ``perf-smoke`` job: compare a fresh
+``perf_bench`` measurement against the committed per-backend baseline
+(``--gate-baseline``), write a machine-readable verdict
+(``--gate-out``), and **fail** when the KIPS geomean over overlapping
+cells regresses by more than ``--gate-threshold``. Intentional
+baseline refreshes ride a ``[perf-baseline-bump]`` marker in the head
+commit message (checked via ``$CI_COMMIT_MESSAGE`` or ``git log -1``),
+which records the override in the verdict instead of failing — see
+docs/TESTING.md.
+
+Exit codes: 0 ok, 1 IPC drift / KIPS regression beyond threshold,
+2 warm pass re-simulated (store regression), 3 baseline
+missing/incompatible.
 """
 
 import argparse
 import json
+import math
 import os
+import subprocess
 import sys
+
+#: Commit-message marker that turns a blocking gate failure into a
+#: recorded override (used when intentionally refreshing baselines).
+BUMP_MARKER = "[perf-baseline-bump]"
+
+
+def _geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _head_commit_message():
+    """Head commit message: $CI_COMMIT_MESSAGE, else ``git log -1``."""
+    message = os.environ.get("CI_COMMIT_MESSAGE")
+    if message:
+        return message
+    try:
+        proc = subprocess.run(
+            ["git", "log", "-1", "--pretty=%B"],
+            capture_output=True, text=True, check=False,
+        )
+    except OSError:
+        return ""
+    return proc.stdout if proc.returncode == 0 else ""
+
+
+def run_gate(args) -> int:
+    """Blocking per-backend KIPS comparator (``--gate``)."""
+    try:
+        with open(args.gate, "r", encoding="utf-8") as handle:
+            measured = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read measurement {args.gate}: {exc}",
+              file=sys.stderr)
+        return 3
+    try:
+        with open(args.gate_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.gate_baseline}: {exc}",
+              file=sys.stderr)
+        return 3
+
+    backend = measured.get("backend", "reference")
+    base_backend = baseline.get("backend", "reference")
+    if backend != base_backend:
+        print(
+            f"backend mismatch: measurement is {backend!r} but "
+            f"baseline {args.gate_baseline} is {base_backend!r}",
+            file=sys.stderr,
+        )
+        return 3
+
+    base_cells = baseline.get("cells", {})
+    cells = {}
+    for label, cell in measured.get("cells", {}).items():
+        old = base_cells.get(label, {}).get("kips")
+        new = cell.get("kips")
+        if old and new:
+            cells[label] = {
+                "baseline_kips": old,
+                "measured_kips": new,
+                "ratio": round(new / old, 4),
+            }
+    ratio = _geomean([c["ratio"] for c in cells.values()])
+    regressed = bool(cells) and ratio < 1.0 - args.gate_threshold
+    override = regressed and BUMP_MARKER in _head_commit_message()
+
+    verdict = {
+        "schema": 1,
+        "mode": "perf-gate",
+        "backend": backend,
+        "baseline": args.gate_baseline,
+        "threshold": args.gate_threshold,
+        "cells": cells,
+        "geomean_ratio": round(ratio, 4) if cells else None,
+        "regressed": regressed,
+        "override": override,
+        "override_marker": BUMP_MARKER,
+    }
+    if args.gate_out:
+        with open(args.gate_out, "w", encoding="utf-8") as handle:
+            json.dump(verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.gate_out}")
+
+    if not cells:
+        print(
+            f"no overlapping cells between {args.gate} and "
+            f"{args.gate_baseline}; gate skipped"
+        )
+        return 0
+    print(
+        f"{backend} KIPS vs {args.gate_baseline} over "
+        f"{len(cells)} cells: {ratio:.2f}x geomean "
+        f"(threshold {1.0 - args.gate_threshold:.2f}x)"
+    )
+    if regressed and override:
+        print(
+            f"::notice title=perf-gate::{backend} geomean regressed "
+            f"{1 - ratio:.0%} but the head commit carries "
+            f"{BUMP_MARKER}; gate overridden — refresh "
+            f"{args.gate_baseline} in this PR"
+        )
+        return 0
+    if regressed:
+        worst = sorted(cells.items(), key=lambda kv: kv[1]["ratio"])[:3]
+        for label, cell in worst:
+            print(
+                f"  {label}: {cell['baseline_kips']:.1f} -> "
+                f"{cell['measured_kips']:.1f} KIPS "
+                f"({cell['ratio']:.2f}x)",
+                file=sys.stderr,
+            )
+        print(
+            f"::error title=perf-gate::{backend} KIPS geomean is "
+            f"{1 - ratio:.0%} below {args.gate_baseline} (threshold "
+            f"{args.gate_threshold:.0%}); optimize, or refresh the "
+            f"baseline with a {BUMP_MARKER} commit",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def build_matrix():
@@ -112,7 +251,26 @@ def compare_to_baseline(ipc, baseline, drift):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--out", required=True,
+        "--gate", default=None, metavar="MEASURED.json",
+        help="compare a perf_bench measurement against the committed "
+             "per-backend baseline and fail on regression",
+    )
+    parser.add_argument(
+        "--gate-baseline", default=None, metavar="BENCH.json",
+        help="committed baseline for --gate (e.g. "
+             "benchmarks/BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--gate-threshold", type=float, default=0.25,
+        help="relative KIPS geomean regression that fails the gate "
+             "(default 0.25)",
+    )
+    parser.add_argument(
+        "--gate-out", default=None, metavar="VERDICT.json",
+        help="write the structured gate verdict here",
+    )
+    parser.add_argument(
+        "--out", default=None,
         help="output directory (store, telemetry, BENCH_ci.json)",
     )
     parser.add_argument(
@@ -137,6 +295,16 @@ def main(argv=None) -> int:
         help="write the measured IPC table to --baseline and exit",
     )
     args = parser.parse_args(argv)
+
+    if args.gate:
+        if not args.gate_baseline:
+            print("--gate requires --gate-baseline", file=sys.stderr)
+            return 3
+        return run_gate(args)
+    if not args.out:
+        print("--out is required (unless using --gate)",
+              file=sys.stderr)
+        return 3
 
     from repro.experiments.runner import (
         ExperimentSettings, quick_settings,

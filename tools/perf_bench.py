@@ -89,14 +89,29 @@ def build_cells(quick):
     return cells
 
 
-def measure_cell(config, trace, info, plan, repeat):
-    """Best-of-*repeat* wall time for one cold simulation."""
+def measure_cell(config, trace, info, plan, repeat,
+                 backend="reference", compiled=None):
+    """Best-of-*repeat* wall time for one cold simulation.
+
+    Construction happens outside the timer for both backends, so the
+    number is pure simulation throughput. The ``vector`` backend runs
+    straight off *compiled* packed columns (no ``DynInst`` objects).
+    """
     from repro.core.processor import Processor
+
+    if backend == "vector":
+        from repro.core.vector import VectorProcessor
+
+        def make():
+            return VectorProcessor(config, compiled)
+    else:
+        def make():
+            return Processor(config, trace, info)
 
     best = None
     result = None
     for _ in range(repeat):
-        processor = Processor(config, trace, info)
+        processor = make()
         started = time.perf_counter()
         result = processor.run(plan)
         wall = time.perf_counter() - started
@@ -108,7 +123,7 @@ def measure_cell(config, trace, info, plan, repeat):
         "wall_s": round(best, 6),
         "committed": result.committed,
         "cycles": result.cycles,
-    }
+    }, result
 
 
 def geomean(values):
@@ -130,6 +145,11 @@ def run_bench(args):
     started = time.perf_counter()
     trace = get_trace(args.benchmark, length, seed=0)
     info = compute_dependence_info(trace)
+    compiled = None
+    if args.backend == "vector":
+        from repro.trace.compiled import compile_trace
+
+        compiled = compile_trace(trace, dep_info=info)
     trace_prep = time.perf_counter() - started
     plan = SamplingPlan(
         (Segment(0, warm, timing=False),
@@ -153,24 +173,46 @@ def run_bench(args):
         label, config = next(iter(cells.items()))
         print(f"profiling {label} -> {args.profile}")
         cProfile.runctx(
-            "measure_cell(config, trace, info, plan, 1)",
+            "measure_cell(config, trace, info, plan, 1, backend, compiled)",
             {"measure_cell": measure_cell},
-            {"config": config, "trace": trace, "info": info, "plan": plan},
+            {"config": config, "trace": trace, "info": info, "plan": plan,
+             "backend": args.backend, "compiled": compiled},
             filename=args.profile,
         )
 
     measured = {}
+    parity_failures = []
     for label, config in cells.items():
-        measured[label] = measure_cell(
-            config, trace, info, plan, args.repeat
+        measured[label], result = measure_cell(
+            config, trace, info, plan, args.repeat,
+            backend=args.backend, compiled=compiled,
         )
         print(
             f"  {label:>16}: {measured[label]['kips']:8.1f} KIPS "
             f"({measured[label]['wall_s']:.3f}s)"
         )
+        if args.verify_parity and args.backend != "reference":
+            _, ref = measure_cell(config, trace, info, plan, 1)
+            bad = [
+                name for name in PARITY_FIELDS
+                if getattr(result, name) != getattr(ref, name)
+            ]
+            if bad:
+                parity_failures.append((label, bad))
+                print(f"  {label:>16}: PARITY FAILED "
+                      f"({', '.join(bad)})", file=sys.stderr)
+    if parity_failures:
+        raise SystemExit(
+            f"--verify-parity: {len(parity_failures)} cell(s) diverged "
+            f"from the reference backend"
+        )
+    if args.verify_parity and args.backend != "reference":
+        print(f"parity: {len(measured)} cells x {len(PARITY_FIELDS)} "
+              f"counters identical to the reference backend")
     return {
         "schema": 1,
         "benchmark": args.benchmark,
+        "backend": args.backend,
         "settings": {
             "warmup_instructions": warm,
             "timing_instructions": timed,
@@ -228,9 +270,9 @@ def run_observe_overhead(args):
         )
     config = cells[args.observe_cell]
 
-    disabled = measure_cell(config, trace, info, plan, args.repeat)
+    disabled, _ = measure_cell(config, trace, info, plan, args.repeat)
     attached_config = dataclasses.replace(config, observe=True)
-    attached = measure_cell(
+    attached, _ = measure_cell(
         attached_config, trace, info, plan, args.repeat
     )
     print(f"  {args.observe_cell} hooks-off: "
@@ -597,6 +639,15 @@ def attach_comparison(bench, before):
 
 def check_regression(bench, baseline, threshold):
     """Advisory trend gate: geomean over overlapping cells."""
+    bench_backend = bench.get("backend", "reference")
+    base_backend = baseline.get("backend", "reference")
+    if bench_backend != base_backend:
+        print(
+            f"baseline was measured on the {base_backend!r} backend "
+            f"but this run used {bench_backend!r}; skipping the trend "
+            f"gate (compare per-backend baselines instead)"
+        )
+        return True
     base_cells = baseline.get("cells", {})
     overlap = [
         (label, cell["kips"], base_cells[label]["kips"])
@@ -636,6 +687,15 @@ def main(argv=None):
                              "of the given substrings")
     parser.add_argument("--repeat", type=int, default=2,
                         help="passes per cell, best-of (default 2)")
+    parser.add_argument("--backend", default="reference",
+                        choices=("reference", "vector"),
+                        help="simulator core to measure (default "
+                             "reference); 'vector' runs the SoA core "
+                             "off packed CompiledTrace columns")
+    parser.add_argument("--verify-parity", action="store_true",
+                        help="after timing each cell, run it once on "
+                             "the reference backend and assert every "
+                             "parity counter is identical")
     parser.add_argument("--profile", default=None, metavar="OUT.prof",
                         help="cProfile the first cell into OUT.prof")
     parser.add_argument("--compare", default=None, metavar="BEFORE.json",

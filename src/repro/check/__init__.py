@@ -14,6 +14,9 @@ when detached, bit-identical results when attached):
 * :mod:`repro.check.fuzz` — a seeded metamorphic design-space
   explorer asserting the paper's cross-policy ordering relations,
   with failing-seed minimisation and a regression corpus.
+* :mod:`repro.check.elision` — differential soundness of the vector
+  backend's event-horizon: every elided cycle must be
+  schedulable-empty on the reference core.
 
 :mod:`repro.check.faults` seeds known bugs into a live processor so
 the self-test (``repro-experiments check selftest``) can prove each
@@ -22,6 +25,7 @@ together for the CLI and the test suite.
 """
 
 from repro.check.differential import DifferentialChecker
+from repro.check.elision import check_elision
 from repro.check.faults import FAULTS, fault_names
 from repro.check.fuzz import FuzzCell, fuzz, run_cell
 from repro.check.harness import CheckOutcome, check_benchmark, check_run, selftest
@@ -38,6 +42,7 @@ __all__ = [
     "InvariantChecker",
     "Violation",
     "check_benchmark",
+    "check_elision",
     "check_run",
     "fault_names",
     "fuzz",

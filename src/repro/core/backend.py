@@ -22,6 +22,17 @@ Selection precedence (first non-empty wins)::
 The ``vector`` backend transparently delegates to ``reference`` when a
 run needs per-instruction objects (observability, timeline, telemetry,
 or a split-window config) — see :func:`vector_limitation`.
+
+The vector core additionally runs with **event-horizon cycle elision**
+by default: when a cycle provably cannot schedule, complete, fetch or
+commit anything, the clock jumps straight to the next possible event
+and the skipped cycles are charged to the same stall causes the
+:class:`~repro.observe.stalls.StallAccountant` would report. Elision
+never changes results (every golden cell is bit-identical either way;
+``repro.check.elision`` verifies each elided cycle is
+schedulable-empty on the reference core). ``REPRO_VECTOR_ELIDE=0``
+forces the single-step walk for A/B debugging — see
+:func:`backend_capabilities`.
 """
 
 from __future__ import annotations
@@ -32,6 +43,11 @@ from typing import Callable, Dict, Optional, Tuple
 #: Environment variable consulted when neither an explicit argument nor
 #: ``config.backend`` selects a backend.
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment knob for the vector core's event-horizon elision:
+#: unset/``"1"`` elides provably-idle cycles, ``"0"`` forces the
+#: single-step walk (CI runs the golden-parity suite under both).
+ELIDE_ENV = "REPRO_VECTOR_ELIDE"
 
 DEFAULT_BACKEND = "reference"
 
@@ -89,6 +105,40 @@ def resolve_backend(
     if name not in _REGISTRY:
         raise UnknownBackendError(name)
     return name
+
+
+def backend_capabilities(name: str) -> Dict[str, object]:
+    """Feature flags for a registered backend (raises on unknown).
+
+    Keys:
+
+    ``objects``
+        Keeps per-instruction objects — required for observability,
+        timelines, telemetry and split-window configs.
+    ``compiled_columns``
+        Consumes packed ``CompiledTrace`` columns without ``DynInst``
+        materialization.
+    ``cycle_elision``
+        Supports event-horizon cycle elision, with the current
+        effective setting in ``elision_enabled`` (read from
+        :data:`ELIDE_ENV` at call time) and the knob name in
+        ``elision_env``.
+    """
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name)
+    if name == "vector":
+        return {
+            "objects": False,
+            "compiled_columns": True,
+            "cycle_elision": True,
+            "elision_enabled": os.environ.get(ELIDE_ENV, "1") != "0",
+            "elision_env": ELIDE_ENV,
+        }
+    return {
+        "objects": True,
+        "compiled_columns": False,
+        "cycle_elision": False,
+    }
 
 
 def vector_limitation(

@@ -21,8 +21,10 @@ arguments outright.
 
 from __future__ import annotations
 
+import bisect
 import gc
 import heapq
+import os
 from collections import deque
 from typing import Dict, List, Optional
 
@@ -48,7 +50,6 @@ from repro.core.processor import (
     _GATE_SYNC,
 )
 from repro.core.result import SimResult
-from repro.core.scheduler import FunctionalUnits
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import REG_ZERO
 from repro.memdep.store_sets import StoreSetPredictor
@@ -60,7 +61,32 @@ from repro.trace.compiled import CompiledTrace, _mask_bit, _op_table
 from repro.trace.dependences import DependenceInfo
 from repro.trace.sampling import SamplingPlan, make_sampling_plan
 
+try:  # optional: vectorized column decode (pure-Python fallback below)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-free environments
+    _np = None
+
 _TAKEN_MAP = (None, False, True)
+
+
+def _null_indices(mask: bytes, n: int) -> List[int]:
+    """Row indices set in a one-bit-per-row null bitmap (LSB-first)."""
+    if _np is not None:
+        bits = _np.unpackbits(
+            _np.frombuffer(mask, dtype=_np.uint8), bitorder="little"
+        )[:n]
+        return _np.nonzero(bits)[0].tolist()
+    out: List[int] = []
+    for bi, byte in enumerate(mask):
+        if not byte:
+            continue
+        base = bi << 3
+        for bit in range(8):
+            if byte & (1 << bit):
+                i = base + bit
+                if i < n:
+                    out.append(i)
+    return out
 
 
 def _class_table(ops, predicate) -> bytes:
@@ -79,8 +105,38 @@ class _Columns:
         "n", "name", "suite", "ops", "opb", "pc", "size", "addr",
         "value", "target", "taken", "dest_eff", "srcs_off", "srcs_flat",
         "is_load_b", "is_store_b", "branch_b", "mem_b", "fp_b",
-        "dep_of", "stale_of",
+        "dep_of", "stale_of", "prod_flat",
     )
+
+
+def _attach_producers(col: _Columns) -> None:
+    """Static rename: per source operand, the youngest older writer.
+
+    ``prod_flat[k]`` (parallel to ``srcs_flat``) is the youngest seq
+    before the consumer that writes the operand's register, or -1.
+    Because the window is a contiguous seq range and dispatch is
+    in-order, the recorded producer is the *window's* producer exactly
+    when it is still live — ``prod_flat[k] >= w_head`` — which replaces
+    the reference core's dynamically maintained rename map.
+    """
+    srcs_off = col.srcs_off
+    srcs_flat = col.srcs_flat
+    dest_eff = col.dest_eff
+    prod = [-1] * len(srcs_flat)
+    rename: Dict[int, int] = {}
+    get = rename.get
+    k = 0
+    for s in range(col.n):
+        hi = srcs_off[s + 1]
+        while k < hi:
+            src = srcs_flat[k]
+            if src != REG_ZERO:
+                prod[k] = get(src, -1)
+            k += 1
+        d = dest_eff[s]
+        if d >= 0:
+            rename[d] = s
+    col.prod_flat = prod
 
 
 def _columns_from_compiled(compiled: CompiledTrace) -> _Columns:
@@ -97,26 +153,26 @@ def _columns_from_compiled(compiled: CompiledTrace) -> _Columns:
     col.addr = compiled.addr.tolist()
     value = compiled.value.tolist()
     target = compiled.target.tolist()
-    dest = compiled.dest.tolist()
-    # Null masks: sparse per-byte walk (most bytes are 0x00 or 0xff).
-    for mask, out, null in (
-        (compiled.value_null, value, None),
-        (compiled.target_null, target, None),
+    # Null bitmaps decode whole-column (np.unpackbits + nonzero when
+    # numpy is present, a sparse per-byte walk otherwise).
+    for mask, out in (
+        (compiled.value_null, value),
+        (compiled.target_null, target),
     ):
-        for bi, byte in enumerate(mask):
-            if not byte:
-                continue
-            base = bi << 3
-            for bit in range(8):
-                if byte & (1 << bit):
-                    i = base + bit
-                    if i < n:
-                        out[i] = null
+        for i in _null_indices(mask, n):
+            out[i] = None
     # dest: None packs as 0 and REG_ZERO == 0; both mean "no register
     # result" to dispatch/commit/squash, so fold them to -1. (addr nulls
     # stay 0 — only memory ops read the addr column.)
-    col.dest_eff = [d if d else -1 for d in dest]
-    col.taken = [_TAKEN_MAP[b] for b in compiled.taken]
+    if _np is not None:
+        darr = _np.frombuffer(compiled.dest, dtype=_np.int64)
+        col.dest_eff = _np.where(darr == 0, -1, darr).tolist()
+        col.taken = _np.asarray(_TAKEN_MAP, dtype=object)[
+            _np.frombuffer(compiled.taken, dtype=_np.uint8)
+        ].tolist()
+    else:
+        col.dest_eff = [d if d else -1 for d in compiled.dest]
+        col.taken = [_TAKEN_MAP[b] for b in compiled.taken]
     col.srcs_off = compiled.srcs_off
     col.srcs_flat = compiled.srcs_flat.tolist()
     for column, table in compiled.overflow.items():
@@ -158,6 +214,7 @@ def _columns_from_compiled(compiled: CompiledTrace) -> _Columns:
     col.fp_b = col.opb.translate(
         _class_table(ops, lambda op: op.fp_class)
     )
+    _attach_producers(col)
     return col
 
 
@@ -214,6 +271,7 @@ def _columns_from_trace(trace) -> _Columns:
     col.fp_b = col.opb.translate(
         _class_table(ops, lambda op: op.fp_class)
     )
+    _attach_producers(col)
     return col
 
 
@@ -404,6 +462,9 @@ class VectorProcessor:
         config: ProcessorConfig,
         trace,
         dep_info: Optional[Dict[int, DependenceInfo]] = None,
+        *,
+        elide: Optional[bool] = None,
+        record_elisions: bool = False,
     ) -> None:
         if config.split.enabled:
             raise ValueError(
@@ -474,18 +535,42 @@ class VectorProcessor:
             config.latencies.latency(op) for op in col.ops
         ]
         self._issue_width = config.window.issue_width
+        self._fu_copies = config.window.fu_copies
+        self._memory_ports = config.window.memory_ports
         self._scan_budget = config.window.issue_width * 3
+        fetch_cfg = config.fetch
+        self._f_width = fetch_cfg.width
+        self._f_max_blocks = fetch_cfg.max_blocks_per_cycle
+        self._f_depth = fetch_cfg.front_end_depth
+        self._f_block_shift = config.icache.block_bytes.bit_length() - 1
+        self._f_hit_latency = config.icache.hit_latency
+
+        # Event-horizon elision: when a cycle provably schedules nothing,
+        # the clock jumps straight to the next possible event instead of
+        # walking one cycle at a time. The jump target is the same value
+        # the reference core's ``_advance_clock`` computes, so the
+        # simulated trajectory (and every counter) is identical either
+        # way; ``REPRO_VECTOR_ELIDE=0`` forces the single-step walk so CI
+        # can exercise both paths.
+        if elide is None:
+            from repro.core.backend import ELIDE_ENV
+
+            elide = os.environ.get(ELIDE_ENV, "1") != "0"
+        self._elide = bool(elide)
+        self._record_elisions = bool(record_elisions)
+        self.skipped_cycles = 0
+        self.elided_ranges: List = []
 
         n = col.n
         # Per-seq dynamic state (reference Entry fields). Allocated once
         # for the whole trace; a dispatch resets the slots it uses.
         self.serial = [0] * n
         self.sq = bytearray(n)        # squashed (current incarnation)
-        self.inw = bytearray(n)       # in window
         self.a_pend = [0] * n
         self.d_pend = [0] * n
         self.a_rdy = [0] * n
         self.d_rdy = [0] * n
+        self.rp_ref = [0] * n         # incarnation captured at rp push
         self.issue = [-1] * n         # issue_cycle
         self.agen = [-1] * n          # agen_done
         self.memc = [-1] * n          # mem_issue_cycle
@@ -498,7 +583,6 @@ class VectorProcessor:
         self.fwd = [-1] * n           # forwarded_from
         self.waiters = [None] * n     # [(waiter_seq, is_data, ref)]
         self.consumers = [None] * n if self.as_mode else None
-        self.producers = [None] * n if self._selective else None
         self.pred_dep = bytearray(n)
         self.barrier = bytearray(n)
         self.sync_syn = [-1] * n
@@ -537,6 +621,12 @@ class VectorProcessor:
             if was_enabled:
                 gc.enable()
         self._snapshot_caches(total)
+        # ``extra`` is excluded from golden fixtures and result-store
+        # keys, so elision telemetry never perturbs parity.
+        total.extra["skipped_cycles"] = self.skipped_cycles
+        total.extra["elide"] = 1 if self._elide else 0
+        if self._record_elisions:
+            total.extra["elided_ranges"] = list(self.elided_ranges)
         return total
 
     # ------------------------------------------------------------------
@@ -591,11 +681,13 @@ class VectorProcessor:
             suite=col.suite,
         )
         self.stats = stats
-        # window = contiguous seq range [w_head, w_head + w_count)
-        self.w_head = 0
+        # window = contiguous seq range [w_head, w_head + w_count).
+        # ``w_head`` starts at the segment base so the static-rename
+        # liveness test (``prod_flat[k] >= w_head``) rejects producers
+        # from earlier segments before the first dispatch.
+        self.w_head = start
         self.w_count = 0
         self.w_size = cfg.window.size
-        self.last_writer: Dict[int, int] = {}
         # fetch state
         self.f_pos = start
         self.f_stop = stop
@@ -605,7 +697,12 @@ class VectorProcessor:
         self.f_recent: dict = {}
         fetch_cfg = cfg.fetch
         self.f_cap = fetch_cfg.width * fetch_cfg.front_end_depth
-        self.funits = FunctionalUnits(cfg.window)
+        # Functional-unit accounting (FunctionalUnits inlined: four
+        # counters reset at the top of every cycle).
+        self.fu_issued = 0
+        self.fu_int = 0
+        self.fu_fp = 0
+        self.fu_ports = 0
         self.rp: List = []            # ready pool: (seq, ref) heap
         self.load_items: List = []    # mem pool: (seq, push_serial, ref)
         self.load_dead = 0
@@ -627,6 +724,11 @@ class VectorProcessor:
         self._event_serial = 0
         self._hint = -1
         self._progress = False
+        # Memoized memory scan: ``mem_dirty`` means state relevant to the
+        # memory-issue gates may have changed since the last no-progress
+        # scan; ``mem_wake`` is that scan's min unblock time (-1: none).
+        self.mem_dirty = True
+        self.mem_wake = -1
 
         start_cycle = self.cycle
         branch_unit = self.branch_unit
@@ -635,36 +737,430 @@ class VectorProcessor:
         )
 
         events = self._events
-        advance_clock = self._advance_clock
-        process_events = self._process_events
-        commit = self._commit
-        begin_cycle = self.funits.begin_cycle
+        rp = self.rp
         issue_memory = self._issue_memory
-        issue_exec = self._issue_exec
-        dispatch = self._dispatch
         fetch_tick = self._fetch_tick
         maybe_flush = self._maybe_flush_tables
+        on_complete = self._on_complete
+        on_store_write = self._on_store_write
+        on_load_dispatch = self._on_load_dispatch
+        on_store_dispatch = self._on_store_dispatch
+        do_store_nas = self._do_issue_store_nas
+        do_store_as = self._do_issue_store_agen_as
+        reset_entry = self._reset_entry
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        insort = bisect.insort
         buffer = self.f_buffer
+        write = self.write
+        comp = self.comp
+        serial = self.serial
+        sq = self.sq
+        in_rp = self.in_rp
+        rp_ref = self.rp_ref
+        a_pend = self.a_pend
+        d_pend = self.d_pend
+        a_rdy = self.a_rdy
+        d_rdy = self.d_rdy
+        spec = self.spec
+        fd_cls = self.fd_cls
+        fd_res = self.fd_res
+        fd_start = self.fd_start
+        sync_syn = self.sync_syn
+        sync_ws = self.sync_ws
+        sync_ws_ref = self.sync_ws_ref
+        issue = self.issue
+        agen = self.agen
+        in_mp = self.in_mp
+        lat = self.lat
+        waiters = self.waiters
+        addr_sched = self.addr_sched
+        store_sets = self.store_sets
+        det = self._det
+        is_store_b = col.is_store_b
+        is_load_b = col.is_load_b
+        branch_b = col.branch_b
+        fp_b = col.fp_b
+        opb = col.opb
+        srcs_off = col.srcs_off
+        prod_flat = col.prod_flat
+        ev_ready = _EV_READY
+        ev_complete = _EV_COMPLETE
+        ev_write = _EV_WRITE
+        issue_width = self._issue_width
+        scan_budget = self._scan_budget
+        fu_copies = self._fu_copies
+        memory_ports = self._memory_ports
+        w_size = self.w_size
+        f_cap = self.f_cap
+        f_stop = self.f_stop
+        elide = self._elide
+        as_mode = self.as_mode
+        record = self.elided_ranges if self._record_elisions else None
+        has_tables = (
+            self.predictor is not None
+            or self.mdpt is not None
+            or self.store_sets is not None
+        )
+        cycle = self.cycle
+        # Commit-side counters accumulate in locals for the whole
+        # segment and flush into ``stats`` once, after the loop.
+        c_committed = 0
+        c_loads = 0
+        c_stores = 0
+        c_branches = 0
+        c_spec = 0
+        c_fd_false = 0
+        c_fd_lat = 0
+        c_fd_true = 0
 
         while True:
             if (
-                not buffer and self.f_pos >= self.f_stop
+                not buffer and self.f_pos >= f_stop
                 and not self.w_count and not events
             ):
                 break
-            advance_clock()
-            process_events()
-            commit()
-            begin_cycle(self.cycle)
-            issue_memory()
-            issue_exec()
-            dispatch()
-            if fetch_tick(self.cycle):
+            # -- advance clock (the event horizon) ----------------------
+            if self._progress or rp:
+                self._progress = False
+                cycle += 1
+            else:
+                best = self._hint
+                self._hint = -1
+                if events:
+                    when = events[0][0]
+                    if best < 0 or when < best:
+                        best = when
+                if buffer:
+                    when = buffer[0][1]
+                    if best < 0 or when < best:
+                        best = when
+                if (
+                    self.f_wait < 0
+                    and self.f_pos < f_stop
+                    and len(buffer) < f_cap
+                ):
+                    when = self.f_stalled
+                    if best < 0 or when < best:
+                        best = when
+                if best < 0:
+                    self.cycle = cycle
+                    raise SimulationStuck(
+                        f"no progress possible at cycle {cycle} "
+                        f"(window={self.w_count}, "
+                        f"loads={len(self.load_items) - self.load_dead}, "
+                        f"writes={len(self.swp_items) - self.swp_dead})"
+                    )
+                nxt = cycle + 1
+                if best > nxt:
+                    if elide:
+                        self.skipped_cycles += best - nxt
+                        if record is not None:
+                            record.append((nxt, best))
+                        cycle = best
+                    else:
+                        cycle = nxt
+                else:
+                    cycle = nxt
+            self.cycle = cycle
+            # -- events (inlined _process_events) -----------------------
+            if events and events[0][0] <= cycle:
+                while events and events[0][0] <= cycle:
+                    ev = heappop(events)
+                    s = ev[3]
+                    if ev[4] != serial[s] or sq[s]:
+                        continue
+                    kind = ev[2]
+                    if kind == ev_ready:
+                        if not in_rp[s]:
+                            in_rp[s] = 1
+                            rp_ref[s] = serial[s]
+                            heappush(rp, s)
+                    elif kind == ev_complete:
+                        on_complete(s)
+                    elif kind == ev_write:
+                        on_store_write(s)
+                    else:  # _EV_POST
+                        self._progress = True
+                self.mem_dirty = True
+            # -- commit (inlined) ---------------------------------------
+            if self.w_count:
+                h = self.w_head
+                done = write[h] if is_store_b[h] else comp[h]
+                if 0 <= done <= cycle:
+                    budget = issue_width
+                    w_count = self.w_count
+                    while True:
+                        self.w_head = h + 1
+                        w_count -= 1
+                        budget -= 1
+                        c_committed += 1
+                        if is_load_b[h]:
+                            c_loads += 1
+                            if spec[h]:
+                                c_spec += 1
+                            cls = fd_cls[h]
+                            if cls == 1:
+                                c_fd_false += 1
+                                if fd_res[h] >= 0:
+                                    c_fd_lat += fd_res[h] - fd_start[h]
+                            elif cls == 2:
+                                c_fd_true += 1
+                        elif is_store_b[h]:
+                            c_stores += 1
+                            det.pop(h, None)
+                            syn = sync_syn[h]
+                            if syn != -1:
+                                producers = self._syn.get(syn)
+                                if producers:
+                                    rec = (h, serial[h])
+                                    if rec in producers:
+                                        producers.remove(rec)
+                                        if not producers:
+                                            del self._syn[syn]
+                            if addr_sched is not None:
+                                addr_sched.remove_store(h)
+                            if store_sets is not None:
+                                self._sset_store_retired(h)
+                        elif branch_b[h]:
+                            c_branches += 1
+                        if not budget or not w_count:
+                            break
+                        h += 1
+                        done = write[h] if is_store_b[h] else comp[h]
+                        if done < 0 or done > cycle:
+                            break
+                    self.w_count = w_count
+                    self._progress = True
+                    if as_mode:
+                        # Retiring a store removes it from the address
+                        # scheduler, which can open an AS load gate; no
+                        # NAS gate reads anything commit touches.
+                        self.mem_dirty = True
+            self.fu_ports = 0
+            if self.mem_dirty or 0 <= self.mem_wake <= cycle:
+                issue_memory()
+            else:
+                # The skipped scan would have re-merged its (unchanged)
+                # local unblock hint into ``_hint`` — do just that merge
+                # so the horizon matches the reference core exactly.
+                when = self.mem_wake
+                if when >= 0:
+                    best = self._hint
+                    if best < 0 or when < best:
+                        self._hint = when
+            # -- issue (inlined _issue_exec) ----------------------------
+            if rp:
+                scans = scan_budget
+                deferred = []
+                ie_progress = False
+                issued = 0
+                fu_int = 0
+                fu_fp = 0
+                while issued < issue_width and scans:
+                    scans -= 1
+                    s = -1
+                    while rp:
+                        t = heappop(rp)
+                        if rp_ref[t] != serial[t] or not in_rp[t]:
+                            continue
+                        in_rp[t] = 0
+                        if sq[t]:
+                            continue
+                        s = t
+                        break
+                    if s < 0:
+                        break
+                    nas_store = is_store_b[s] and not as_mode
+                    if nas_store:
+                        if a_pend[s] or d_pend[s]:
+                            continue
+                        ready_at = a_rdy[s]
+                        if d_rdy[s] > ready_at:
+                            ready_at = d_rdy[s]
+                    elif a_pend[s]:
+                        continue
+                    else:
+                        ready_at = a_rdy[s]
+                    if ready_at > cycle:
+                        es = self._event_serial + 1
+                        self._event_serial = es
+                        heappush(
+                            events,
+                            (ready_at, es, ev_ready, s, serial[s]),
+                        )
+                        continue
+                    uses_fp = fp_b[s]
+                    if (fu_fp if uses_fp else fu_int) >= fu_copies:
+                        deferred.append(s)
+                        continue
+                    if nas_store:
+                        ws = sync_ws[s]
+                        if (
+                            ws >= 0
+                            and sync_ws_ref[s] == serial[ws]
+                            and not sq[ws]
+                            and issue[ws] < 0
+                        ):
+                            deferred.append(s)
+                            continue
+                        if self.fu_ports >= memory_ports:
+                            deferred.append(s)
+                            continue
+                        issued += 1
+                        if uses_fp:
+                            fu_fp += 1
+                        else:
+                            fu_int += 1
+                        self.fu_ports += 1
+                        do_store_nas(s)
+                    else:
+                        issued += 1
+                        if uses_fp:
+                            fu_fp += 1
+                        else:
+                            fu_int += 1
+                        if is_store_b[s]:
+                            do_store_as(s)
+                        elif is_load_b[s]:
+                            issue[s] = cycle
+                            done = cycle + 1
+                            agen[s] = done
+                            if not in_mp[s]:
+                                in_mp[s] = 1
+                                mps = self._mp_serial + 1
+                                self._mp_serial = mps
+                                li = self.load_items
+                                if not li or s > li[-1][0]:
+                                    li.append((s, mps, serial[s]))
+                                else:
+                                    insort(li, (s, mps, serial[s]))
+                                self.load_live = None
+                            best = self._hint
+                            if best < 0 or done < best:
+                                self._hint = done
+                        else:
+                            issue[s] = cycle
+                            done = cycle + lat[opb[s]]
+                            comp[s] = done
+                            es = self._event_serial + 1
+                            self._event_serial = es
+                            heappush(
+                                events,
+                                (done, es, ev_complete, s, serial[s]),
+                            )
+                    ie_progress = True
+                if deferred:
+                    for s in deferred:
+                        in_rp[s] = 1
+                        rp_ref[s] = serial[s]
+                        heappush(rp, s)
+                    ie_progress = True
+                if ie_progress:
+                    self._progress = True
+                    self.mem_dirty = True
+            # -- dispatch (inlined) -------------------------------------
+            if (
+                buffer and self.w_count < w_size
+                and buffer[0][1] <= cycle
+            ):
+                budget = issue_width
+                w_count = self.w_count
+                while budget and w_count < w_size and buffer:
+                    rec = buffer[0]
+                    if rec[1] > cycle:
+                        break
+                    buffer.popleft()
+                    s = rec[0]
+                    ser = serial[s] + 1
+                    serial[s] = ser
+                    sq[s] = 0
+                    a_rdy[s] = cycle
+                    d_rdy[s] = cycle
+                    if ser > 1:
+                        reset_entry(s)
+                    is_store = is_store_b[s]
+                    lo = srcs_off[s]
+                    hi = srcs_off[s + 1]
+                    ap = 0
+                    dp = 0
+                    w_head = self.w_head
+                    for k in range(lo, hi):
+                        p = prod_flat[k]
+                        if p < w_head:
+                            continue
+                        is_data = bool(is_store) and k == lo + 1
+                        pdone = comp[p]
+                        if pdone >= 0:
+                            if is_data:
+                                if pdone > d_rdy[s]:
+                                    d_rdy[s] = pdone
+                            elif pdone > a_rdy[s]:
+                                a_rdy[s] = pdone
+                        else:
+                            wl = waiters[p]
+                            if wl is None:
+                                waiters[p] = [(s, is_data, ser)]
+                            else:
+                                wl.append((s, is_data, ser))
+                            if is_data:
+                                dp += 1
+                            else:
+                                ap += 1
+                    a_pend[s] = ap
+                    d_pend[s] = dp
+                    if not w_count:
+                        self.w_head = s
+                    w_count += 1
+                    self.w_count = w_count
+                    budget -= 1
+                    self._progress = True
+                    if is_load_b[s]:
+                        on_load_dispatch(s)
+                    elif is_store:
+                        on_store_dispatch(s)
+                    # _maybe_ready for a fresh entry (issue < 0, not in
+                    # the ready pool), inlined:
+                    if is_store and not as_mode:
+                        if ap or dp:
+                            continue
+                        ready_at = a_rdy[s]
+                        if d_rdy[s] > ready_at:
+                            ready_at = d_rdy[s]
+                    else:
+                        if ap:
+                            continue
+                        ready_at = a_rdy[s]
+                    if ready_at <= cycle:
+                        in_rp[s] = 1
+                        rp_ref[s] = ser
+                        heappush(rp, s)
+                    else:
+                        es = self._event_serial + 1
+                        self._event_serial = es
+                        heappush(
+                            events, (ready_at, es, ev_ready, s, ser)
+                        )
+            if (
+                self.f_wait < 0
+                and cycle >= self.f_stalled
+                and self.f_pos < f_stop
+                and len(buffer) < f_cap
+                and fetch_tick(cycle)
+            ):
                 self._progress = True
-            if self.cycle >= self._next_flush:
+            if has_tables and cycle >= self._next_flush:
                 maybe_flush()
 
         stats.cycles = self.cycle - start_cycle
+        stats.committed += c_committed
+        stats.committed_loads += c_loads
+        stats.committed_stores += c_stores
+        stats.committed_branches += c_branches
+        stats.speculative_loads += c_spec
+        stats.false_dependence_loads += c_fd_false
+        stats.false_dependence_latency += c_fd_lat
+        stats.true_dependence_loads += c_fd_true
         stats.branch_predictions = (
             branch_unit.predictions - branch_stats_base[0]
         )
@@ -676,40 +1172,6 @@ class VectorProcessor:
 
     # -- clock ---------------------------------------------------------
 
-    def _advance_clock(self) -> None:
-        if self._progress or self.rp:
-            self._progress = False
-            self.cycle += 1
-            return
-        best = self._hint
-        self._hint = -1
-        if self._events:
-            when = self._events[0][0]
-            if best < 0 or when < best:
-                best = when
-        buffer = self.f_buffer
-        if buffer:
-            nxt = buffer[0][1]
-            if best < 0 or nxt < best:
-                best = nxt
-        if (
-            self.f_wait < 0
-            and self.f_pos < self.f_stop
-            and len(buffer) < self.f_cap
-        ):
-            when = self.f_stalled
-            if best < 0 or when < best:
-                best = when
-        if best < 0:
-            raise SimulationStuck(
-                f"no progress possible at cycle {self.cycle} "
-                f"(window={self.w_count}, "
-                f"loads={len(self.load_items) - self.load_dead}, "
-                f"writes={len(self.swp_items) - self.swp_dead})"
-            )
-        nxt_cycle = self.cycle + 1
-        self.cycle = best if best > nxt_cycle else nxt_cycle
-
     def _schedule(self, cycle: int, kind: int, seq: int) -> None:
         self._event_serial += 1
         heapq.heappush(
@@ -719,27 +1181,6 @@ class VectorProcessor:
 
     # -- events --------------------------------------------------------
 
-    def _process_events(self) -> None:
-        events = self._events
-        if not events or events[0][0] > self.cycle:
-            return
-        cycle = self.cycle
-        pop = heapq.heappop
-        serial = self.serial
-        sq = self.sq
-        while events and events[0][0] <= cycle:
-            _, _, kind, seq, ref = pop(events)
-            if ref != serial[seq] or sq[seq]:
-                continue
-            if kind == _EV_READY:
-                self._rp_push(seq)
-            elif kind == _EV_COMPLETE:
-                self._on_complete(seq)
-            elif kind == _EV_WRITE:
-                self._on_store_write(seq)
-            elif kind == _EV_POST:
-                self._progress = True
-
     def _on_complete(self, seq: int) -> None:
         done = self.comp[seq]
         if done >= 0 and done > self.cycle:
@@ -748,13 +1189,21 @@ class VectorProcessor:
         self.execd[seq] = 1
         waiters = self.waiters[seq]
         if waiters:
+            cycle = self.cycle
             serial = self.serial
             sq = self.sq
             d_pend = self.d_pend
             a_pend = self.a_pend
             d_rdy = self.d_rdy
             a_rdy = self.a_rdy
-            maybe_ready = self._maybe_ready
+            issue = self.issue
+            in_rp = self.in_rp
+            rp_ref = self.rp_ref
+            rp = self.rp
+            heappush = heapq.heappush
+            is_store_b = self.col.is_store_b
+            as_mode = self.as_mode
+            schedule = self._schedule
             for wseq, is_data, wref in waiters:
                 if wref != serial[wseq] or sq[wseq]:
                     continue
@@ -766,7 +1215,39 @@ class VectorProcessor:
                     a_pend[wseq] -= 1
                     if done > a_rdy[wseq]:
                         a_rdy[wseq] = done
-                maybe_ready(wseq)
+                # Wakeup check, fused (was _maybe_ready): decide whether
+                # this waiter is now fully ready and push/schedule it.
+                if issue[wseq] >= 0 or in_rp[wseq]:
+                    # Already issued (or queued): only the AS store
+                    # data-arrival path can still matter here.
+                    if (
+                        as_mode and is_store_b[wseq]
+                        and self.agen[wseq] >= 0
+                        and not d_pend[wseq]
+                        and not self.in_mp[wseq]
+                        and self.write[wseq] < 0
+                    ):
+                        if self._mp_push(self.swp_items, wseq):
+                            self.swp_live = None
+                        self._progress = True
+                    continue
+                if is_store_b[wseq] and not as_mode:
+                    if a_pend[wseq] or d_pend[wseq]:
+                        continue
+                    ready_at = a_rdy[wseq]
+                    if d_rdy[wseq] > ready_at:
+                        ready_at = d_rdy[wseq]
+                else:
+                    if a_pend[wseq]:
+                        continue
+                    ready_at = a_rdy[wseq]
+                if ready_at <= cycle:
+                    # _rp_push with the in_rp/sq guards pre-satisfied.
+                    in_rp[wseq] = 1
+                    rp_ref[wseq] = wref
+                    heappush(rp, wseq)
+                else:
+                    schedule(ready_at, _EV_READY, wseq)
             if self.as_mode:
                 consumers = self.consumers[seq]
                 if consumers:
@@ -883,33 +1364,16 @@ class VectorProcessor:
     # -- squash --------------------------------------------------------
 
     def _window_squash_from(self, seq: int) -> int:
-        """Flag entries with seq >= *seq* squashed; returns the count."""
-        sq = self.sq
-        inw = self.inw
-        dest_eff = self.col.dest_eff
-        last_writer = self.last_writer
-        tail = self.w_head + self.w_count - 1
-        dirty = None
-        for s in range(tail, seq - 1, -1):
-            sq[s] = 1
-            inw[s] = 0
-            d = dest_eff[s]
-            if d >= 0 and last_writer.get(d) == s:
-                del last_writer[d]
-                if dirty is None:
-                    dirty = set()
-                dirty.add(d)
-        count = tail - seq + 1
+        """Flag entries with seq >= *seq* squashed; returns the count.
+
+        No rename-map repair is needed: producers come from the static
+        ``prod_flat`` column, whose liveness test (``p >= w_head``) is
+        unaffected by squashing the window tail.
+        """
+        tail = self.w_head + self.w_count
+        self.sq[seq:tail] = b"\x01" * (tail - seq)
         self.w_count = seq - self.w_head
-        if dirty:
-            for s in range(seq - 1, self.w_head - 1, -1):
-                d = dest_eff[s]
-                if d in dirty:
-                    last_writer[d] = s
-                    dirty.discard(d)
-                    if not dirty:
-                        break
-        return count
+        return tail - seq
 
     def _syn_squash(self, from_seq: int) -> None:
         syn = self._syn
@@ -984,7 +1448,8 @@ class VectorProcessor:
         comp = self.comp
         write = self.write
         issue = self.issue
-        producers = self.producers
+        srcs_off = col.srcs_off
+        prod_flat = col.prod_flat
         new_complete: Dict[int, int] = {}
         reexecuted = 0
 
@@ -999,13 +1464,16 @@ class VectorProcessor:
         a_rdy = self.a_rdy
         d_rdy = self.d_rdy
         sq = self.sq
-        for s in range(self.w_head, self.w_head + self.w_count):
+        w_head = self.w_head
+        for s in range(w_head, w_head + self.w_count):
             if s <= ls or sq[s]:
                 continue
             bump = 0
-            prods = producers[s]
-            if prods:
-                for p in prods:
+            for k in range(srcs_off[s], srcs_off[s + 1]):
+                p = prod_flat[k]
+                # Live producers only; committed ones cannot be in
+                # ``new_complete`` (its keys are window entries > ls).
+                if p >= w_head:
                     when = new_complete.get(p)
                     if when is not None and when > bump:
                         bump = when
@@ -1035,69 +1503,6 @@ class VectorProcessor:
 
     # -- commit --------------------------------------------------------
 
-    def _commit(self) -> None:
-        if not self.w_count:
-            return
-        stats = self.stats
-        budget = self._issue_width
-        cycle = self.cycle
-        col = self.col
-        is_load_b = col.is_load_b
-        is_store_b = col.is_store_b
-        branch_b = col.branch_b
-        dest_eff = col.dest_eff
-        comp = self.comp
-        write = self.write
-        last_writer = self.last_writer
-        committed = 0
-        while budget and self.w_count:
-            h = self.w_head
-            done = write[h] if is_store_b[h] else comp[h]
-            if done < 0 or done > cycle:
-                break
-            self.w_head = h + 1
-            self.w_count -= 1
-            self.inw[h] = 0
-            d = dest_eff[h]
-            if d >= 0 and last_writer.get(d) == h:
-                del last_writer[d]
-            budget -= 1
-            committed += 1
-            if is_load_b[h]:
-                stats.committed_loads += 1
-                if self.spec[h]:
-                    stats.speculative_loads += 1
-                cls = self.fd_cls[h]
-                if cls == 1:
-                    stats.false_dependence_loads += 1
-                    if self.fd_res[h] >= 0:
-                        stats.false_dependence_latency += (
-                            self.fd_res[h] - self.fd_start[h]
-                        )
-                elif cls == 2:
-                    stats.true_dependence_loads += 1
-            elif is_store_b[h]:
-                stats.committed_stores += 1
-                self._det.pop(h, None)
-                syn = self.sync_syn[h]
-                if syn != -1:
-                    producers = self._syn.get(syn)
-                    if producers:
-                        rec = (h, self.serial[h])
-                        if rec in producers:
-                            producers.remove(rec)
-                            if not producers:
-                                del self._syn[syn]
-                if self.addr_sched is not None:
-                    self.addr_sched.remove_store(h)
-                if self.store_sets is not None:
-                    self._sset_store_retired(h)
-            elif branch_b[h]:
-                stats.committed_branches += 1
-        if committed:
-            stats.committed += committed
-            self._progress = True
-
     def _sset_store_retired(self, seq: int) -> None:
         predictor = self.store_sets
         ssid = predictor.ssid_of(self.col.pc[seq])
@@ -1114,113 +1519,30 @@ class VectorProcessor:
 
     # -- dispatch ------------------------------------------------------
 
-    def _dispatch(self) -> None:
-        capacity = self.w_size
-        occupancy = self.w_count
-        if occupancy >= capacity:
-            return
-        buffer = self.f_buffer
-        maybe_ready = self._maybe_ready
-        budget = self._issue_width
-        cycle = self.cycle
-        is_load_b = self.col.is_load_b
-        is_store_b = self.col.is_store_b
-        while budget and occupancy < capacity:
-            if not buffer or buffer[0][1] > cycle:
-                break
-            s = buffer.popleft()[0]
-            occupancy += 1
-            self._dispatch_entry(s, cycle)
-            budget -= 1
-            self._progress = True
-            if is_load_b[s]:
-                self._on_load_dispatch(s)
-            elif is_store_b[s]:
-                self._on_store_dispatch(s)
-            maybe_ready(s)
-
-    def _dispatch_entry(self, s: int, cycle: int) -> None:
-        ser = self.serial[s] + 1
-        self.serial[s] = ser
-        self.sq[s] = 0
-        self.inw[s] = 1
-        self.a_rdy[s] = cycle
-        self.d_rdy[s] = cycle
-        if ser > 1:
-            # Re-dispatch after a squash: restore Entry defaults.
-            self.a_pend[s] = 0
-            self.d_pend[s] = 0
-            self.issue[s] = -1
-            self.agen[s] = -1
-            self.memc[s] = -1
-            self.comp[s] = -1
-            self.write[s] = -1
-            self.execd[s] = 0
-            self.in_rp[s] = 0
-            self.in_mp[s] = 0
-            self.spec[s] = 0
-            self.fwd[s] = -1
-            self.waiters[s] = None
-            if self.consumers is not None:
-                self.consumers[s] = None
-            if self.producers is not None:
-                self.producers[s] = None
-            self.pred_dep[s] = 0
-            self.barrier[s] = 0
-            self.sync_syn[s] = -1
-            self.sync_ws[s] = -1
-            self.fd_start[s] = -1
-            self.fd_cls[s] = 0
-            self.fd_res[s] = -1
-        col = self.col
-        srcs_off = col.srcs_off
-        srcs_flat = col.srcs_flat
-        last_writer = self.last_writer
-        is_store = col.is_store_b[s]
-        lo = srcs_off[s]
-        hi = srcs_off[s + 1]
-        producers = self.producers
-        comp = self.comp
-        waiters = self.waiters
-        for k in range(lo, hi):
-            src = srcs_flat[k]
-            if src == REG_ZERO:
-                continue
-            is_data = bool(is_store) and k == lo + 1
-            p = last_writer.get(src)
-            if p is None:
-                # The rename map never holds squashed producers: commit
-                # and squash-repair both maintain that invariant.
-                continue
-            if producers is not None:
-                plist = producers[s]
-                if plist is None:
-                    producers[s] = [p]
-                else:
-                    plist.append(p)
-            pdone = comp[p]
-            if pdone >= 0:
-                if is_data:
-                    if pdone > self.d_rdy[s]:
-                        self.d_rdy[s] = pdone
-                elif pdone > self.a_rdy[s]:
-                    self.a_rdy[s] = pdone
-            else:
-                wl = waiters[p]
-                if wl is None:
-                    waiters[p] = [(s, is_data, ser)]
-                else:
-                    wl.append((s, is_data, ser))
-                if is_data:
-                    self.d_pend[s] += 1
-                else:
-                    self.a_pend[s] += 1
-        d = col.dest_eff[s]
-        if d >= 0:
-            last_writer[d] = s
-        if not self.w_count:
-            self.w_head = s
-        self.w_count += 1
+    def _reset_entry(self, s: int) -> None:
+        """Re-dispatch after a squash: restore Entry defaults."""
+        self.a_pend[s] = 0
+        self.d_pend[s] = 0
+        self.issue[s] = -1
+        self.agen[s] = -1
+        self.memc[s] = -1
+        self.comp[s] = -1
+        self.write[s] = -1
+        self.execd[s] = 0
+        self.in_rp[s] = 0
+        self.in_mp[s] = 0
+        self.spec[s] = 0
+        self.fwd[s] = -1
+        self.waiters[s] = None
+        if self.consumers is not None:
+            self.consumers[s] = None
+        self.pred_dep[s] = 0
+        self.barrier[s] = 0
+        self.sync_syn[s] = -1
+        self.sync_ws[s] = -1
+        self.fd_start[s] = -1
+        self.fd_cls[s] = 0
+        self.fd_res[s] = -1
 
     def _on_load_dispatch(self, s: int) -> None:
         ds = self.col.dep_of[s]
@@ -1304,26 +1626,16 @@ class VectorProcessor:
     # -- readiness -----------------------------------------------------
 
     def _rp_push(self, s: int) -> None:
+        # The ready pool is a plain int heap: the incarnation that pushed
+        # is captured in ``rp_ref`` instead of a tuple. Two records for
+        # the same seq can coexist after a squash + re-dispatch; the pop
+        # consumes exactly one (the duplicate skips on ``in_rp``), at the
+        # same heap position equal keys would occupy either way.
         if self.in_rp[s] or self.sq[s]:
             return
         self.in_rp[s] = 1
-        heapq.heappush(self.rp, (s, self.serial[s]))
-
-    def _rp_pop(self) -> int:
-        rp = self.rp
-        serial = self.serial
-        in_rp = self.in_rp
-        sq = self.sq
-        while rp:
-            s, ref = heapq.heappop(rp)
-            if ref != serial[s]:
-                # Stale record of a prior incarnation; the flag belongs
-                # to the current one — leave it alone.
-                continue
-            in_rp[s] = 0
-            if not sq[s]:
-                return s
-        return -1
+        self.rp_ref[s] = self.serial[s]
+        heapq.heappush(self.rp, s)
 
     def _mp_push(self, items: List, s: int) -> bool:
         """Push *s* onto a mem pool. Returns True if pushed."""
@@ -1385,130 +1697,7 @@ class VectorProcessor:
                 self.swp_dead += 1
                 self.swp_live = None
 
-    def _maybe_ready(self, s: int) -> None:
-        if self.issue[s] >= 0 or self.in_rp[s]:
-            if (
-                self.col.is_store_b[s] and self.as_mode
-                and self.agen[s] >= 0
-                and not self.d_pend[s]
-                and not self.in_mp[s]
-                and self.write[s] < 0
-            ):
-                if self._mp_push(self.swp_items, s):
-                    self.swp_live = None
-                self._progress = True
-            return
-        if self.col.is_store_b[s] and not self.as_mode:
-            if self.a_pend[s] or self.d_pend[s]:
-                return
-            ready_at = self.a_rdy[s]
-            if self.d_rdy[s] > ready_at:
-                ready_at = self.d_rdy[s]
-        else:
-            if self.a_pend[s]:
-                return
-            ready_at = self.a_rdy[s]
-        if ready_at <= self.cycle:
-            self._rp_push(s)
-        else:
-            self._schedule(ready_at, _EV_READY, s)
-
     # -- issue ---------------------------------------------------------
-
-    def _issue_exec(self) -> None:
-        funits = self.funits
-        if not self.rp:
-            return
-        cycle = self.cycle
-        as_mode = self.as_mode
-        pop = self._rp_pop
-        can_issue = funits.can_issue_unit
-        take_issue = funits.take_issue_unit
-        col = self.col
-        is_store_b = col.is_store_b
-        is_load_b = col.is_load_b
-        fp_b = col.fp_b
-        a_pend = self.a_pend
-        d_pend = self.d_pend
-        a_rdy = self.a_rdy
-        d_rdy = self.d_rdy
-        deferred: List[int] = []
-        progress = False
-        scans = self._scan_budget
-        issue_width = funits._issue_width
-        while funits._issued < issue_width and scans:
-            scans -= 1
-            s = pop()
-            if s < 0:
-                break
-            nas_store = is_store_b[s] and not as_mode
-            if nas_store:
-                if a_pend[s] or d_pend[s]:
-                    continue
-                ready_at = a_rdy[s]
-                if d_rdy[s] > ready_at:
-                    ready_at = d_rdy[s]
-            elif a_pend[s]:
-                continue
-            else:
-                ready_at = a_rdy[s]
-            if ready_at > cycle:
-                self._schedule(ready_at, _EV_READY, s)
-                continue
-            uses_fp = fp_b[s]
-            if not can_issue(uses_fp):
-                deferred.append(s)
-                continue
-            if nas_store:
-                ws = self.sync_ws[s]
-                if (
-                    ws >= 0
-                    and self.sync_ws_ref[s] == self.serial[ws]
-                    and not self.sq[ws]
-                    and self.issue[ws] < 0
-                ):
-                    deferred.append(s)
-                    continue
-                if not funits.can_access_memory():
-                    deferred.append(s)
-                    continue
-                take_issue(uses_fp)
-                funits.take_port()
-                self._do_issue_store_nas(s)
-            elif is_store_b[s]:
-                take_issue(uses_fp)
-                self._do_issue_store_agen_as(s)
-            elif is_load_b[s]:
-                take_issue(uses_fp)
-                self._do_issue_load_agen(s)
-            else:
-                take_issue(uses_fp)
-                self._do_issue_alu(s)
-            progress = True
-        if deferred:
-            push = self._rp_push
-            for s in deferred:
-                push(s)
-            progress = True
-        if progress:
-            self._progress = True
-
-    def _do_issue_alu(self, s: int) -> None:
-        cycle = self.cycle
-        self.issue[s] = cycle
-        done = cycle + self.lat[self.col.opb[s]]
-        self.comp[s] = done
-        self._schedule(done, _EV_COMPLETE, s)
-
-    def _do_issue_load_agen(self, s: int) -> None:
-        cycle = self.cycle
-        self.issue[s] = cycle
-        done = cycle + 1
-        self.agen[s] = done
-        if self._mp_push(self.load_items, s):
-            self.load_live = None
-        if self._hint < 0 or done < self._hint:
-            self._hint = done
 
     def _do_issue_store_nas(self, s: int) -> None:
         cycle = self.cycle
@@ -1553,13 +1742,19 @@ class VectorProcessor:
         else:
             candidates = loads
         if not candidates:
+            self.mem_wake = -1
+            self.mem_dirty = False
             return
-        funits = self.funits
         cycle = self.cycle
         kind = self._gate_kind
-        hint = self._hint
+        # ``wake`` collects only this scan's own unblock times; it is
+        # merged into ``_hint`` at the end (same min the reference's
+        # seeded write-back computes) and kept as the standing wake time
+        # for the skip guard in the main loop.
+        wake = -1
         progress = False
-        ports_left = funits.ports_left
+        blocked_tail = -1
+        ports_left = self._memory_ports - self.fu_ports
         if kind == _GATE_ALL_STORES or kind == _GATE_PREDICTED:
             blocked_from = self.unexec_stores.oldest()
         elif kind == _GATE_BARRIER:
@@ -1581,11 +1776,10 @@ class VectorProcessor:
                 if a > ready:
                     ready = a
                 if ready > cycle:
-                    if hint < 0 or ready < hint:
-                        hint = ready
+                    if wake < 0 or ready < wake:
+                        wake = ready
                     continue
                 ports_left -= 1
-                funits.take_port()
                 self._mp_remove("swp", s)
                 wc = cycle + 1
                 self.write[s] = wc
@@ -1600,16 +1794,18 @@ class VectorProcessor:
             # -- loads: the policy gate, inlined -----------------------
             a = agen[s]
             if a < 0 or a > cycle:
-                if a >= 0 and (hint < 0 or a < hint):
-                    hint = a
+                if a >= 0 and (wake < 0 or a < wake):
+                    wake = a
                 continue
             if kind == _GATE_OPEN:
                 pass
             elif kind == _GATE_ALL_STORES:
                 if blocked_from is not None and blocked_from < s:
-                    if fd_start[s] < 0:
-                        note_fd_wait(s)
-                    continue
+                    # The gate is global: every younger candidate is
+                    # blocked by the same oldest store. Finish them in
+                    # the cheap tail pass below.
+                    blocked_tail = s
+                    break
             elif kind == _GATE_PREDICTED:
                 if (
                     self.pred_dep[s]
@@ -1621,9 +1817,8 @@ class VectorProcessor:
                     continue
             elif kind == _GATE_BARRIER:
                 if blocked_from is not None and blocked_from < s:
-                    if fd_start[s] < 0:
-                        note_fd_wait(s)
-                    continue
+                    blocked_tail = s
+                    break
             elif kind == _GATE_SYNC:
                 ws = self.sync_ws[s]
                 if (
@@ -1636,39 +1831,65 @@ class VectorProcessor:
                     if issued < 0:
                         continue
                     if cycle < issued + 1:
-                        if hint < 0 or issued + 1 < hint:
-                            hint = issued + 1
+                        if wake < 0 or issued + 1 < wake:
+                            wake = issued + 1
                         continue
             elif kind == _GATE_ORACLE:
+                # ``ds`` is older than the live load s, so it is in the
+                # window exactly when it has not committed yet.
                 ds = col.dep_of[s]
-                if ds >= 0 and self.inw[ds] and not self.execd[ds]:
+                if ds >= self.w_head and not self.execd[ds]:
                     issued = self.issue[ds]
                     if issued < 0:
                         if fd_start[s] < 0:
                             note_fd_wait(s)
                         continue
                     if cycle < issued + 1:
-                        if hint < 0 or issued + 1 < hint:
-                            hint = issued + 1
+                        if wake < 0 or issued + 1 < wake:
+                            wake = issued + 1
                         continue
             else:  # _GATE_AS
                 open_, gate_hint = self._load_gate_as(s)
                 if not open_:
                     if gate_hint is not None and (
-                        hint < 0 or gate_hint < hint
+                        wake < 0 or gate_hint < wake
                     ):
-                        hint = gate_hint
+                        wake = gate_hint
                     continue
             if fd_start[s] >= 0 and self.fd_res[s] < 0:
                 self.fd_res[s] = cycle
             ports_left -= 1
-            funits.take_port()
             self._mp_remove("load", s)
             self._access_memory(s)
             progress = True
-        self._hint = hint
+        if blocked_tail >= 0:
+            # Tail of an ALL_STORES/BARRIER scan: the gate blocks every
+            # candidate from ``blocked_tail`` on (candidates ascend and
+            # the blocking store is global), so reproduce exactly what
+            # the reference does for each — merge a pending agen time
+            # into the wake hint, otherwise note the false-dependence
+            # wait (``fd_start`` timing feeds the latency stats). Ports
+            # are untouched here, so no port-exhaustion break can occur
+            # mid-tail.
+            lo = bisect.bisect_left(candidates, blocked_tail)
+            for t in candidates[lo:]:
+                a = agen[t]
+                if a < 0 or a > cycle:
+                    if a >= 0 and (wake < 0 or a < wake):
+                        wake = a
+                elif fd_start[t] < 0:
+                    note_fd_wait(t)
+        self.fu_ports = self._memory_ports - ports_left
+        if wake >= 0:
+            hint = self._hint
+            if hint < 0 or wake < hint:
+                self._hint = wake
+        self.mem_wake = wake
         if progress:
             self._progress = True
+            self.mem_dirty = True
+        else:
+            self.mem_dirty = False
 
     def _access_memory(self, s: int) -> None:
         cycle = self.cycle
@@ -1718,7 +1939,8 @@ class VectorProcessor:
             return
         self.fd_start[s] = self.cycle
         ds = self.col.dep_of[s]
-        if ds >= 0 and self.inw[ds] and not self.execd[ds]:
+        # Older dep of a live load: in the window iff not yet committed.
+        if ds >= self.w_head and not self.execd[ds]:
             self.fd_cls[s] = 2
         else:
             self.fd_cls[s] = 1
@@ -1732,17 +1954,16 @@ class VectorProcessor:
         buffer_cap = self.f_cap
         if len(buffer) >= buffer_cap:
             return 0
-        cfg = self.config
         fetched = 0
         blocks_used = 0
         current_block = None
-        width = cfg.fetch.width
-        max_blocks = cfg.fetch.max_blocks_per_cycle
-        block_shift = cfg.icache.block_bytes.bit_length() - 1
+        width = self._f_width
+        max_blocks = self._f_max_blocks
+        block_shift = self._f_block_shift
         recent_blocks = self.f_recent
         recent_cap = 4 * max_blocks
-        hit_by = cycle + cfg.icache.hit_latency
-        dispatch_at = cycle + cfg.fetch.front_end_depth
+        hit_by = cycle + self._f_hit_latency
+        dispatch_at = cycle + self._f_depth
         col = self.col
         pcs = col.pc
         branch_b = col.branch_b

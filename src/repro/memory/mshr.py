@@ -17,7 +17,7 @@ class MSHRBank:
     """MSHRs of a single cache bank."""
 
     __slots__ = ("_primary_limit", "_secondary_limit", "_entries",
-                 "merged", "stalls")
+                 "_next_expire", "merged", "stalls")
 
     def __init__(self, primary_limit: int, secondary_limit: int) -> None:
         if primary_limit < 1:
@@ -28,14 +28,25 @@ class MSHRBank:
         self._secondary_limit = secondary_limit
         # block address -> (fill ready cycle, merged secondary count)
         self._entries: Dict[int, Tuple[int, int]] = {}
+        # Earliest outstanding fill-ready cycle; meaningful only while
+        # ``_entries`` is non-empty. Lets ``_expire`` answer the common
+        # "nothing retires yet" case without walking the dict.
+        self._next_expire = 0
         self.merged = 0
         self.stalls = 0
 
     def _expire(self, cycle: int) -> None:
         """Retire entries whose fill has completed by *cycle*."""
-        done = [b for b, (ready, _) in self._entries.items() if ready <= cycle]
+        entries = self._entries
+        if not entries or cycle < self._next_expire:
+            return
+        done = [b for b, (ready, _) in entries.items() if ready <= cycle]
         for block in done:
-            del self._entries[block]
+            del entries[block]
+        if entries:
+            self._next_expire = min(
+                ready for ready, _ in entries.values()
+            )
 
     def lookup(self, block: int, cycle: int) -> Optional[int]:
         """If *block* has a pending fill, merge and return its ready cycle.
@@ -75,8 +86,11 @@ class MSHRBank:
             self._expire(earliest)
             # If still full (several fills end at the same cycle expire
             # together), _expire above freed them all.
-        self._entries[block] = (ready_cycle + delay, 0)
-        return ready_cycle + delay
+        ready = ready_cycle + delay
+        if not self._entries or ready < self._next_expire:
+            self._next_expire = ready
+        self._entries[block] = (ready, 0)
+        return ready
 
     def outstanding(self, cycle: int) -> int:
         """Number of fills in flight at *cycle*."""

@@ -154,6 +154,10 @@ class StallAccountant:
         self.causes: Dict[str, int] = {c: 0 for c in STALL_CAUSES}
         self.commit_slots = 0
         self.cycles_observed = 0
+        #: Cycles the simulator's clock fast-forwarded over (idle
+        #: stretches / the vector backend's event-horizon elision);
+        #: their slots are charged full-width to the pending cause.
+        self.skipped_cycles = 0
         self.occupancy: Dict[str, OccupancyHistogram] = {
             "window": OccupancyHistogram(),
             "scheduler": OccupancyHistogram(),
@@ -194,6 +198,7 @@ class StallAccountant:
             # in the state classified at the end of the last one.
             self.causes[self._pending_cause] += gap * width
             self.cycles_observed += gap
+            self.skipped_cycles += gap
         self._last_cycle = cycle
         committed_total = processor.stats.committed
         committed = committed_total - self._committed_seen
@@ -414,6 +419,7 @@ class StallAccountant:
             "slots": self.cycles_observed * self.width,
             "commit_slots": self.commit_slots,
             "stall_slots": stall_slots,
+            "skipped_cycles": self.skipped_cycles,
             "causes": dict(self.causes),
             "occupancy": {
                 name: hist.summary()

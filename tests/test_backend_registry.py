@@ -16,8 +16,10 @@ from repro.config.processor import SchedulingModel, SpeculationPolicy
 from repro.core.backend import (
     BACKEND_ENV,
     DEFAULT_BACKEND,
+    ELIDE_ENV,
     UnknownBackendError,
     available_backends,
+    backend_capabilities,
     get_backend,
     register_backend,
     resolve_backend,
@@ -110,6 +112,36 @@ def test_vector_limitation_cases():
         plain, split=dataclasses.replace(plain.split, enabled=True)
     )
     assert vector_limitation(split_on) is not None
+
+
+def test_backend_capabilities(monkeypatch):
+    ref = backend_capabilities("reference")
+    assert ref["objects"] and not ref["cycle_elision"]
+
+    monkeypatch.delenv(ELIDE_ENV, raising=False)
+    vec = backend_capabilities("vector")
+    assert vec["compiled_columns"] and vec["cycle_elision"]
+    assert vec["elision_enabled"] and vec["elision_env"] == ELIDE_ENV
+
+    monkeypatch.setenv(ELIDE_ENV, "0")
+    assert not backend_capabilities("vector")["elision_enabled"]
+
+    with pytest.raises(UnknownBackendError):
+        backend_capabilities("warp-drive")
+
+
+def test_elide_env_controls_vector_processor(monkeypatch):
+    from repro.core.vector import VectorProcessor
+    from repro.workloads.catalog import kernel_trace
+
+    trace = kernel_trace("memcopy", words=64)
+    monkeypatch.setenv(ELIDE_ENV, "0")
+    assert not VectorProcessor(_config(), trace)._elide
+    monkeypatch.delenv(ELIDE_ENV, raising=False)
+    assert VectorProcessor(_config(), trace)._elide
+    # An explicit argument always wins over the environment.
+    monkeypatch.setenv(ELIDE_ENV, "0")
+    assert VectorProcessor(_config(), trace, elide=True)._elide
 
 
 def test_vector_factory_delegates_on_limitation():

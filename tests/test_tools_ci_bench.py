@@ -92,6 +92,168 @@ def test_ci_bench_missing_baseline(tmp_path):
     assert rc == 3
 
 
+def test_ci_bench_backend_mismatch_is_incompatible(tmp_path, capsys):
+    out = tmp_path / "out"
+    baseline = tmp_path / "baseline.json"
+    rc = ci_bench.main(
+        ["--out", str(out), "--baseline", str(baseline),
+         "--write-baseline"] + _FAST
+    )
+    assert rc == 0
+    assert json.loads(baseline.read_text())["backend"] == "reference"
+
+    # Re-label the committed baseline as a vector record: comparing a
+    # reference run against it must be exit 3 (incompatible), not a
+    # drift verdict.
+    payload = json.loads(baseline.read_text())
+    payload["backend"] = "vector"
+    baseline.write_text(json.dumps(payload))
+
+    clear_results()
+    set_store(None)
+    rc = ci_bench.main(
+        ["--out", str(tmp_path / "out2"),
+         "--baseline", str(baseline)] + _FAST
+    )
+    assert rc == 3
+    assert "backend mismatch" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# --gate mode: the structured per-backend KIPS comparator
+# ---------------------------------------------------------------------------
+
+def _gate_record(backend, kips_by_label):
+    return {
+        "backend": backend,
+        "cells": {
+            label: {"kips": kips} for label, kips in kips_by_label.items()
+        },
+    }
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_gate_exit_0_on_healthy_ratio(tmp_path, capsys):
+    measured = _write(
+        tmp_path / "measured.json",
+        _gate_record("vector", {"a:NO": 100.0, "b:SYNC": 50.0}),
+    )
+    baseline = _write(
+        tmp_path / "baseline.json",
+        _gate_record("vector", {"a:NO": 95.0, "b:SYNC": 52.0}),
+    )
+    verdict_path = tmp_path / "verdict.json"
+    rc = ci_bench.main(
+        ["--gate", measured, "--gate-baseline", baseline,
+         "--gate-threshold", "0.25", "--gate-out", str(verdict_path)]
+    )
+    assert rc == 0
+    verdict = json.loads(verdict_path.read_text())
+    assert verdict["backend"] == "vector"
+    assert not verdict["regressed"]
+    assert set(verdict["cells"]) == {"a:NO", "b:SYNC"}
+    assert "geomean" in capsys.readouterr().out
+
+
+def test_gate_exit_1_on_regression(tmp_path, capsys, monkeypatch):
+    # Pin the commit message so a real [perf-baseline-bump] in the
+    # repo's head commit can't silently turn this into an override.
+    monkeypatch.setenv("CI_COMMIT_MESSAGE", "unrelated change")
+    measured = _write(
+        tmp_path / "measured.json",
+        _gate_record("reference", {"a:NO": 40.0, "b:SYNC": 45.0}),
+    )
+    baseline = _write(
+        tmp_path / "baseline.json",
+        _gate_record("reference", {"a:NO": 100.0, "b:SYNC": 100.0}),
+    )
+    verdict_path = tmp_path / "verdict.json"
+    rc = ci_bench.main(
+        ["--gate", measured, "--gate-baseline", baseline,
+         "--gate-threshold", "0.25", "--gate-out", str(verdict_path)]
+    )
+    assert rc == 1
+    verdict = json.loads(verdict_path.read_text())
+    assert verdict["regressed"] and not verdict["override"]
+    assert "perf-gate" in capsys.readouterr().err
+
+
+def test_gate_bump_marker_overrides_regression(tmp_path, monkeypatch):
+    monkeypatch.setenv(
+        "CI_COMMIT_MESSAGE",
+        f"refresh baselines {ci_bench.BUMP_MARKER}",
+    )
+    measured = _write(
+        tmp_path / "measured.json",
+        _gate_record("reference", {"a:NO": 40.0}),
+    )
+    baseline = _write(
+        tmp_path / "baseline.json",
+        _gate_record("reference", {"a:NO": 100.0}),
+    )
+    verdict_path = tmp_path / "verdict.json"
+    rc = ci_bench.main(
+        ["--gate", measured, "--gate-baseline", baseline,
+         "--gate-out", str(verdict_path)]
+    )
+    assert rc == 0
+    verdict = json.loads(verdict_path.read_text())
+    assert verdict["regressed"] and verdict["override"]
+
+
+def test_gate_exit_3_on_missing_files(tmp_path, capsys):
+    measured = _write(
+        tmp_path / "measured.json", _gate_record("vector", {"a:NO": 1.0})
+    )
+    rc = ci_bench.main(
+        ["--gate", measured,
+         "--gate-baseline", str(tmp_path / "nope.json")]
+    )
+    assert rc == 3
+    assert "cannot read baseline" in capsys.readouterr().err
+
+    rc = ci_bench.main(
+        ["--gate", str(tmp_path / "absent.json"),
+         "--gate-baseline", measured]
+    )
+    assert rc == 3
+    assert "cannot read measurement" in capsys.readouterr().err
+
+
+def test_gate_exit_3_on_backend_mismatch(tmp_path, capsys):
+    measured = _write(
+        tmp_path / "measured.json", _gate_record("vector", {"a:NO": 1.0})
+    )
+    baseline = _write(
+        tmp_path / "baseline.json",
+        _gate_record("reference", {"a:NO": 1.0}),
+    )
+    rc = ci_bench.main(
+        ["--gate", measured, "--gate-baseline", baseline]
+    )
+    assert rc == 3
+    assert "backend mismatch" in capsys.readouterr().err
+
+
+def test_gate_exit_0_when_no_overlap(tmp_path, capsys):
+    measured = _write(
+        tmp_path / "measured.json", _gate_record("vector", {"a:NO": 1.0})
+    )
+    baseline = _write(
+        tmp_path / "baseline.json",
+        _gate_record("vector", {"z:ORACLE": 1.0}),
+    )
+    rc = ci_bench.main(
+        ["--gate", measured, "--gate-baseline", baseline]
+    )
+    assert rc == 0
+    assert "gate skipped" in capsys.readouterr().out
+
+
 def test_compare_to_baseline_rows():
     ipc = {"NO": {"a": 1.0, "b": 2.0}}
     baseline = {"ipc": {"NO": {"a": 1.05, "b": 3.0}}}

@@ -189,7 +189,7 @@ def build_matrix():
     return benchmarks, configs
 
 
-def run_passes(out_dir, settings, workers):
+def run_passes(out_dir, settings, workers, backend=None):
     """Cold + warm matrix passes; returns (ipc table, warm summary)."""
     from repro.experiments import clear_results, set_store
     from repro.experiments.parallel import run_matrix_parallel
@@ -206,13 +206,13 @@ def run_passes(out_dir, settings, workers):
         clear_results()
         run_matrix_parallel(
             benchmarks, configs, settings, workers=workers,
-            telemetry=writer,
+            telemetry=writer, backend=backend,
         )
         writer.emit("ci_pass", phase="warm")
         clear_results()
         warm = run_matrix_parallel(
             benchmarks, configs, settings, workers=workers,
-            telemetry=writer,
+            telemetry=writer, backend=backend,
         )
 
     events = read_telemetry(telemetry_path)
@@ -291,6 +291,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument(
+        "--backend", default=None,
+        help="simulator backend for the matrix passes (reference/"
+             "vector); recorded in the baseline and checked on compare",
+    )
+    parser.add_argument(
         "--write-baseline", action="store_true",
         help="write the measured IPC table to --baseline and exit",
     )
@@ -320,9 +325,13 @@ def main(argv=None) -> int:
         )
 
     os.makedirs(args.out, exist_ok=True)
-    ipc, warm_summary = run_passes(args.out, settings, args.workers)
+    ipc, warm_summary = run_passes(
+        args.out, settings, args.workers, backend=args.backend,
+    )
 
+    backend = args.backend or "reference"
     bench = {
+        "backend": backend,
         "settings": {
             "timing_instructions": settings.timing_instructions,
             "warmup_instructions": settings.warmup_instructions,
@@ -361,7 +370,11 @@ def main(argv=None) -> int:
             return 3
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(
-                {"settings": bench["settings"], "ipc": ipc},
+                {
+                    "backend": backend,
+                    "settings": bench["settings"],
+                    "ipc": ipc,
+                },
                 handle, indent=2, sort_keys=True,
             )
             handle.write("\n")
@@ -375,6 +388,15 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot read baseline {args.baseline}: {exc}",
                   file=sys.stderr)
+            return 3
+        base_backend = baseline.get("backend", "reference")
+        if base_backend != backend:
+            print(
+                f"backend mismatch: run used {backend!r} but baseline "
+                f"{args.baseline} records {base_backend!r}; pass "
+                f"--backend {base_backend} or regenerate the baseline",
+                file=sys.stderr,
+            )
             return 3
         offenders = compare_to_baseline(ipc, baseline, args.drift)
         if offenders:

@@ -89,13 +89,68 @@ def build_cells(quick):
     return cells
 
 
+#: (benchmark, warm-up, length) of the golden matrix — must mirror
+#: tests/test_golden_parity.py BENCHMARKS.
+GOLDEN_BENCHMARKS = (
+    ("126.gcc", 1_000, 4_000),
+    ("102.swim", 1_000, 4_000),
+)
+
+
+def build_golden_configs():
+    """The 14 configs of the golden-parity matrix.
+
+    Mirrors ``tests/test_golden_parity.py::parity_configs`` (tools/
+    cannot import from tests/ under the repo's PYTHONPATH=src layout);
+    with both golden benchmarks this is the 28-cell acceptance matrix
+    for the vector backend's throughput target.
+    """
+    from repro.config.presets import (
+        continuous_window_64, continuous_window_128,
+    )
+    from repro.config.processor import SchedulingModel, SpeculationPolicy
+
+    nas, as_ = SchedulingModel.NAS, SchedulingModel.AS
+    configs = {}
+    for policy in SpeculationPolicy:
+        configs[f"NAS/{policy.value}"] = continuous_window_128(nas, policy)
+    for policy in (
+        SpeculationPolicy.NO, SpeculationPolicy.NAIVE,
+        SpeculationPolicy.ORACLE,
+    ):
+        configs[f"AS/{policy.value}"] = continuous_window_128(as_, policy)
+    configs["AS/NAV+1cy"] = continuous_window_128(
+        as_, SpeculationPolicy.NAIVE, addr_scheduler_latency=1
+    )
+    configs["NAS/NAV:selective"] = continuous_window_128(
+        nas, SpeculationPolicy.NAIVE, recovery="selective"
+    )
+    configs["NAS/NO@64"] = continuous_window_64(
+        nas, SpeculationPolicy.NO
+    )
+    configs["NAS/SSET@64"] = continuous_window_64(
+        nas, SpeculationPolicy.STORE_SETS
+    )
+    return configs
+
+
+#: --min-time never runs more than this many passes per cell.
+MIN_TIME_MAX_PASSES = 64
+
+
 def measure_cell(config, trace, info, plan, repeat,
-                 backend="reference", compiled=None):
-    """Best-of-*repeat* wall time for one cold simulation.
+                 backend="reference", compiled=None, min_time=0.0):
+    """Best-of wall time for one cold simulation.
 
     Construction happens outside the timer for both backends, so the
     number is pure simulation throughput. The ``vector`` backend runs
     straight off *compiled* packed columns (no ``DynInst`` objects).
+
+    Runs at least *repeat* passes; with *min_time* > 0 it keeps adding
+    passes until their accumulated wall time reaches *min_time* seconds
+    (capped at ``MIN_TIME_MAX_PASSES``), which stabilizes best-of
+    numbers for sub-millisecond cells on noisy hosts. The reported
+    number is always the minimum observed pass.
     """
     from repro.core.processor import Processor
 
@@ -110,20 +165,31 @@ def measure_cell(config, trace, info, plan, repeat,
 
     best = None
     result = None
-    for _ in range(repeat):
+    total = 0.0
+    passes = 0
+    while passes < repeat or (
+        total < min_time and passes < MIN_TIME_MAX_PASSES
+    ):
         processor = make()
         started = time.perf_counter()
         result = processor.run(plan)
         wall = time.perf_counter() - started
+        total += wall
+        passes += 1
         if best is None or wall < best:
             best = wall
     kips = result.committed / best / 1000.0 if best else 0.0
-    return {
+    cell = {
         "kips": round(kips, 3),
         "wall_s": round(best, 6),
         "committed": result.committed,
         "cycles": result.cycles,
-    }, result
+        "passes": passes,
+    }
+    skipped = result.extra.get("skipped_cycles")
+    if skipped is not None:
+        cell["skipped_cycles"] = skipped
+    return cell, result
 
 
 def geomean(values):
@@ -138,39 +204,58 @@ def run_bench(args):
     from repro.trace.sampling import SamplingPlan, Segment
     from repro.workloads.catalog import get_trace
 
-    warm = 2_000 if args.quick else 6_000
-    timed = 6_000 if args.quick else 20_000
-    length = warm + timed
+    if args.golden:
+        warm, timed = GOLDEN_BENCHMARKS[0][1:]
+        timed -= warm
+        configs = build_golden_configs()
+        points = [
+            (f"{bench}:{label}", bench, w, length, config)
+            for bench, w, length in GOLDEN_BENCHMARKS
+            for label, config in configs.items()
+        ]
+    else:
+        warm = 2_000 if args.quick else 6_000
+        timed = 6_000 if args.quick else 20_000
+        points = [
+            (label, args.benchmark, warm, warm + timed, config)
+            for label, config in build_cells(args.quick).items()
+        ]
 
+    # Per-benchmark resources, built once outside the timers.
     started = time.perf_counter()
-    trace = get_trace(args.benchmark, length, seed=0)
-    info = compute_dependence_info(trace)
-    compiled = None
-    if args.backend == "vector":
-        from repro.trace.compiled import compile_trace
+    resources = {}
+    for _, bench, w, length, _ in points:
+        if bench in resources:
+            continue
+        trace = get_trace(bench, length, seed=0)
+        info = compute_dependence_info(trace)
+        compiled = None
+        if args.backend == "vector":
+            from repro.trace.compiled import compile_trace
 
-        compiled = compile_trace(trace, dep_info=info)
+            compiled = compile_trace(trace, dep_info=info)
+        plan = SamplingPlan(
+            (Segment(0, w, timing=False),
+             Segment(w, length, timing=True)),
+            length,
+        )
+        resources[bench] = (trace, info, compiled, plan)
     trace_prep = time.perf_counter() - started
-    plan = SamplingPlan(
-        (Segment(0, warm, timing=False),
-         Segment(warm, length, timing=True)),
-        length,
-    )
 
-    cells = build_cells(args.quick)
     if args.cells:
         wanted = [w.strip() for w in args.cells.split(",") if w.strip()]
-        cells = {
-            label: config
-            for label, config in cells.items()
-            if any(w in label for w in wanted)
-        }
-        if not cells:
+        points = [
+            point for point in points
+            if any(w in point[0] for w in wanted)
+        ]
+        if not points:
             raise SystemExit(f"--cells {args.cells!r} matches nothing")
     if args.profile:
         import cProfile
 
-        label, config = next(iter(cells.items()))
+        label, bench = points[0][0], points[0][1]
+        config = points[0][4]
+        trace, info, compiled, plan = resources[bench]
         print(f"profiling {label} -> {args.profile}")
         cProfile.runctx(
             "measure_cell(config, trace, info, plan, 1, backend, compiled)",
@@ -182,14 +267,18 @@ def run_bench(args):
 
     measured = {}
     parity_failures = []
-    for label, config in cells.items():
+    for label, bench, _, _, config in points:
+        trace, info, compiled, plan = resources[bench]
         measured[label], result = measure_cell(
             config, trace, info, plan, args.repeat,
             backend=args.backend, compiled=compiled,
+            min_time=args.min_time,
         )
+        skipped = measured[label].get("skipped_cycles")
+        note = f"  skipped {skipped}" if skipped is not None else ""
         print(
-            f"  {label:>16}: {measured[label]['kips']:8.1f} KIPS "
-            f"({measured[label]['wall_s']:.3f}s)"
+            f"  {label:>24}: {measured[label]['kips']:8.1f} KIPS "
+            f"({measured[label]['wall_s']:.3f}s){note}"
         )
         if args.verify_parity and args.backend != "reference":
             _, ref = measure_cell(config, trace, info, plan, 1)
@@ -199,7 +288,7 @@ def run_bench(args):
             ]
             if bad:
                 parity_failures.append((label, bad))
-                print(f"  {label:>16}: PARITY FAILED "
+                print(f"  {label:>24}: PARITY FAILED "
                       f"({', '.join(bad)})", file=sys.stderr)
     if parity_failures:
         raise SystemExit(
@@ -211,13 +300,17 @@ def run_bench(args):
               f"counters identical to the reference backend")
     return {
         "schema": 1,
-        "benchmark": args.benchmark,
+        "benchmark": (
+            "golden-matrix" if args.golden else args.benchmark
+        ),
         "backend": args.backend,
         "settings": {
             "warmup_instructions": warm,
             "timing_instructions": timed,
             "repeat": args.repeat,
+            "min_time_s": args.min_time,
             "quick": args.quick,
+            "golden": args.golden,
         },
         "trace_prep_s": round(trace_prep, 6),
         "cells": measured,
@@ -682,6 +775,16 @@ def main(argv=None):
     parser.add_argument("--benchmark", default="126.gcc")
     parser.add_argument("--quick", action="store_true",
                         help="small matrix + short trace (CI smoke)")
+    parser.add_argument("--golden", action="store_true",
+                        help="measure the 28-cell golden-parity matrix "
+                             "(both benchmarks x 14 configs at the "
+                             "fixture's trace settings) — the vector "
+                             "backend's acceptance matrix")
+    parser.add_argument("--min-time", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep adding passes per cell until their "
+                             "accumulated wall time reaches SECONDS "
+                             "(stabilizes best-of on short cells)")
     parser.add_argument("--cells", default=None, metavar="SUBSTR[,..]",
                         help="only run cells whose label contains one "
                              "of the given substrings")

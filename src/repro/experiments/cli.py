@@ -104,6 +104,10 @@ def _dispatch(argv=None) -> int:
         return _observe_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "jobs"):
+        from repro.service.cli import service_main
+
+        return service_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -615,7 +619,7 @@ def _check_main(argv) -> int:
 
 
 def _cache_main(argv) -> int:
-    """``repro-experiments cache [--path DIR] [--clear] ...``."""
+    """``repro-experiments cache [prune] [--path DIR] [--clear] ...``."""
     from repro.experiments.store import (
         ResultStore, default_store_path,
     )
@@ -623,6 +627,8 @@ def _cache_main(argv) -> int:
         TraceStore, default_trace_store_path,
     )
 
+    if argv and argv[0] == "prune":
+        return _cache_prune_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments cache",
         description=(
@@ -675,6 +681,95 @@ def _cache_main(argv) -> int:
     if not os.path.isdir(traces.root):
         print("(trace-store directory does not exist yet — it is "
               "created on the first generated trace)")
+    return 0
+
+
+def _cache_prune_main(argv) -> int:
+    """``repro-experiments cache prune [--max-age D] [--apply] ...``."""
+    from repro.experiments.prune import prune_paths
+    from repro.experiments.store import (
+        ResultStore, default_store_path,
+    )
+    from repro.trace.tracestore import (
+        TraceStore, default_trace_store_path,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache prune",
+        description=(
+            "Evict old or excess entries from the persistent result "
+            "and trace stores. Dry-run by default: prints the plan; "
+            "--apply executes it."
+        ),
+    )
+    parser.add_argument(
+        "--path", metavar="DIR", default=None,
+        help="result-store directory (default: $REPRO_RESULT_STORE or "
+             "~/.cache/repro-results)",
+    )
+    parser.add_argument(
+        "--trace-path", metavar="DIR", default=None,
+        help="trace-store directory (default: $REPRO_TRACE_STORE or "
+             "~/.cache/repro-traces)",
+    )
+    parser.add_argument(
+        "--max-age", type=float, metavar="DAYS", default=None,
+        help="evict entries older than DAYS days",
+    )
+    parser.add_argument(
+        "--max-size", type=float, metavar="MIB", default=None,
+        help="evict oldest entries until each store fits in MIB MiB",
+    )
+    parser.add_argument(
+        "--results-only", action="store_true",
+        help="prune only the result store",
+    )
+    parser.add_argument(
+        "--traces-only", action="store_true",
+        help="prune only the trace store",
+    )
+    parser.add_argument(
+        "--apply", action="store_true",
+        help="actually delete (default is a dry run)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_age is None and args.max_size is None:
+        parser.error("nothing to do: pass --max-age and/or --max-size")
+    if args.results_only and args.traces_only:
+        parser.error("--results-only and --traces-only are exclusive")
+
+    max_age = (
+        args.max_age * 86_400.0 if args.max_age is not None else None
+    )
+    max_size = (
+        int(args.max_size * 1024 * 1024)
+        if args.max_size is not None else None
+    )
+    targets = []
+    if not args.traces_only:
+        store = ResultStore(args.path or default_store_path())
+        targets.append(("results", store.root, store.entries()))
+    if not args.results_only:
+        traces = TraceStore(args.trace_path or default_trace_store_path())
+        targets.append(("traces", traces.root, traces.entries()))
+
+    for label, root, paths in targets:
+        report = prune_paths(
+            paths, max_age_seconds=max_age, max_size_bytes=max_size,
+            apply=args.apply,
+        )
+        verb = "pruned" if args.apply else "would prune"
+        print(
+            f"{label:8s} {root}: {verb} "
+            f"{len(report['selected'])}/{report['examined']} entries "
+            f"({report['selected_bytes'] / 1024:.1f} KiB), keeping "
+            f"{report['kept']} ({report['kept_bytes'] / 1024:.1f} KiB)"
+        )
+        if report["errors"]:
+            print(f"  {report['errors']} entries could not be removed",
+                  file=sys.stderr)
+    if not args.apply:
+        print("(dry run — re-run with --apply to delete)")
     return 0
 
 

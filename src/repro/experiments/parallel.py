@@ -217,22 +217,28 @@ class _MatrixRun:
         #: benchmark -> (AsyncResult, deadline or None)
         active: Dict[str, Tuple[object, Optional[float]]] = {}
         # ``with pool`` terminates outstanding workers on exit, so an
-        # abandoned (timed-out) shard cannot outlive this call.
-        with pool:
-            while pending or active:
-                abandoned = self._submit(pool, pending, active)
-                if abandoned:
-                    # Pool died while submitting: drain what is
-                    # still in flight, then go serial.
-                    remaining = abandoned + self._drain(active)
-                    self.writer.emit(
-                        "serial_fallback", reason="pool died"
-                    )
-                    self.run_serial(remaining)
-                    return
-                self._poll(pending, active)
-                if pending or active:
-                    time.sleep(_POLL_SECONDS)
+        # abandoned (timed-out) shard cannot outlive this call. The
+        # explicit join below extends that to interrupts: a
+        # KeyboardInterrupt/SIGTERM mid-matrix must not leave orphan
+        # workers behind the raised exception.
+        try:
+            with pool:
+                while pending or active:
+                    abandoned = self._submit(pool, pending, active)
+                    if abandoned:
+                        # Pool died while submitting: drain what is
+                        # still in flight, then go serial.
+                        remaining = abandoned + self._drain(active)
+                        self.writer.emit(
+                            "serial_fallback", reason="pool died"
+                        )
+                        self.run_serial(remaining)
+                        return
+                    self._poll(pending, active)
+                    if pending or active:
+                        time.sleep(_POLL_SECONDS)
+        finally:
+            pool.join()
 
     def _submit(self, pool, pending: List[str], active) -> List[str]:
         """Launch pending shards; returns shards orphaned by pool death."""
@@ -407,6 +413,7 @@ def run_matrix_parallel(
         points=len(benchmarks) * len(labelled),
         workers=workers,
     )
+    aborted = False
     try:
         if parallel_path and precompile:
             precompile_started = time.perf_counter()
@@ -428,15 +435,34 @@ def run_matrix_parallel(
             run.run_serial(benchmarks)
         else:
             run.run_parallel(workers)
-    finally:
+    except (KeyboardInterrupt, SystemExit) as exc:
+        # Interrupted mid-matrix (Ctrl-C, SIGTERM via SystemExit):
+        # the pool context + join above already reaped every worker;
+        # record the abort as a final telemetry event so a post-crash
+        # reader sees *why* the stream stops, then re-raise.
+        aborted = True
+        done = len(
+            {name for cells in run.out.values() for name in cells}
+        )
         writer.emit(
-            "matrix_finish",
+            "matrix_abort",
+            reason=type(exc).__name__,
             wall=time.perf_counter() - started,
-            shards_ok=len(benchmarks) - len(run.failed),
+            shards_done=done,
             shards_failed=len(run.failed),
-            failed=list(run.failed),
             **run.totals,
         )
+        raise
+    finally:
+        if not aborted:
+            writer.emit(
+                "matrix_finish",
+                wall=time.perf_counter() - started,
+                shards_ok=len(benchmarks) - len(run.failed),
+                shards_failed=len(run.failed),
+                failed=list(run.failed),
+                **run.totals,
+            )
         if owned:
             writer.close()
     return run.out

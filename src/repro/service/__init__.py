@@ -1,0 +1,58 @@
+"""Always-on experiment service (``repro serve`` / ``repro submit``).
+
+The batch CLI answers one sweep per invocation; this package turns
+the same machinery into a long-running multi-tenant service. Jobs —
+single (benchmark, configuration) cells or whole sweeps — arrive over
+a stdlib-only HTTP/JSON API and flow through three layers:
+
+* :mod:`repro.service.scheduler` — cost-aware admission: each job's
+  compute cost is estimated from its trace length and cell count
+  (calibrated against the committed KIPS baselines), and an effective
+  priority blending client priority, cost and waiting time decides
+  what runs next under a configurable compute budget. Cheap
+  interactive queries overtake bulk sweeps; the waiting-time term
+  guarantees no admitted job starves.
+* :mod:`repro.service.coalesce` — identical in-flight jobs (same
+  content key as the persistent result store) deduplicate to one
+  execution whose result fans out to every submitter; cells already
+  in the store are served instantly without touching the scheduler.
+* :mod:`repro.service.jobs` — execution on the existing
+  :func:`~repro.experiments.runner.run_benchmark` /
+  :func:`~repro.experiments.parallel.run_matrix_parallel` machinery,
+  streaming per-shard progress to clients as
+  :mod:`repro.experiments.telemetry` events.
+
+:mod:`repro.service.app` hosts it all on an asyncio server with
+graceful SIGTERM drain (running shards finish, the queue persists to
+disk and is recovered on restart); :mod:`repro.service.client` is the
+matching blocking client used by ``repro submit`` / ``repro jobs``
+and the CI smoke test. See ``docs/SERVICE.md``.
+"""
+
+from repro.service.coalesce import CoalesceTable
+from repro.service.jobs import Job, JobRegistry, JobState
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    validate_spec,
+    validate_status,
+)
+from repro.service.scheduler import (
+    AdmissionScheduler,
+    CostModel,
+    RateLimited,
+)
+
+__all__ = [
+    "AdmissionScheduler",
+    "CoalesceTable",
+    "CostModel",
+    "Job",
+    "JobRegistry",
+    "JobSpec",
+    "JobState",
+    "ProtocolError",
+    "RateLimited",
+    "validate_spec",
+    "validate_status",
+]

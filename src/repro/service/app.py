@@ -1,0 +1,608 @@
+"""The asyncio HTTP/JSON experiment service.
+
+Stdlib-only, like the rest of the repo: a hand-rolled HTTP/1.1 layer
+over ``asyncio.start_server`` (requests are small JSON documents;
+responses close the connection). The interesting work happens in the
+layers this app wires together:
+
+===========================  =================================================
+``POST /v1/jobs``            submit a job spec; store-complete jobs return
+                             ``done`` instantly, identical in-flight jobs
+                             coalesce, the rest queue for admission
+``GET  /v1/jobs``            recent jobs (``?state=`` filter, ``?limit=``)
+``GET  /v1/jobs/ID``         one job's status document
+``GET  /v1/jobs/ID/result``  the result payload (409 until terminal)
+``GET  /v1/jobs/ID/events``  long-poll progress events (``?since=``,
+                             ``?timeout=``) — the job's private telemetry
+                             stream, shard-by-shard for sweeps
+``GET  /v1/status``          queue depth, coalesce stats, budget, stores
+``POST /v1/drain``           begin graceful drain (same path as SIGTERM)
+===========================  =================================================
+
+Worker tasks pull admitted jobs from the scheduler and execute them in
+threads (sweeps fork their own process pools via
+``run_matrix_parallel``, so the event loop — and with it submission
+and progress streaming — stays responsive throughout).
+
+**Drain** (SIGTERM/SIGINT or ``POST /v1/drain``): admission stops,
+running jobs finish their shards, the still-queued remainder persists
+to ``state_dir/queue.json``, telemetry flushes, and the next boot
+resubmits the persisted queue — a restarted node picks up exactly
+where it stopped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.telemetry import TelemetryWriter
+from repro.service import jobs as jobs_mod
+from repro.service.coalesce import CoalesceTable
+from repro.service.jobs import Job, JobRegistry, JobState
+from repro.service.protocol import JobSpec, ProtocolError, validate_spec
+from repro.service.scheduler import (
+    AdmissionScheduler,
+    CostModel,
+    RateLimited,
+)
+
+#: Environment variable naming the default state directory.
+STATE_ENV_VAR = "REPRO_SERVICE_STATE"
+
+#: Max request head + body sizes (this is a JSON control plane).
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 4 * 1024 * 1024
+
+
+def default_state_dir() -> str:
+    """``$REPRO_SERVICE_STATE`` or ``~/.cache/repro-service``."""
+    env = os.environ.get(STATE_ENV_VAR)
+    if env:
+        return env
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-service"
+    )
+
+
+class ExperimentService:
+    """One service node: scheduler + coalescer + workers + HTTP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        state_dir: Optional[str] = None,
+        workers: int = 2,
+        compute_budget: float = 60.0,
+        aging_rate: float = 0.5,
+        cost_weight: float = 1.0,
+        rate: Optional[float] = None,
+        burst: float = 10.0,
+        backend: Optional[str] = None,
+        sweep_workers: int = 2,
+        cost_model: Optional[CostModel] = None,
+        telemetry: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.state_dir = state_dir or default_state_dir()
+        self.workers = max(1, workers)
+        self.backend = backend
+        self.sweep_workers = max(1, sweep_workers)
+        self.cost_model = cost_model or CostModel.from_bench_files()
+        self.scheduler = AdmissionScheduler(
+            compute_budget=compute_budget,
+            aging_rate=aging_rate,
+            cost_weight=cost_weight,
+            rate=rate,
+            burst=burst,
+        )
+        self.coalesce = CoalesceTable()
+        self.registry = JobRegistry()
+        self._telemetry_path = (
+            telemetry if telemetry is not None
+            else os.path.join(self.state_dir, "service.jsonl")
+        )
+        self.telemetry: Optional[TelemetryWriter] = None
+        #: Digest of every job currently owning a coalesce claim.
+        self._claims: Dict[str, str] = {}
+        self.store_instant_hits = 0
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._worker_tasks = []
+        self._kick: Optional[asyncio.Event] = None
+        self._notify: Optional[asyncio.Condition] = None
+        self._closed: Optional[asyncio.Event] = None
+        self._draining = False
+        self._drain_task = None
+        #: Seam for tests: the blocking execution function.
+        self._execute = jobs_mod.execute
+        self.recovered = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def queue_path(self) -> str:
+        return os.path.join(self.state_dir, "queue.json")
+
+    @property
+    def endpoint_path(self) -> str:
+        return os.path.join(self.state_dir, "endpoint.json")
+
+    async def start(self) -> None:
+        """Bind, recover the persisted queue, start the workers."""
+        from repro.experiments.runner import set_served_by
+
+        set_served_by("service")
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        self._kick = asyncio.Event()
+        self._notify = asyncio.Condition()
+        self._closed = asyncio.Event()
+        self.telemetry = TelemetryWriter(self._telemetry_path)
+        self.started_at = time.time()
+
+        for job in JobRegistry.load_queue(self.queue_path):
+            job.cost_estimate = self.cost_model.estimate(job.spec)
+            self.recovered += 1
+            self._enqueue(job, recovered=True)
+
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self._requested_port
+        )
+        with open(self.endpoint_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"host": self.host, "port": self.port,
+                 "pid": os.getpid()},
+                handle,
+            )
+            handle.write("\n")
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.workers)
+        ]
+        self.telemetry.emit(
+            "service_start",
+            host=self.host, port=self.port, workers=self.workers,
+            compute_budget=self.scheduler.compute_budget,
+            recovered=self.recovered,
+            backend=self.backend,
+        )
+
+    async def run(self) -> None:
+        """``start`` + signal-driven drain + run to completion."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig,
+                    lambda s=sig: asyncio.ensure_future(
+                        self.drain(reason=signal.Signals(s).name)
+                    ),
+                )
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or platform without signal support
+                # (tests drive drain() directly).
+                break
+        await self.wait_closed()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def drain(self, reason: str = "request") -> dict:
+        """Graceful shutdown; idempotent. Returns a drain summary."""
+        if self._draining:
+            await self._closed.wait()
+            return {"draining": True, "reason": reason}
+        self._draining = True
+        started = time.monotonic()
+        self.telemetry.emit(
+            "drain_start",
+            reason=reason,
+            queued=self.scheduler.queue_depth(),
+            running=self.scheduler.running_count(),
+        )
+        self._kick.set()
+        if self._worker_tasks:
+            await asyncio.gather(
+                *self._worker_tasks, return_exceptions=True
+            )
+        persisted = self.registry.persist_queue(self.queue_path)
+        summary = {
+            "draining": True,
+            "reason": reason,
+            "persisted": persisted,
+            "wall": time.monotonic() - started,
+        }
+        self.telemetry.emit("drain_finish", **summary)
+        self.telemetry.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        async with self._notify:
+            self._notify.notify_all()
+        self._closed.set()
+        return summary
+
+    # -- submission ----------------------------------------------------------
+
+    def _enqueue(self, job: Job, recovered: bool = False) -> None:
+        """Queue *job*, establishing its coalesce claim."""
+        key = job.spec.digest()
+        primary_id = self.coalesce.claim(key, job.id)
+        self.registry.add(job)
+        if primary_id is not None:
+            primary = self.registry.get(primary_id)
+            job.state = JobState.COALESCED
+            job.coalesced_into = primary_id
+            # A hot follower drags its queued primary forward: the
+            # shared execution serves the most impatient submitter.
+            if primary is not None and job.priority > primary.priority:
+                primary.priority = job.priority
+            self.telemetry.emit(
+                "job_coalesced",
+                job=job.id, into=primary_id, client=job.client,
+                queue_depth=self.scheduler.queue_depth(),
+            )
+            return
+        self._claims[job.id] = key
+        self.scheduler.submit(job)
+        self.telemetry.emit(
+            "job_recovered" if recovered else "job_submitted",
+            job=job.id, client=job.client, kind=job.spec.kind,
+            cells=job.spec.n_cells, cost=job.cost_estimate,
+            priority=job.priority,
+            queue_depth=self.scheduler.queue_depth(),
+        )
+        if self._kick is not None:
+            self._kick.set()
+
+    def submit(self, doc) -> Tuple[int, dict]:
+        """The full submission path; returns (http_status, body)."""
+        if self._draining:
+            return 503, {"error": "service is draining"}
+        try:
+            spec = JobSpec.from_wire(doc)
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        errors = validate_spec(spec.to_wire())
+        if errors:
+            return 400, {"error": "spec fails schema", "errors": errors}
+        try:
+            self.scheduler.check_rate(spec.client)
+        except RateLimited as exc:
+            self.telemetry.emit(
+                "job_rejected", client=spec.client,
+                reason="rate_limited", retry_after=exc.retry_after,
+            )
+            return 429, {
+                "error": str(exc), "retry_after": exc.retry_after,
+            }
+        job = Job(spec=spec, cost_estimate=self.cost_model.estimate(spec))
+        started = time.perf_counter()
+        payload = jobs_mod.probe(spec, job.id)
+        if payload is not None:
+            # Every cell already cached: serve instantly, bypass the
+            # scheduler entirely.
+            job.result = payload
+            job.state = JobState.DONE
+            job.served_from = "store"
+            job.started_at = job.finished_at = time.time()
+            self.registry.add(job)
+            self.store_instant_hits += 1
+            self.telemetry.emit(
+                "job_store_hit",
+                job=job.id, client=job.client, cells=spec.n_cells,
+                wall=time.perf_counter() - started,
+                queue_depth=self.scheduler.queue_depth(),
+            )
+            return 200, job.status_wire()
+        self._enqueue(job)
+        return 200, job.status_wire()
+
+    # -- execution -----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while not self._draining:
+            job = self.scheduler.next_admissible()
+            if job is None:
+                self._kick.clear()
+                try:
+                    await asyncio.wait_for(self._kick.wait(), 0.25)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = time.time()
+        waited = job.started_at - job.submitted_at
+        self.telemetry.emit(
+            "job_admitted",
+            job=job.id, client=job.client, waited=waited,
+            cost=job.cost_estimate,
+            queue_depth=self.scheduler.queue_depth(),
+            running_cost=self.scheduler.running_cost,
+        )
+
+        def emit_threadsafe(record: dict) -> None:
+            self._loop.call_soon_threadsafe(self._push_event, job, record)
+
+        try:
+            payload = await asyncio.to_thread(
+                self._execute, job.spec, job.id, emit_threadsafe,
+                default_backend=self.backend,
+                max_workers=self.sweep_workers,
+            )
+        except Exception as exc:
+            job.state = JobState.FAILED
+            job.error = repr(exc)
+            self.telemetry.emit(
+                "job_failed", job=job.id, error=job.error,
+                queue_depth=self.scheduler.queue_depth(),
+            )
+        else:
+            job.result = payload
+            job.state = JobState.DONE
+            job.served_from = "executed"
+            self.telemetry.emit(
+                "job_finished",
+                job=job.id, state=job.state,
+                wall=time.time() - job.started_at,
+                queue_depth=self.scheduler.queue_depth(),
+            )
+        finally:
+            job.finished_at = time.time()
+            self.scheduler.release(job)
+            self._fan_out(job)
+            self._kick.set()
+            await self._notify_all()
+
+    def _fan_out(self, primary: Job) -> None:
+        """Deliver a finished primary's outcome to its followers."""
+        key = self._claims.pop(primary.id, None)
+        if key is None:
+            return
+        for follower_id in self.coalesce.release(key):
+            follower = self.registry.get(follower_id)
+            if follower is None:
+                continue
+            follower.result = primary.result
+            follower.error = primary.error
+            follower.state = (
+                JobState.DONE if primary.state == JobState.DONE
+                else JobState.FAILED
+            )
+            follower.served_from = "coalesced"
+            follower.started_at = primary.started_at
+            follower.finished_at = primary.finished_at
+
+    def _push_event(self, job: Job, record: dict) -> None:
+        job.push_event(record)
+        asyncio.ensure_future(self._notify_all())
+
+    async def _notify_all(self) -> None:
+        async with self._notify:
+            self._notify.notify_all()
+
+    # -- HTTP ----------------------------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception as exc:
+            status, payload = 500, {"error": repr(exc)}
+        body = (json.dumps(payload, sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        reason = {
+            200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
+        }.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_request(self, reader) -> Tuple[int, dict]:
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=30
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                asyncio.LimitOverrunError):
+            return 400, {"error": "malformed request"}
+        if len(head) > _MAX_HEAD:
+            return 400, {"error": "request head too large"}
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return 400, {"error": "malformed request line"}
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            return 400, {"error": "request body too large"}
+        body = b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=30
+                )
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                return 400, {"error": "truncated body"}
+        doc = None
+        if body:
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                return 400, {"error": "body is not valid JSON"}
+        split = urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+        }
+        return await self._route(method, split.path, query, doc)
+
+    async def _route(
+        self, method: str, path: str, query: dict, doc
+    ) -> Tuple[int, dict]:
+        if path == "/v1/jobs" and method == "POST":
+            return self.submit(doc)
+        if path == "/v1/jobs" and method == "GET":
+            return self._list_jobs(query)
+        if path == "/v1/status" and method == "GET":
+            return 200, self.status()
+        if path == "/v1/drain" and method == "POST":
+            if self._drain_task is None:
+                self._drain_task = asyncio.ensure_future(
+                    self.drain(reason="request")
+                )
+            return 202, {
+                "draining": True,
+                "queued": self.scheduler.queue_depth(),
+                "running": self.scheduler.running_count(),
+            }
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.registry.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            if tail == "":
+                return 200, job.status_wire()
+            if tail == "result":
+                return self._job_result(job)
+            if tail == "events":
+                return await self._job_events(job, query)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _list_jobs(self, query: dict) -> Tuple[int, dict]:
+        state = query.get("state")
+        try:
+            limit = max(1, int(query.get("limit", 50)))
+        except ValueError:
+            return 400, {"error": "limit must be an int"}
+        jobs = self.registry.jobs()
+        if state:
+            jobs = [j for j in jobs if j.state == state]
+        jobs.sort(key=lambda j: j.submitted_at, reverse=True)
+        return 200, {
+            "jobs": [job.status_wire() for job in jobs[:limit]],
+            "total": len(jobs),
+        }
+
+    def _job_result(self, job: Job) -> Tuple[int, dict]:
+        target = job
+        if (job.state == JobState.COALESCED
+                and job.coalesced_into is not None
+                and job.result is None):
+            # Mid-flight follower: report progress via the primary.
+            primary = self.registry.get(job.coalesced_into)
+            if primary is not None:
+                target = primary
+        if target.result is None and target.state not in JobState.TERMINAL:
+            return 409, {
+                "error": f"job {job.id} is {target.state}",
+                "state": target.state,
+            }
+        return 200, {
+            "id": job.id,
+            "state": job.state,
+            "served_from": job.served_from,
+            "error": target.error,
+            **(target.result or {}),
+        }
+
+    async def _job_events(
+        self, job: Job, query: dict
+    ) -> Tuple[int, dict]:
+        try:
+            since = max(0, int(query.get("since", 0)))
+            timeout = min(60.0, float(query.get("timeout", 0)))
+        except ValueError:
+            return 400, {"error": "since/timeout must be numeric"}
+        source = job
+        if job.state == JobState.COALESCED and job.coalesced_into:
+            primary = self.registry.get(job.coalesced_into)
+            if primary is not None:
+                source = primary
+        deadline = self._loop.time() + timeout
+        while (
+            len(source.events) <= since
+            and source.state not in JobState.TERMINAL
+            and not self._draining
+        ):
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                break
+            async with self._notify:
+                try:
+                    await asyncio.wait_for(
+                        self._notify.wait(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+        events = source.events[since:]
+        return 200, {
+            "id": job.id,
+            "state": job.state if source is job else source.state,
+            "events": events,
+            "next": since + len(events),
+        }
+
+    def status(self) -> dict:
+        """The ``/v1/status`` document (also used by ``repro jobs``)."""
+        from repro.experiments.store import active_store
+
+        store = active_store()
+        return {
+            "service": "repro",
+            "draining": self._draining,
+            "uptime": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "workers": self.workers,
+            "backend": self.backend,
+            "jobs": self.registry.counts(),
+            "store_instant_hits": self.store_instant_hits,
+            "recovered": self.recovered,
+            "scheduler": self.scheduler.snapshot(),
+            "coalesce": self.coalesce.stats(),
+            "result_store": store.stats() if store is not None else None,
+        }

@@ -1,0 +1,436 @@
+"""CLI subcommands for the experiment service.
+
+Dispatched from :mod:`repro.experiments.cli` so they are reachable as
+``repro serve`` / ``repro submit`` / ``repro jobs`` (and equally
+through the legacy ``repro-experiments`` name)::
+
+    repro serve --port 7365 --workers 2 --store ~/.cache/repro-results
+    repro submit 126.gcc --policy SYNC --priority 5 --wait
+    repro submit --benchmarks 126.gcc 099.go --policies NO NAV ORACLE
+    repro jobs                      # recent jobs on the node
+    repro jobs JOB_ID --follow      # stream one job's progress
+    repro jobs --status             # queue depth / coalesce / budget
+    repro jobs --drain              # ask the node to drain
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+#: Default TCP port (chosen to be memorable: 0x1CC5 % 10000).
+DEFAULT_PORT = 7365
+
+
+def service_main(argv) -> int:
+    command, rest = argv[0], argv[1:]
+    if command == "serve":
+        return _serve_main(rest)
+    if command == "submit":
+        return _submit_main(rest)
+    if command == "jobs":
+        return _jobs_main(rest)
+    print(f"unknown service command {command!r}", file=sys.stderr)
+    return 2
+
+
+def _endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="service host"
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"service port (default {DEFAULT_PORT})",
+    )
+
+
+def _serve_main(argv) -> int:
+    import asyncio
+
+    from repro.service.app import ExperimentService, default_state_dir
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the always-on experiment service: jobs arrive over "
+            "HTTP/JSON, are admitted by a cost-aware scheduler, "
+            "coalesce with identical in-flight work, and stream "
+            "progress as telemetry events (docs/SERVICE.md)."
+        ),
+    )
+    _endpoint_args(parser)
+    parser.add_argument(
+        "--state-dir", default=None,
+        help="queue persistence + telemetry directory (default: "
+             "$REPRO_SERVICE_STATE or ~/.cache/repro-service)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job executions (default 2)",
+    )
+    parser.add_argument(
+        "--sweep-workers", type=int, default=2,
+        help="process-pool width available to each sweep job "
+             "(default 2)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=60.0, metavar="SECONDS",
+        help="compute budget: max summed cost estimate of running "
+             "jobs (default 60)",
+    )
+    parser.add_argument(
+        "--aging-rate", type=float, default=0.5,
+        help="effective-priority gain per second of queue waiting "
+             "(default 0.5)",
+    )
+    parser.add_argument(
+        "--cost-weight", type=float, default=1.0,
+        help="effective-priority penalty weight on log1p(cost) "
+             "(default 1.0)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="PER_SECOND",
+        help="per-client submission rate limit (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=float, default=10.0,
+        help="per-client submission burst size (default 10)",
+    )
+    parser.add_argument(
+        "--backend", default=None,
+        help="default simulator backend for executed jobs",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent result store (default: $REPRO_RESULT_STORE)",
+    )
+    parser.add_argument(
+        "--trace-store", metavar="DIR", default=None,
+        help="persistent trace store (default: $REPRO_TRACE_STORE)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE", default=None,
+        help="service telemetry JSONL (default: "
+             "STATE_DIR/service.jsonl; readable with 'repro status')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.store:
+        from repro.experiments.store import set_store
+
+        set_store(args.store)
+    if args.trace_store:
+        from repro.trace.tracestore import set_trace_store
+
+        set_trace_store(args.trace_store)
+    if args.backend:
+        from repro.core.backend import resolve_backend
+
+        resolve_backend(args.backend)  # fail fast on typos
+
+    service = ExperimentService(
+        args.host, args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        sweep_workers=args.sweep_workers,
+        compute_budget=args.budget,
+        aging_rate=args.aging_rate,
+        cost_weight=args.cost_weight,
+        rate=args.rate,
+        burst=args.burst,
+        backend=args.backend,
+        telemetry=args.telemetry,
+    )
+
+    async def _main() -> None:
+        await service.start()
+        print(
+            f"repro service listening on "
+            f"http://{service.host}:{service.port} "
+            f"(state: {service.state_dir}, "
+            f"recovered {service.recovered} queued jobs)",
+            flush=True,
+        )
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig,
+                    lambda s=sig: asyncio.ensure_future(
+                        service.drain(reason=signal.Signals(s).name)
+                    ),
+                )
+            except (NotImplementedError, ValueError, RuntimeError):
+                break
+        await service.wait_closed()
+        print("repro service drained cleanly", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+def _spec_from_args(args) -> dict:
+    configs = []
+    policies = args.policies or [args.policy]
+    for policy in policies:
+        configs.append({
+            "scheduling": args.scheduling,
+            "policy": policy,
+            "window": args.window,
+            "latency": args.latency,
+        })
+    benchmarks = args.benchmarks or ([args.benchmark]
+                                     if args.benchmark else [])
+    kind = (
+        "sweep" if len(benchmarks) > 1 or len(configs) > 1 else "cell"
+    )
+    spec = {
+        "kind": kind,
+        "benchmarks": benchmarks,
+        "configs": configs,
+        "settings": {
+            "timing": args.timing, "warmup": args.warmup,
+            "seed": args.seed,
+        },
+        "priority": args.priority,
+        "client": args.client,
+        "workers": args.workers,
+    }
+    if args.backend:
+        spec["backend"] = args.backend
+    return spec
+
+
+def _submit_main(argv) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit one cell or a sweep to a running service.",
+    )
+    parser.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="benchmark for a single-cell job (e.g. 126.gcc)",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="benchmarks for a sweep job",
+    )
+    parser.add_argument(
+        "--scheduling", choices=("NAS", "AS"), default="NAS",
+    )
+    parser.add_argument(
+        "--policy", default="NAV",
+        choices=("NO", "NAV", "SEL", "STORE", "SYNC", "ORACLE", "SSET"),
+    )
+    parser.add_argument(
+        "--policies", nargs="+", default=None,
+        choices=("NO", "NAV", "SEL", "STORE", "SYNC", "ORACLE", "SSET"),
+        help="several policies → a sweep over configs",
+    )
+    parser.add_argument("--window", type=int, choices=(64, 128),
+                        default=128)
+    parser.add_argument("--latency", type=int, default=0)
+    parser.add_argument("--timing", type=int, default=6_000)
+    parser.add_argument("--warmup", type=int, default=4_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--priority", type=float, default=0.0)
+    parser.add_argument("--client", default="cli")
+    parser.add_argument("--backend", default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="sweep process-pool width request (server may cap)",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal, then print the result",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print raw JSON documents instead of a summary",
+    )
+    _endpoint_args(parser)
+    args = parser.parse_args(argv)
+    if not args.benchmark and not args.benchmarks:
+        parser.error("name a benchmark (positional) or --benchmarks")
+
+    client = ServiceClient(args.host, args.port)
+    spec = _spec_from_args(args)
+    try:
+        status = client.submit(spec)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(_summarize_status(status))
+    if not args.wait:
+        return 0
+    try:
+        final = client.wait(status["id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if final["state"] != "done":
+        print(f"job {final['id']} {final['state']}: "
+              f"{final.get('error')}", file=sys.stderr)
+        return 1
+    result = client.result(final["id"])
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(_summarize_result(result))
+    return 0
+
+
+def _summarize_status(status: dict) -> str:
+    spec = status.get("spec", {})
+    cells = (
+        len(spec.get("benchmarks", ())) * len(spec.get("configs", ()))
+    )
+    served = {
+        "store": "served instantly from the result store",
+        "executed": "done (executed)",
+        "coalesced": "done (result shared from coalesced primary)",
+    }
+    note = {
+        "done": served.get(status.get("served_from"), "done"),
+        "coalesced": (
+            f"coalesced into {status.get('coalesced_into')}"
+        ),
+        "queued": "queued for admission",
+        "running": "running",
+    }.get(status["state"], status["state"])
+    return (
+        f"{status['id']}: {spec.get('kind', '?')} "
+        f"({cells} cells, cost ~{status.get('cost_estimate', 0):.2f}s, "
+        f"priority {status.get('priority', 0):g}) — {note}"
+    )
+
+
+def _summarize_result(result: dict) -> str:
+    lines = []
+    for label, cells in sorted(result.get("results", {}).items()):
+        for name, record in sorted(cells.items()):
+            cycles = record.get("cycles", 0)
+            committed = record.get("committed", 0)
+            ipc = committed / cycles if cycles else 0.0
+            lines.append(
+                f"{name:14s} {label:18s} cycles {cycles:>9,} "
+                f"IPC {ipc:.3f}"
+            )
+    return "\n".join(lines) or "(empty result)"
+
+
+def _jobs_main(argv) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="Inspect a running service's jobs and queue.",
+    )
+    parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="show one job (default: list recent jobs)",
+    )
+    parser.add_argument(
+        "--state", default=None,
+        help="filter the listing by state (queued/running/done/…)",
+    )
+    parser.add_argument("--limit", type=int, default=20)
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's progress events until it finishes",
+    )
+    parser.add_argument(
+        "--status", action="store_true", dest="server_status",
+        help="show the node's status (queue depth, coalesce, budget)",
+    )
+    parser.add_argument(
+        "--drain", action="store_true",
+        help="ask the node to drain gracefully",
+    )
+    parser.add_argument("--json", action="store_true")
+    _endpoint_args(parser)
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.drain:
+            doc = client.drain()
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        if args.server_status:
+            doc = client.status()
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                sched = doc["scheduler"]
+                coal = doc["coalesce"]
+                print(
+                    f"uptime {doc['uptime']:.0f}s  "
+                    f"workers {doc['workers']}  "
+                    f"draining {doc['draining']}"
+                )
+                print(
+                    f"queue depth {sched['queue_depth']}  "
+                    f"running {sched['running']} "
+                    f"({sched['running_cost']:.1f}s of "
+                    f"{sched['compute_budget']:.0f}s budget)"
+                )
+                print(
+                    f"jobs {doc['jobs']}  store-instant "
+                    f"{doc['store_instant_hits']}  coalesce hits "
+                    f"{coal['coalesce_hits']}"
+                )
+            return 0
+        if args.job_id and args.follow:
+            for event in client.stream_events(args.job_id):
+                print(json.dumps(event, sort_keys=True))
+            final = client.job(args.job_id)
+            print(_summarize_status(final))
+            return 0 if final["state"] == "done" else 1
+        if args.job_id:
+            doc = client.job(args.job_id)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                print(_summarize_status(doc))
+            return 0
+        jobs = client.jobs(state=args.state, limit=args.limit)
+        if args.json:
+            print(json.dumps(jobs, indent=2, sort_keys=True))
+            return 0
+        if not jobs:
+            print("no jobs")
+            return 0
+        for status in jobs:
+            age = time.time() - status["submitted_at"]
+            print(f"{status['id']}  {status['state']:9s} "
+                  f"{age:7.1f}s ago  {_summarize_status(status)}")
+        return 0
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1

@@ -1,0 +1,168 @@
+"""Blocking HTTP client for the experiment service.
+
+``http.client`` over fresh connections (the server closes after each
+response, so there is nothing to pool). Used by ``repro submit`` /
+``repro jobs``, the CI smoke test, and anything else that wants a
+Python-side handle on a running service.
+
+:meth:`ServiceClient.wait` follows a job to a terminal state by
+long-polling its progress events — each round trip returns as soon as
+the server has news, so waiting costs one mostly-idle connection, not
+a busy poll.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Iterator, List, Optional, Tuple
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = (
+            payload.get("error", "service error")
+            if isinstance(payload, dict) else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+def read_endpoint(state_dir: str) -> Optional[Tuple[str, int]]:
+    """The (host, port) a service wrote at boot, or ``None``."""
+    path = os.path.join(state_dir, "endpoint.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        return str(doc["host"]), int(doc["port"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+class ServiceClient:
+    """One service endpoint; every method is a blocking round trip."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7365,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8")
+                if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                doc = {"error": raw.decode("utf-8", "replace")}
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
+        status, doc = self._request(method, path, body, timeout)
+        if status >= 400:
+            raise ServiceError(status, doc)
+        return doc
+
+    # -- API -----------------------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            self.status()
+            return True
+        except (ServiceError, OSError):
+            return False
+
+    def status(self) -> dict:
+        return self._checked("GET", "/v1/status")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns its status document."""
+        return self._checked("POST", "/v1/jobs", body=spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: Optional[str] = None, limit: int = 50) -> List[dict]:
+        path = f"/v1/jobs?limit={limit}"
+        if state:
+            path += f"&state={state}"
+        return self._checked("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0,
+               timeout: float = 10.0) -> dict:
+        return self._checked(
+            "GET",
+            f"/v1/jobs/{job_id}/events?since={since}"
+            f"&timeout={timeout}",
+            timeout=timeout + self.timeout,
+        )
+
+    def drain(self) -> dict:
+        return self._checked("POST", "/v1/drain")
+
+    # -- conveniences --------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 10.0) -> dict:
+        """Block until the job is terminal; returns its final status.
+
+        Long-polls the event stream so progress wakes the wait
+        immediately; *poll* bounds each server-side hold.
+        """
+        deadline = time.monotonic() + timeout
+        since = 0
+        while True:
+            status = self.job(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            remaining = min(poll, deadline - time.monotonic())
+            doc = self.events(job_id, since=since, timeout=remaining)
+            since = doc.get("next", since)
+
+    def stream_events(self, job_id: str, timeout: float = 600.0,
+                      poll: float = 10.0) -> Iterator[dict]:
+        """Yield progress events until the job turns terminal."""
+        deadline = time.monotonic() + timeout
+        since = 0
+        while time.monotonic() < deadline:
+            remaining = min(poll, deadline - time.monotonic())
+            doc = self.events(job_id, since=since, timeout=remaining)
+            for event in doc.get("events", ()):
+                yield event
+            since = doc.get("next", since)
+            if doc.get("state") in ("done", "failed"):
+                return

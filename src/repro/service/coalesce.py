@@ -1,0 +1,71 @@
+"""In-flight request coalescing.
+
+The persistent result store already makes *repeated* queries O(1);
+this table closes the remaining window — two clients asking for the
+same cell **while it is still computing**. The first submission
+becomes the *primary* and runs; identical submissions (same
+:meth:`~repro.service.protocol.JobSpec.digest`, which for a cell job
+is exactly the store's content identity) attach as *followers* and
+never reach the scheduler. When the primary finishes, its payload
+fans out to every follower; if it fails, the failure fans out too —
+a follower is a promise of the primary's outcome, not of a retry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class CoalesceTable:
+    """Digest → (primary job id, follower job ids) for in-flight work."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, Tuple[str, List[str]]] = {}
+        #: Submissions that attached to an existing execution.
+        self.hits = 0
+        #: Executions that ran on behalf of at least one follower.
+        self.fanouts = 0
+
+    def claim(self, key: str, job_id: str) -> Optional[str]:
+        """Register *job_id* under *key*.
+
+        Returns ``None`` when *job_id* became the primary (caller
+        must schedule it and eventually :meth:`release` the key), or
+        the primary's id when it attached as a follower.
+        """
+        entry = self._inflight.get(key)
+        if entry is None:
+            self._inflight[key] = (job_id, [])
+            return None
+        primary, followers = entry
+        followers.append(job_id)
+        self.hits += 1
+        return primary
+
+    def primary(self, key: str) -> Optional[str]:
+        entry = self._inflight.get(key)
+        return entry[0] if entry else None
+
+    def followers(self, key: str) -> Tuple[str, ...]:
+        entry = self._inflight.get(key)
+        return tuple(entry[1]) if entry else ()
+
+    def release(self, key: str) -> Tuple[str, ...]:
+        """The primary finished: forget *key*, return its followers."""
+        entry = self._inflight.pop(key, None)
+        if entry is None:
+            return ()
+        followers = tuple(entry[1])
+        if followers:
+            self.fanouts += 1
+        return followers
+
+    def depth(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "coalesce_hits": self.hits,
+            "coalesce_fanouts": self.fanouts,
+        }

@@ -1,0 +1,316 @@
+"""Job lifecycle, execution and queue persistence.
+
+A :class:`Job` wraps a :class:`~repro.service.protocol.JobSpec` with
+scheduling state (timestamps, cost estimate), an append-only progress
+event buffer (the job's private telemetry stream, long-polled by
+clients) and its terminal payload or error.
+
+Execution rides entirely on the existing harness:
+
+* :func:`probe` answers a job instantly when **every** cell is
+  already in the in-process memo or the persistent result store —
+  such jobs never touch the scheduler.
+* :func:`execute` drives :func:`~repro.experiments.runner.run_benchmark`
+  for cells and :func:`~repro.experiments.parallel.run_matrix_parallel`
+  for sweeps (inheriting its shard timeout/retry/serial-fallback
+  fault tolerance), forwarding every telemetry event into the job's
+  buffer via :class:`CallbackWriter`.
+
+Result payloads are ``{"results": {config_label: {benchmark:
+record}}}`` where each record is the store's lossless
+:func:`~repro.experiments.export.result_to_record` form, stamped with
+the serving job's id. The stamp lives only on the wire copy — cached
+and stored results are never mutated, so the store's content keys and
+the bit-identical-to-CLI guarantee are untouched.
+
+The registry persists **queued** work on drain (``queue.json``,
+atomic write) and resubmits it on the next boot — a SIGTERM'd node
+loses nothing but its in-flight progress streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.telemetry import TelemetryWriter
+from repro.service.protocol import JobSpec
+
+
+class JobState:
+    """Lifecycle states (terminal: DONE / FAILED)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    COALESCED = "coalesced"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, COALESCED)
+    TERMINAL = (DONE, FAILED)
+
+
+def new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle."""
+
+    spec: JobSpec
+    id: str = field(default_factory=new_job_id)
+    state: str = JobState.QUEUED
+    cost_estimate: float = 0.0
+    #: Mutable copy of the spec's priority: coalescing may boost a
+    #: queued primary to its hottest follower's priority.
+    priority: float = 0.0
+    submitted_at: float = field(default_factory=time.time)
+    #: Monotonic clock reading used by the scheduler's aging term.
+    enqueued_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Where the payload came from: "store", "executed", "coalesced".
+    served_from: Optional[str] = None
+    coalesced_into: Optional[str] = None
+    error: Optional[str] = None
+    result: Optional[dict] = None
+    events: List[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.priority = self.spec.priority
+
+    @property
+    def client(self) -> str:
+        return self.spec.client
+
+    def push_event(self, record: dict) -> None:
+        self.events.append(record)
+
+    def status_wire(self) -> dict:
+        """The job-status wire document (``schemas/…`` "status")."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_wire(),
+            "priority": self.priority,
+            "client": self.client,
+            "cost_estimate": self.cost_estimate,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "served_from": self.served_from,
+            "coalesced_into": self.coalesced_into,
+            "error": self.error,
+            "events": len(self.events),
+        }
+
+
+class JobRegistry:
+    """Every job this service process has seen, by id."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+
+    def add(self, job: Job) -> Job:
+        self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def by_state(self, state: str) -> List[Job]:
+        return [j for j in self._jobs.values() if j.state == state]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JobState.ALL}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- persistence ---------------------------------------------------------
+
+    def persist_queue(self, path: str) -> int:
+        """Atomically write every queued job's spec to *path*.
+
+        Returns how many were persisted. Coalesced followers whose
+        primary has not finished are persisted too (their promised
+        execution dies with this process); terminal and running jobs
+        are not — running work completes before drain finishes.
+        """
+        entries = []
+        for job in self._jobs.values():
+            if job.state == JobState.QUEUED or (
+                job.state == JobState.COALESCED
+                and job.result is None and job.error is None
+            ):
+                entries.append({"id": job.id, "spec": job.spec.to_wire()})
+        doc = {"version": 1, "queued": entries}
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return len(entries)
+
+    @staticmethod
+    def load_queue(path: str) -> List[Job]:
+        """Recover persisted jobs (empty on missing/corrupt file).
+
+        The file is consumed: a successfully-read queue is unlinked
+        so a crash loop cannot double-submit recovered work.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            entries = doc["queued"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return []
+        jobs = []
+        for entry in entries:
+            try:
+                spec = JobSpec.from_wire(entry["spec"])
+                jobs.append(Job(spec=spec, id=entry["id"]))
+            except Exception:
+                # One rotten entry must not poison recovery.
+                continue
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return jobs
+
+
+# -- execution ----------------------------------------------------------------
+
+
+class CallbackWriter(TelemetryWriter):
+    """A telemetry writer that hands events to a callback.
+
+    Dropped into ``run_matrix_parallel(telemetry=...)`` so a sweep
+    job's shard lifecycle streams straight into the job's event
+    buffer (and from there to long-polling clients) instead of a
+    file.
+    """
+
+    def __init__(self, callback: Callable[[dict], None]) -> None:
+        super().__init__(None)
+        self._callback = callback
+
+    def emit(self, event: str, **fields) -> None:
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._callback(record)
+
+
+def _stamped(result, job_id: str) -> dict:
+    """Wire record of *result* carrying the serving job's id.
+
+    ``result_to_record`` copies ``extra``, so the stamp never touches
+    the cached/stored object (mirroring how ``extra["backend"]`` and
+    ``extra["served_by"]`` are only written on fresh simulations).
+    """
+    from repro.experiments.export import result_to_record
+
+    record = result_to_record(result)
+    record["extra"]["job_id"] = job_id
+    return record
+
+
+def probe(spec: JobSpec, job_id: str) -> Optional[dict]:
+    """The full payload if **every** cell is cached, else ``None``.
+
+    Consults the in-process memo first, then the persistent store —
+    the same lookup order as ``run_benchmark`` — but never simulates,
+    so it is safe to call on the submission path.
+    """
+    from repro.experiments import runner as _runner
+    from repro.experiments.store import active_store
+
+    settings = spec.settings()
+    store = active_store()
+    results: Dict[str, Dict[str, dict]] = {}
+    for label, config in spec.labelled_configs().items():
+        row = results.setdefault(label, {})
+        config_key = _runner._config_key(config)
+        for name in spec.benchmarks:
+            key = (name, settings, config_key)
+            cached = _runner._result_cache.get(key)
+            if cached is None and store is not None:
+                cached = store.load(name, settings, config_key)
+                if cached is not None:
+                    _runner._result_cache[key] = cached
+            if cached is None:
+                return None
+            row[name] = _stamped(cached, job_id)
+    return {"results": results}
+
+
+def execute(
+    spec: JobSpec,
+    job_id: str,
+    emit: Callable[[dict], None],
+    *,
+    default_backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
+) -> dict:
+    """Run *spec* to completion, streaming telemetry through *emit*.
+
+    Cells run through ``run_benchmark`` (store-aware, memoized);
+    sweeps run through ``run_matrix_parallel`` with the spec's worker
+    count (capped by *max_workers*) and inherit its timeout/retry/
+    serial-fallback fault tolerance. Raises on total failure — e.g. a
+    sweep whose every shard died — so the caller can fail the job.
+    """
+    from repro.experiments.parallel import run_matrix_parallel
+    from repro.experiments.runner import run_benchmark
+
+    settings = spec.settings()
+    labelled = spec.labelled_configs()
+    backend = spec.backend or default_backend
+    writer = CallbackWriter(emit)
+
+    if spec.kind == "cell":
+        (label, config), = labelled.items()
+        (name,) = spec.benchmarks
+        writer.emit("cell_start", benchmark=name, config=label)
+        result = run_benchmark(name, config, settings, backend)
+        writer.emit("cell_finish", benchmark=name, config=label,
+                    cycles=result.cycles, ipc=result.ipc)
+        return {"results": {label: {name: _stamped(result, job_id)}}}
+
+    workers = spec.workers
+    if max_workers is not None:
+        workers = min(workers, max_workers)
+    out = run_matrix_parallel(
+        list(spec.benchmarks), labelled, settings,
+        workers=workers, telemetry=writer, backend=backend,
+    )
+    if not any(cells for cells in out.values()):
+        raise RuntimeError("sweep produced no results (all shards failed)")
+    return {
+        "results": {
+            label: {
+                name: _stamped(result, job_id)
+                for name, result in cells.items()
+            }
+            for label, cells in out.items()
+        }
+    }

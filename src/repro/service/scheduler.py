@@ -1,0 +1,298 @@
+"""Cost-aware admission scheduling for the experiment service.
+
+Every job gets a **cost estimate** — seconds of simulation, derived
+from its trace length and cell count and calibrated against the
+committed KIPS baselines (``benchmarks/BENCH_core.json`` /
+``BENCH_vector.json``) — and an **effective priority**::
+
+    effective(job, now) = priority
+                        + aging_rate * (now - enqueued_at)
+                        - cost_weight * log1p(cost_estimate)
+
+The cost term makes a one-cell interactive query outrank an equal-
+priority 250-cell sweep the moment both are queued; the waiting-time
+term grows without bound, so any queued job eventually outranks every
+freshly-submitted job no matter how cheap — the scheduler cannot
+starve (property-tested in ``tests/test_service_scheduler.py``).
+
+Admission picks the highest effective priority *strictly*: when the
+top job does not fit the remaining **compute budget** (the sum of
+running jobs' cost estimates), nothing is admitted until capacity
+frees up. Backfilling a cheaper job past the head would re-open the
+starvation hole the aging term closes. A job larger than the whole
+budget still runs — alone — once it reaches the head and the machine
+drains.
+
+Per-client **token buckets** bound the submission rate, so one
+misbehaving client cannot monopolise the queue; rejected submissions
+raise :class:`RateLimited` (HTTP 429 at the API layer).
+
+The scheduler is synchronous and clock-injected: the asyncio app
+drives it from worker tasks, and the tests drive it from a fake
+clock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: Fallbacks when no benchmark baseline file is readable: the
+#: committed BENCH_core/BENCH_vector geomeans as of PR 7, rounded
+#: down (pessimistic costs only delay admission, never break it).
+DEFAULT_KIPS = {"reference": 40.0, "vector": 90.0}
+
+
+def _bench_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(here))),
+        "benchmarks",
+    )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Estimated simulation seconds per job, from calibrated KIPS."""
+
+    kips: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KIPS)
+    )
+
+    @classmethod
+    def from_bench_files(cls, root: Optional[str] = None) -> "CostModel":
+        """Calibrate from the committed KIPS baselines.
+
+        Reads ``BENCH_core.json`` (reference backend) and
+        ``BENCH_vector.json`` (vector backend) under *root* (default:
+        the repo's ``benchmarks/``). Unreadable or malformed files
+        fall back to :data:`DEFAULT_KIPS` — a service node must boot
+        off-repo too.
+        """
+        root = root or _bench_root()
+        kips = dict(DEFAULT_KIPS)
+        for backend, filename in (
+            ("reference", "BENCH_core.json"),
+            ("vector", "BENCH_vector.json"),
+        ):
+            value = _geomean_kips(os.path.join(root, filename))
+            if value:
+                kips[backend] = value
+        return cls(kips=kips)
+
+    def kips_for(self, backend: Optional[str]) -> float:
+        return self.kips.get(backend or "reference",
+                             self.kips["reference"])
+
+    def estimate(self, spec) -> float:
+        """Seconds to simulate *spec* cold (no caches).
+
+        ``trace_length × n_cells / KIPS``; an upper bound in practice
+        (store and memo hits only make jobs cheaper), which is the
+        right bias for admission control.
+        """
+        instructions = (spec.timing + spec.warmup) * spec.n_cells
+        return instructions / (1000.0 * self.kips_for(spec.backend))
+
+
+def _geomean_kips(path: str) -> Optional[float]:
+    """Geometric-mean KIPS over a BENCH file's baseline cells."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        cells = doc["baseline"]["cells"]
+        values = [
+            float(cell["kips"]) for cell in cells.values()
+            if float(cell.get("kips", 0)) > 0
+        ]
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        return None
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class RateLimited(Exception):
+    """A client exceeded its submission rate limit."""
+
+    def __init__(self, client: str, retry_after: float) -> None:
+        super().__init__(
+            f"client {client!r} rate-limited; retry in "
+            f"{retry_after:.1f}s"
+        )
+        self.client = client
+        self.retry_after = retry_after
+
+
+class _TokenBucket:
+    """Classic token bucket: *rate* tokens/s, *burst* capacity."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def try_take(self, now: float) -> Optional[float]:
+        """``None`` on success, else seconds until a token exists."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate if self.rate else 60.0
+
+
+class AdmissionScheduler:
+    """Effective-priority admission under a compute budget.
+
+    Jobs are any objects with ``id``, ``priority``, ``client``,
+    ``cost_estimate`` and ``enqueued_at`` attributes
+    (:class:`repro.service.jobs.Job` in production, stubs in tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        compute_budget: float = 60.0,
+        aging_rate: float = 0.5,
+        cost_weight: float = 1.0,
+        rate: Optional[float] = None,
+        burst: float = 10.0,
+        clock=time.monotonic,
+    ) -> None:
+        if compute_budget <= 0:
+            raise ValueError("compute_budget must be positive")
+        if aging_rate <= 0:
+            # A zero aging rate voids the no-starvation guarantee;
+            # refuse rather than silently degrade.
+            raise ValueError("aging_rate must be positive")
+        self.compute_budget = compute_budget
+        self.aging_rate = aging_rate
+        self.cost_weight = cost_weight
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._queue: List = []
+        self._running: Dict[str, float] = {}
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def check_rate(self, client: str) -> None:
+        """Charge one submission to *client*'s bucket.
+
+        Raises :class:`RateLimited` when the bucket is empty. With no
+        configured rate the check is free.
+        """
+        if self.rate is None:
+            return
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = _TokenBucket(
+                self.rate, self.burst, now
+            )
+        retry_after = bucket.try_take(now)
+        if retry_after is not None:
+            self.rejected += 1
+            raise RateLimited(client, retry_after)
+
+    def submit(self, job) -> None:
+        """Queue *job* for admission (rate checks are separate)."""
+        if job.enqueued_at is None:
+            job.enqueued_at = self.clock()
+        self._queue.append(job)
+
+    def withdraw(self, job) -> bool:
+        """Remove a queued job (coalesced away or cancelled)."""
+        try:
+            self._queue.remove(job)
+            return True
+        except ValueError:
+            return False
+
+    # -- admission -----------------------------------------------------------
+
+    def effective_priority(self, job, now: Optional[float] = None) -> float:
+        now = self.clock() if now is None else now
+        enqueued = job.enqueued_at if job.enqueued_at is not None else now
+        waiting = max(0.0, now - enqueued)
+        return (
+            job.priority
+            + self.aging_rate * waiting
+            - self.cost_weight * math.log1p(max(0.0, job.cost_estimate))
+        )
+
+    @property
+    def running_cost(self) -> float:
+        return sum(self._running.values())
+
+    def next_admissible(self):
+        """Pop and return the job to run now, or ``None``.
+
+        Strict head-of-line: the highest effective priority either
+        fits ``compute_budget - running_cost`` (or the machine is
+        idle) and is admitted, or nothing is.
+        """
+        if not self._queue:
+            return None
+        now = self.clock()
+        head = max(
+            self._queue, key=lambda job: self.effective_priority(job, now)
+        )
+        fits = (
+            not self._running
+            or self.running_cost + head.cost_estimate
+            <= self.compute_budget
+        )
+        if not fits:
+            return None
+        self._queue.remove(head)
+        self._running[head.id] = head.cost_estimate
+        self.admitted += 1
+        return head
+
+    def release(self, job) -> None:
+        """A previously-admitted job finished; free its budget."""
+        self._running.pop(job.id, None)
+
+    # -- introspection -------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def queued(self) -> Iterable:
+        return tuple(self._queue)
+
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def snapshot(self) -> dict:
+        now = self.clock()
+        return {
+            "queue_depth": len(self._queue),
+            "running": len(self._running),
+            "running_cost": self.running_cost,
+            "compute_budget": self.compute_budget,
+            "admitted": self.admitted,
+            "rate_rejected": self.rejected,
+            "queued": [
+                {
+                    "id": job.id,
+                    "effective_priority": self.effective_priority(
+                        job, now
+                    ),
+                    "cost_estimate": job.cost_estimate,
+                }
+                for job in self._queue
+            ],
+        }

@@ -270,3 +270,61 @@ def test_warm_rerun_performs_zero_resimulations(tmp_path):
             assert warm[label][name].ipc == pytest.approx(
                 cold[label][name].ipc
             )
+
+def test_interrupt_emits_matrix_abort_serial(tmp_path, monkeypatch):
+    """KeyboardInterrupt mid-matrix ends the stream with matrix_abort
+    (and no matrix_finish), then re-raises."""
+
+    def interrupted(self, names):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(
+        parallel_mod._MatrixRun, "run_serial", interrupted
+    )
+    tele = tmp_path / "abort.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        run_matrix_parallel(
+            _BENCHES, _CONFIGS, _SETTINGS, workers=1,
+            telemetry=str(tele),
+        )
+    events = read_telemetry(tele)
+    names = [e["event"] for e in events]
+    assert names[-1] == "matrix_abort"
+    assert "matrix_finish" not in names
+    abort = events[-1]
+    assert abort["reason"] == "KeyboardInterrupt"
+    assert abort["shards_done"] == 0
+    assert summarize_telemetry(events)["aborts"] == 1
+
+
+def test_interrupt_mid_pool_reaps_workers(tmp_path, monkeypatch):
+    """An interrupt while shards are in flight terminates the pool
+    (no orphan workers) and still records the abort event."""
+    import multiprocessing.pool as mp_pool
+
+    terminated = []
+    real_terminate = mp_pool.Pool.terminate
+
+    def tracking_terminate(self):
+        terminated.append(True)
+        return real_terminate(self)
+
+    monkeypatch.setattr(
+        mp_pool.Pool, "terminate", tracking_terminate
+    )
+
+    def interrupting_poll(self, pending, active):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(
+        parallel_mod._MatrixRun, "_poll", interrupting_poll
+    )
+    tele = tmp_path / "abort.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        run_matrix_parallel(
+            _BENCHES, _CONFIGS, _SETTINGS, workers=2,
+            telemetry=str(tele),
+        )
+    assert terminated  # the pool context reaped its workers
+    events = read_telemetry(tele)
+    assert events[-1]["event"] == "matrix_abort"

@@ -1,0 +1,44 @@
+"""In-flight coalescing table semantics."""
+
+from __future__ import annotations
+
+from repro.service.coalesce import CoalesceTable
+
+
+def test_first_claim_is_primary():
+    table = CoalesceTable()
+    assert table.claim("k", "a") is None
+    assert table.primary("k") == "a"
+    assert table.followers("k") == ()
+    assert table.hits == 0
+
+
+def test_followers_attach_and_fan_out():
+    table = CoalesceTable()
+    table.claim("k", "a")
+    assert table.claim("k", "b") == "a"
+    assert table.claim("k", "c") == "a"
+    assert table.hits == 2
+    assert table.followers("k") == ("b", "c")
+    assert table.release("k") == ("b", "c")
+    assert table.fanouts == 1
+    # Key is free again: a new submission becomes a fresh primary.
+    assert table.claim("k", "d") is None
+
+
+def test_release_without_followers():
+    table = CoalesceTable()
+    table.claim("k", "a")
+    assert table.release("k") == ()
+    assert table.fanouts == 0
+    assert table.release("k") == ()  # idempotent on unknown keys
+
+
+def test_distinct_keys_do_not_interfere():
+    table = CoalesceTable()
+    assert table.claim("k1", "a") is None
+    assert table.claim("k2", "b") is None
+    assert table.depth() == 2
+    stats = table.stats()
+    assert stats["inflight"] == 2
+    assert stats["coalesce_hits"] == 0

@@ -1,0 +1,330 @@
+"""End-to-end service tests over real HTTP on an ephemeral port.
+
+Each test boots a full :class:`ExperimentService` (its own asyncio
+loop in a background thread) and talks to it through the stdlib
+:class:`~repro.service.client.ServiceClient`. Real simulations use
+short synthetic benchmarks so the suite stays fast; scheduling-
+behaviour tests swap the execution seam (``service._execute``) for a
+controllable stub instead of simulating at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.experiments import store as store_mod
+from repro.experiments.export import result_to_record
+from repro.experiments.runner import clear_results, run_benchmark
+from repro.experiments.store import set_store
+from repro.service.app import ExperimentService
+from repro.service.client import ServiceClient, read_endpoint
+from repro.service.protocol import (
+    JobSpec, resolve_config, validate_status,
+)
+
+QUICK = {"timing": 1500, "warmup": 500, "seed": 0}
+
+CELL = {
+    "kind": "cell",
+    "benchmark": "132.ijpeg",
+    "config": {"scheduling": "NAS", "policy": "NAV",
+               "window": 64, "latency": 0},
+    "settings": QUICK,
+    "client": "test",
+}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(monkeypatch, tmp_path):
+    monkeypatch.delenv(store_mod.STORE_ENV_VAR, raising=False)
+    clear_results()
+    set_store(tmp_path / "results")
+    yield
+    set_store(None)
+    clear_results()
+
+
+class ServiceThread:
+    """Run one service in a dedicated event-loop thread."""
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self.loop.run_until_complete(self.service.wait_closed())
+        self.loop.close()
+
+    def __enter__(self) -> ServiceClient:
+        self.thread.start()
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                host, port = read_endpoint(self.service.state_dir)
+                client = ServiceClient(host, port, timeout=30)
+                if client.ping():
+                    return client
+            except Exception:
+                time.sleep(0.02)
+        raise RuntimeError("service did not come up")
+
+    def __exit__(self, *_exc) -> None:
+        if not self.thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(reason="test-teardown"), self.loop
+        )
+        future.result(timeout=30)
+        self.thread.join(timeout=30)
+
+
+def make_service(tmp_path, **kwargs) -> ServiceThread:
+    kwargs.setdefault("workers", 1)
+    service = ExperimentService(
+        "127.0.0.1", 0, state_dir=str(tmp_path / "state"), **kwargs
+    )
+    return ServiceThread(service)
+
+
+def wait_done(client: ServiceClient, job_id: str, timeout=60) -> dict:
+    status = client.wait(job_id, timeout=timeout)
+    assert status["state"] == "done", status
+    return status
+
+
+# -- acceptance: bit-identity + instant store hits ---------------------------
+
+
+def test_executed_job_bit_identical_to_direct_run(tmp_path):
+    with make_service(tmp_path) as client:
+        job = client.submit(CELL)
+        wait_done(client, job["id"])
+        payload = client.result(job["id"])
+        (label,) = payload["results"]
+        record = payload["results"][label]["132.ijpeg"]
+
+    spec = JobSpec.from_wire(CELL)
+    clear_results()  # force the direct run through the shared store
+    set_store(None)
+    direct = run_benchmark(
+        "132.ijpeg", resolve_config(spec.configs[0]), spec.settings()
+    )
+    expected = result_to_record(direct)
+    for field, value in expected.items():
+        if field != "extra":
+            assert record[field] == value
+    assert record["extra"]["job_id"] == job["id"]
+
+
+def test_warm_store_serves_instantly(tmp_path):
+    with make_service(tmp_path) as client:
+        first = client.submit(CELL)
+        wait_done(client, first["id"])
+        started = time.perf_counter()
+        second = client.submit(CELL)
+        elapsed = time.perf_counter() - started
+        assert second["state"] == "done"
+        assert second["served_from"] == "store"
+        assert elapsed < 1.0
+        # Instant jobs bypass the scheduler entirely.
+        status = client.status()
+        assert status["store_instant_hits"] == 1
+        first_payload = client.result(first["id"])
+        second_payload = client.result(second["id"])
+    (label,) = first_payload["results"]
+    a = first_payload["results"][label]["132.ijpeg"]
+    b = second_payload["results"][label]["132.ijpeg"]
+    assert {k: v for k, v in a.items() if k != "extra"} == \
+           {k: v for k, v in b.items() if k != "extra"}
+
+
+# -- acceptance: coalescing ---------------------------------------------------
+
+
+def test_identical_inflight_jobs_coalesce_to_one_execution(tmp_path):
+    """N identical submissions → exactly 1 execution, N results."""
+    runner = make_service(tmp_path)
+    gate = threading.Event()
+    executions = []
+    real_execute = runner.service._execute
+
+    def gated_execute(spec, job_id, emit, **kwargs):
+        executions.append(job_id)
+        assert gate.wait(timeout=30)
+        return real_execute(spec, job_id, emit, **kwargs)
+
+    runner.service._execute = gated_execute
+    with runner as client:
+        first = client.submit(CELL)
+        # Wait until the primary is actually executing (holding the
+        # coalesce claim) before piling on followers.
+        deadline = time.time() + 10
+        while not executions and time.time() < deadline:
+            time.sleep(0.01)
+        assert executions
+        followers = [client.submit(CELL) for _ in range(3)]
+        for follower in followers:
+            assert follower["state"] == "coalesced"
+            assert follower["coalesced_into"] == first["id"]
+        gate.set()
+        wait_done(client, first["id"])
+        primary_payload = client.result(first["id"])
+        follower_payloads = [
+            client.result(f["id"]) for f in followers
+        ]
+        follower_status = client.job(followers[0]["id"])
+        status = client.status()
+
+    assert executions == [first["id"]]  # one execution total
+    for payload in follower_payloads:  # every submitter got the result
+        assert payload["results"] == primary_payload["results"]
+    assert follower_status["state"] == "done"
+    assert follower_status["served_from"] == "coalesced"
+    assert status["coalesce"]["coalesce_hits"] == 3
+
+
+# -- acceptance: cost-aware ordering -----------------------------------------
+
+
+def test_cheap_job_admitted_ahead_of_earlier_bulk_sweep(tmp_path):
+    """With the single worker busy, a later 1-cell job outranks an
+    earlier-queued 250-cell sweep on cost, and runs first."""
+    runner = make_service(tmp_path)
+    gate = threading.Event()
+    order = []
+
+    def stub_execute(spec, job_id, emit, **kwargs):
+        if not order:  # only the first (blocking) job holds the gate
+            order.append(job_id)
+            assert gate.wait(timeout=30)
+        else:
+            order.append(job_id)
+        return {"results": {}}
+
+    runner.service._execute = stub_execute
+    with runner as client:
+        blocker = client.submit(CELL)
+        while not order:
+            time.sleep(0.01)
+        bulk = client.submit({
+            "kind": "sweep",
+            "benchmarks": ["132.ijpeg"],
+            "configs": [
+                {"scheduling": "NAS", "policy": p,
+                 "window": 64, "latency": 0}
+                for p in ("NO", "NAV", "SEL", "STORE", "SYNC")
+            ],
+            "settings": {"timing": 16000, "warmup": 10000, "seed": 0},
+            "client": "bulk",
+        })
+        time.sleep(0.05)  # the sweep queues strictly earlier
+        cheap = client.submit({**CELL, "client": "interactive",
+                               "settings": {"timing": 1000,
+                                            "warmup": 500, "seed": 1}})
+        assert bulk["state"] == "queued"
+        assert cheap["state"] == "queued"
+        gate.set()
+        wait_done(client, bulk["id"])
+        wait_done(client, cheap["id"])
+    assert order[0] == blocker["id"]
+    assert order[1:] == [cheap["id"], bulk["id"]]
+
+
+# -- acceptance: drain + restart recovery ------------------------------------
+
+
+def test_drain_persists_queue_and_restart_recovers(tmp_path):
+    runner = make_service(tmp_path)
+    gate = threading.Event()
+    started = []
+
+    def stub_execute(spec, job_id, emit, **kwargs):
+        started.append(job_id)
+        assert gate.wait(timeout=30)
+        return {"results": {"stub": {}}}
+
+    runner.service._execute = stub_execute
+    specs = [
+        {**CELL, "settings": {**QUICK, "seed": seed}}
+        for seed in (1, 2, 3)
+    ]
+    with runner as client:
+        jobs = [client.submit(spec) for spec in specs]
+        while not started:
+            time.sleep(0.01)
+        drain_thread = threading.Thread(target=client.drain)
+        drain_thread.start()
+        time.sleep(0.1)
+        # Draining: new submissions are refused.
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError):
+            client.submit(CELL)
+        gate.set()  # let the running job finish
+        drain_thread.join(timeout=30)
+
+    # The running job finished during drain; the rest persisted.
+    assert started == [jobs[0]["id"]]
+    queue_path = runner.service.queue_path
+    import json
+
+    with open(queue_path) as handle:
+        persisted = json.load(handle)["queued"]
+    assert {e["id"] for e in persisted} == {j["id"] for j in jobs[1:]}
+
+    # A fresh node on the same state dir resumes the queue.
+    restarted = make_service(tmp_path)
+    with restarted as client:
+        assert restarted.service.recovered == 2
+        for job in jobs[1:]:
+            final = wait_done(client, job["id"])
+            assert final["served_from"] == "executed"
+            assert final["cost_estimate"] > 0  # re-estimated on boot
+
+
+# -- protocol odds and ends ---------------------------------------------------
+
+
+def test_http_error_paths(tmp_path):
+    from repro.service.client import ServiceError
+
+    with make_service(tmp_path) as client:
+        with pytest.raises(ServiceError):  # 400: bad spec
+            client.submit({"kind": "cell", "benchmark": "999.nope",
+                           "config": CELL["config"]})
+        with pytest.raises(ServiceError):  # 404: unknown job
+            client.job("job-doesnotexist")
+        job = client.submit(CELL)
+        wait_done(client, job["id"])
+        doc = client.job(job["id"])
+        assert validate_status(doc) == []
+        listing = client.jobs(state="done")
+        assert any(j["id"] == job["id"] for j in listing)
+
+
+def test_rate_limited_submissions_get_429(tmp_path):
+    from repro.service.client import ServiceError
+
+    runner = make_service(tmp_path, rate=0.001, burst=2.0)
+    with runner as client:
+        client.submit(CELL)
+        client.submit({**CELL, "settings": {**QUICK, "seed": 9}})
+        with pytest.raises(ServiceError, match="rate-limited"):
+            client.submit({**CELL, "settings": {**QUICK, "seed": 10}})
+
+
+def test_events_long_poll_sees_progress(tmp_path):
+    with make_service(tmp_path) as client:
+        job = client.submit(CELL)
+        wait_done(client, job["id"])
+        doc = client.events(job["id"], since=0, timeout=5.0)
+        names = [e["event"] for e in doc["events"]]
+        assert "cell_start" in names
+        assert "cell_finish" in names

@@ -1,0 +1,266 @@
+"""Admission scheduler: cost model, budget, aging, rate limits.
+
+The load-bearing property is **no starvation**: under any submission
+pattern the aging term eventually lifts every queued job over every
+newcomer, and strict head-of-line admission refuses to backfill past
+it — so every job is admitted in bounded time (hypothesis-tested
+below with a fake clock).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.service.jobs import Job
+from repro.service.protocol import JobSpec
+from repro.service.scheduler import (
+    DEFAULT_KIPS,
+    AdmissionScheduler,
+    CostModel,
+    RateLimited,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_ids = itertools.count()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_job(priority=0.0, cost=1.0, client="c") -> Job:
+    spec = JobSpec(
+        kind="cell", benchmarks=("126.gcc",),
+        configs=({"scheduling": "NAS", "policy": "NAV",
+                  "window": 128, "latency": 0},),
+        priority=priority, client=client,
+    )
+    job = Job(spec=spec, id=f"job-{next(_ids)}")
+    job.cost_estimate = cost
+    return job
+
+
+def make_scheduler(clock, **kwargs) -> AdmissionScheduler:
+    kwargs.setdefault("compute_budget", 10.0)
+    kwargs.setdefault("aging_rate", 0.5)
+    return AdmissionScheduler(clock=clock, **kwargs)
+
+
+# -- cost model ---------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_estimate_scales_with_cells_and_length(self):
+        model = CostModel()
+        cell = JobSpec(kind="cell", benchmarks=("126.gcc",),
+                       configs=({"policy": "NAV"},),
+                       timing=6000, warmup=4000)
+        sweep = JobSpec(kind="sweep",
+                        benchmarks=("126.gcc", "099.go"),
+                        configs=({"policy": "NO"}, {"policy": "NAV"},
+                                 {"policy": "ORACLE"}),
+                        timing=6000, warmup=4000)
+        assert sweep.n_cells == 6
+        assert model.estimate(sweep) == pytest.approx(
+            6 * model.estimate(cell)
+        )
+        longer = JobSpec(kind="cell", benchmarks=("126.gcc",),
+                         configs=({"policy": "NAV"},),
+                         timing=12000, warmup=8000)
+        assert model.estimate(longer) == pytest.approx(
+            2 * model.estimate(cell)
+        )
+
+    def test_estimate_uses_backend_kips(self):
+        model = CostModel(kips={"reference": 40.0, "vector": 80.0})
+        ref = JobSpec(benchmarks=("126.gcc",),
+                      configs=({"policy": "NAV"},))
+        vec = JobSpec(benchmarks=("126.gcc",),
+                      configs=({"policy": "NAV"},), backend="vector")
+        assert model.estimate(ref) == pytest.approx(
+            2 * model.estimate(vec)
+        )
+
+    def test_from_bench_files_reads_committed_baselines(self):
+        model = CostModel.from_bench_files(
+            os.path.join(REPO_ROOT, "benchmarks")
+        )
+        # Calibrated values, not the fallbacks.
+        assert model.kips["reference"] != DEFAULT_KIPS["reference"]
+        assert 1.0 < model.kips["reference"] < 10_000.0
+        assert 1.0 < model.kips["vector"] < 100_000.0
+        # Vector backend is the fast one.
+        assert model.kips["vector"] > model.kips["reference"]
+
+    def test_from_bench_files_falls_back_when_unreadable(self, tmp_path):
+        model = CostModel.from_bench_files(str(tmp_path / "nope"))
+        assert model.kips == DEFAULT_KIPS
+
+
+# -- admission ----------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_cheap_job_outranks_equal_priority_sweep(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock, compute_budget=1000.0)
+        bulk = make_job(priority=0.0, cost=100.0)
+        sched.submit(bulk)
+        clock.advance(0.1)  # bulk has a small head start
+        cheap = make_job(priority=0.0, cost=0.1)
+        sched.submit(cheap)
+        assert sched.next_admissible() is cheap
+        assert sched.next_admissible() is bulk
+
+    def test_budget_blocks_even_cheaper_jobs(self):
+        """Strict head-of-line: nothing backfills past a blocked head."""
+        clock = FakeClock()
+        sched = make_scheduler(clock, compute_budget=10.0)
+        running = make_job(cost=8.0)
+        sched.submit(running)
+        assert sched.next_admissible() is running
+        big = make_job(priority=100.0, cost=5.0)  # head, does not fit
+        small = make_job(priority=0.0, cost=1.0)  # would fit
+        sched.submit(big)
+        sched.submit(small)
+        assert sched.next_admissible() is None
+        sched.release(running)
+        assert sched.next_admissible() is big
+
+    def test_oversized_job_runs_alone_on_idle_machine(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock, compute_budget=10.0)
+        monster = make_job(cost=50.0)
+        sched.submit(monster)
+        assert sched.next_admissible() is monster
+        follower = make_job(cost=0.1)
+        sched.submit(follower)
+        assert sched.next_admissible() is None
+        sched.release(monster)
+        assert sched.next_admissible() is follower
+
+    def test_aging_lifts_old_job_over_new_high_priority(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock, aging_rate=1.0)
+        old = make_job(priority=0.0, cost=1.0)
+        sched.submit(old)
+        clock.advance(100.0)
+        fresh = make_job(priority=50.0, cost=1.0)
+        sched.submit(fresh)
+        assert sched.next_admissible() is old
+
+    def test_withdraw_removes_queued_job(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock)
+        job = make_job()
+        sched.submit(job)
+        assert sched.withdraw(job) is True
+        assert sched.withdraw(job) is False
+        assert sched.next_admissible() is None
+
+    def test_zero_aging_rate_is_refused(self):
+        with pytest.raises(ValueError):
+            AdmissionScheduler(aging_rate=0.0)
+        with pytest.raises(ValueError):
+            AdmissionScheduler(compute_budget=0.0)
+
+    def test_snapshot_reports_queue(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock)
+        sched.submit(make_job(cost=2.0))
+        snap = sched.snapshot()
+        assert snap["queue_depth"] == 1
+        assert snap["running"] == 0
+        assert snap["queued"][0]["cost_estimate"] == 2.0
+
+
+# -- rate limiting ------------------------------------------------------------
+
+
+class TestRateLimit:
+    def test_burst_then_reject_then_refill(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock, rate=1.0, burst=3.0)
+        for _ in range(3):
+            sched.check_rate("greedy")
+        with pytest.raises(RateLimited) as info:
+            sched.check_rate("greedy")
+        assert info.value.retry_after > 0
+        # Another client is unaffected.
+        sched.check_rate("other")
+        clock.advance(1.5)
+        sched.check_rate("greedy")  # refilled
+
+    def test_no_rate_means_unlimited(self):
+        clock = FakeClock()
+        sched = make_scheduler(clock, rate=None)
+        for _ in range(1000):
+            sched.check_rate("anyone")
+
+
+# -- the no-starvation property ----------------------------------------------
+
+
+@hyp_settings(max_examples=60, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=-10, max_value=10,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.01, max_value=50.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1, max_size=25,
+    ),
+    budget=st.floats(min_value=0.5, max_value=20.0,
+                     allow_nan=False, allow_infinity=False),
+)
+def test_no_admitted_job_starves(jobs, budget):
+    """Every submitted job is admitted in bounded steps.
+
+    Jobs arrive staggered (arbitrary priorities, costs and gaps);
+    the machine repeatedly admits what it can and finishes one
+    running job per step. Aging must eventually push every job
+    through, regardless of how hot later arrivals are.
+    """
+    clock = FakeClock()
+    sched = AdmissionScheduler(
+        compute_budget=budget, aging_rate=0.5, clock=clock
+    )
+    pending = []
+    for priority, cost, gap in jobs:
+        clock.advance(gap)
+        job = make_job(priority=priority, cost=cost)
+        sched.submit(job)
+        pending.append(job)
+
+    admitted = set()
+    running = []
+    # Generous bound: steps linear in job count with slack.
+    for _ in range(10 * len(jobs) + 20):
+        job = sched.next_admissible()
+        if job is not None:
+            admitted.add(job.id)
+            running.append(job)
+        else:
+            # Blocked or empty: finish the oldest running job.
+            if running:
+                sched.release(running.pop(0))
+        clock.advance(1.0)
+        if len(admitted) == len(pending):
+            break
+    assert admitted == {job.id for job in pending}

@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""CI smoke test for the experiment service (``repro serve``).
+
+Boots a real service node as a subprocess on an ephemeral port and
+drives it through the acceptance checklist over HTTP:
+
+1. **instant store hit** — a result warmed into the store before boot
+   is served in well under a second with ``served_from == "store"``;
+2. **bit-identity** — the record the service returns matches a direct
+   in-process :func:`run_benchmark` field for field;
+3. **coalescing** — an identical sweep submitted while the first is
+   in flight dedups to one execution and both callers get the same
+   payload;
+4. **schema** — every job status document validates against
+   ``schemas/service_job.schema.json``;
+5. **SIGTERM drain** — with jobs queued behind a running sweep, a
+   SIGTERM finishes the running work, persists the queue to
+   ``queue.json``, and a fresh node on the same state dir recovers
+   and executes the persisted jobs.
+
+Exit 0 on success, 1 on the first failed check (with a message), so
+the CI job fails loudly.  Usage::
+
+    python tools/service_smoke.py --out service-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src",
+)
+sys.path.insert(0, SRC)
+
+from repro.experiments.export import result_to_record  # noqa: E402
+from repro.experiments.runner import run_benchmark  # noqa: E402
+from repro.experiments.store import set_store  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    ServiceClient, read_endpoint,
+)
+from repro.service.protocol import (  # noqa: E402
+    JobSpec, resolve_config, validate_status,
+)
+
+SETTINGS = {"timing": 4000, "warmup": 2000, "seed": 0}
+
+WARM_CELL = {
+    "kind": "cell",
+    "benchmark": "126.gcc",
+    "config": {"scheduling": "NAS", "policy": "NAV",
+               "window": 128, "latency": 0},
+    "settings": SETTINGS,
+    "client": "smoke",
+}
+
+#: Big enough to still be running when its duplicate arrives a few
+#: milliseconds later, small enough to finish within the drain.
+SWEEP = {
+    "kind": "sweep",
+    "benchmarks": ["126.gcc", "099.go"],
+    "configs": [
+        {"scheduling": "NAS", "policy": policy,
+         "window": 128, "latency": 0}
+        for policy in ("NO", "NAV", "ORACLE")
+    ],
+    "settings": SETTINGS,
+    "client": "smoke",
+}
+
+_failures = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        _failures.append(message)
+
+
+def boot(out: str, state_dir: str, store_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH", "")) if p
+    )
+    env.setdefault("PYTHONHASHSEED", "0")
+    log = open(os.path.join(out, "serve.log"), "a")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--state-dir", state_dir, "--store", store_dir,
+            "--workers", "1", "--sweep-workers", "2",
+        ],
+        stdout=log, stderr=subprocess.STDOUT, env=env,
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        endpoint = read_endpoint(state_dir)
+        if endpoint is not None:
+            client = ServiceClient(*endpoint, timeout=60)
+            if client.ping():
+                return proc, client
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"service exited early (rc={proc.returncode}); "
+                f"see {out}/serve.log"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise SystemExit("service did not come up within 60s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="service-smoke",
+        help="working directory (state, store, logs, report)",
+    )
+    args = parser.parse_args(argv)
+
+    out = os.path.abspath(args.out)
+    state_dir = os.path.join(out, "state")
+    store_dir = os.path.join(out, "store")
+    os.makedirs(out, exist_ok=True)
+
+    # -- warm the store + record the direct-run ground truth -------------
+    print("== warming result store with a direct run")
+    spec = JobSpec.from_wire(WARM_CELL)
+    set_store(store_dir)
+    direct = run_benchmark(
+        "126.gcc", resolve_config(spec.configs[0]), spec.settings()
+    )
+    set_store(None)
+    expected = result_to_record(direct)
+
+    proc, client = boot(out, state_dir, store_dir)
+    try:
+        # -- instant store hit + bit-identity ----------------------------
+        print("== instant store hit")
+        started = time.perf_counter()
+        warm = client.submit(WARM_CELL)
+        elapsed = time.perf_counter() - started
+        check(warm["state"] == "done",
+              f"warm submit is terminal immediately ({warm['state']})")
+        check(warm.get("served_from") == "store",
+              "warm submit served from the store")
+        check(elapsed < 1.0,
+              f"store hit latency {elapsed * 1000:.1f}ms < 1s")
+
+        payload = client.result(warm["id"])
+        (label,) = payload["results"]
+        record = payload["results"][label]["126.gcc"]
+        mismatched = [
+            f for f, v in expected.items()
+            if f != "extra" and record.get(f) != v
+        ]
+        check(not mismatched,
+              f"served record bit-identical to direct run "
+              f"(mismatched fields: {mismatched or 'none'})")
+        check(record["extra"].get("job_id") == warm["id"],
+              "served record stamped with its job id")
+
+        # -- coalescing ---------------------------------------------------
+        print("== coalesced pair (identical in-flight sweeps)")
+        primary = client.submit(SWEEP)
+        follower = client.submit(SWEEP)
+        check(follower["state"] == "coalesced",
+              f"duplicate sweep coalesced ({follower['state']})")
+        check(follower.get("coalesced_into") == primary["id"],
+              "follower points at the primary")
+        final = client.wait(primary["id"], timeout=600)
+        check(final["state"] == "done", "primary sweep finished")
+        follower_final = client.job(follower["id"])
+        check(follower_final["state"] == "done",
+              "follower finished with the primary")
+        check(follower_final.get("served_from") == "coalesced",
+              "follower served from the coalesced primary")
+        check(client.result(primary["id"])["results"]
+              == client.result(follower["id"])["results"],
+              "primary and follower payloads identical")
+        status = client.status()
+        check(status["coalesce"]["coalesce_hits"] >= 1,
+              "node counted the coalesce hit")
+
+        # -- status documents validate ------------------------------------
+        print("== schema validation")
+        for job_id in (warm["id"], primary["id"], follower["id"]):
+            errors = validate_status(client.job(job_id))
+            check(errors == [],
+                  f"status document for {job_id} validates "
+                  f"({errors or 'clean'})")
+
+        # -- SIGTERM drain with queued work -------------------------------
+        print("== SIGTERM drain persists the queue")
+        blocker = client.submit({
+            **SWEEP,
+            "settings": {**SETTINGS, "seed": 1},
+        })
+        queued = [
+            client.submit({**WARM_CELL,
+                           "settings": {**SETTINGS, "seed": seed}})
+            for seed in (2, 3)
+        ]
+        # Let the blocker reach the single worker before draining.
+        deadline = time.time() + 60
+        while (client.job(blocker["id"])["state"] == "queued"
+               and time.time() < deadline):
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=300)
+        check(rc == 0, f"drained node exited cleanly (rc={rc})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    queue_path = os.path.join(state_dir, "queue.json")
+    check(os.path.exists(queue_path), "queue.json persisted")
+    with open(queue_path) as handle:
+        persisted = {e["id"] for e in json.load(handle)["queued"]}
+    check(persisted == {j["id"] for j in queued},
+          f"persisted exactly the queued cells ({sorted(persisted)})")
+
+    # -- restart recovery ----------------------------------------------------
+    print("== restart recovers the persisted queue")
+    proc, client = boot(out, state_dir, store_dir)
+    try:
+        for job in queued:
+            final = client.wait(job["id"], timeout=600)
+            check(final["state"] == "done",
+                  f"recovered job {job['id']} executed")
+            check(final.get("cost_estimate", 0) > 0,
+                  "recovered job re-estimated its cost")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    report = {
+        "checks_failed": list(_failures),
+        "store_hit_latency_seconds": elapsed,
+    }
+    with open(os.path.join(out, "smoke_report.json"), "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    if _failures:
+        print(f"\nservice smoke FAILED ({len(_failures)} checks):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nservice smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

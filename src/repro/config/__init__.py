@@ -9,6 +9,7 @@ from repro.config.processor import (
     ProcessorConfig,
     SchedulingModel,
     SpeculationPolicy,
+    SplitWindowConfig,
     WindowConfig,
 )
 from repro.config.presets import (
@@ -27,6 +28,7 @@ __all__ = [
     "ProcessorConfig",
     "SchedulingModel",
     "SpeculationPolicy",
+    "SplitWindowConfig",
     "WindowConfig",
     "continuous_window_128",
     "continuous_window_64",

@@ -72,12 +72,20 @@ def split_window(
     addr_scheduler_latency: int = 0,
     num_units: int = 4,
     task_size: int = 32,
+    link_latency: int = 0,
+    sync_bandwidth: int = 0,
+    mem_banks: int = 0,
+    bank_ports: int = 1,
     **memdep_kwargs,
 ) -> ProcessorConfig:
     """Distributed split-window machine for the Section 3.7 comparison.
 
     Total window capacity matches the 128-entry continuous machine, but is
     partitioned into *num_units* sub-windows that fetch independently.
+    The fabric knobs (*link_latency*, *sync_bandwidth*, *mem_banks*,
+    *bank_ports*) parameterize the cross-window sync fabric modelled by
+    :mod:`repro.eventsim`; any non-degenerate setting requires the
+    event-driven backend (the legacy cycle model rejects it).
     """
     base = continuous_window_128(
         scheduling, policy, addr_scheduler_latency, **memdep_kwargs
@@ -85,7 +93,13 @@ def split_window(
     return replace(
         base,
         split=SplitWindowConfig(
-            enabled=True, num_units=num_units, task_size=task_size
+            enabled=True,
+            num_units=num_units,
+            task_size=task_size,
+            link_latency=link_latency,
+            sync_bandwidth=sync_bandwidth,
+            mem_banks=mem_banks,
+            bank_ports=bank_ports,
         ),
     )
 

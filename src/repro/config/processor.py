@@ -175,12 +175,58 @@ class MemDepConfig:
 
 @dataclass(frozen=True)
 class SplitWindowConfig:
-    """Distributed split-window parameters (Section 3.7)."""
+    """Distributed split-window parameters (Section 3.7).
+
+    The fabric fields parameterize the cross-window synchronization
+    fabric modelled by :mod:`repro.eventsim`: how long a posted store
+    address takes to cross between units (``link_latency``), how many
+    such messages the fabric can deliver per cycle (``sync_bandwidth``),
+    and whether main-memory accesses contend for banks (``mem_banks`` /
+    ``bank_ports``). All default to the *degenerate* point (0-latency
+    links, unbounded bandwidth, no bank contention) at which the
+    event-driven machine is bit-identical to the legacy cycle-driven
+    :class:`repro.splitwindow.processor.SplitWindowProcessor`.
+    """
 
     enabled: bool = False
     num_units: int = 4
     #: Dynamic instructions assigned to each sub-window task.
     task_size: int = 32
+    #: Extra cycles for a posted store address to cross the sync fabric
+    #: between units (on top of the address scheduler's own latency).
+    link_latency: int = 0
+    #: Cross-window sync-fabric bandwidth in messages per cycle
+    #: (0 = unbounded; excess messages queue FIFO behind earlier ones).
+    sync_bandwidth: int = 0
+    #: Interleaved data-memory banks contended by load accesses
+    #: (0 = no contention modelled).
+    mem_banks: int = 0
+    #: Accesses each bank can accept per cycle when ``mem_banks`` > 0.
+    bank_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_units < 1:
+            raise ValueError("num_units must be >= 1")
+        if self.task_size < 1:
+            raise ValueError("task_size must be >= 1")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be >= 0")
+        if self.sync_bandwidth < 0:
+            raise ValueError("sync_bandwidth must be >= 0 (0 = unbounded)")
+        if self.mem_banks < 0:
+            raise ValueError("mem_banks must be >= 0 (0 = no contention)")
+        if self.bank_ports < 1:
+            raise ValueError("bank_ports must be >= 1")
+
+    @property
+    def fabric_degenerate(self) -> bool:
+        """True at the 0-latency / unbounded-bandwidth / no-contention
+        point where the legacy cycle-driven model is exact."""
+        return (
+            self.link_latency == 0
+            and self.sync_bandwidth == 0
+            and self.mem_banks == 0
+        )
 
 
 def _default_l1i() -> CacheConfig:

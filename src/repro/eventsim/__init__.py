@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate (ROADMAP item 3).
+
+``repro.eventsim`` provides a heapq-driven discrete-event engine
+(:mod:`repro.eventsim.engine`) with deterministic tie-breaking, a
+component/port message-passing decomposition, and an event-driven
+re-implementation of the split-window machine
+(:mod:`repro.eventsim.splitwindow`) whose cross-window sync fabric
+(:mod:`repro.eventsim.fabric`) exposes link latency, bandwidth, and
+banked-memory contention knobs the legacy cycle-driven model cannot
+express. At degenerate fabric settings the event-driven machine is
+bit-identical to :class:`repro.splitwindow.processor.SplitWindowProcessor`
+(enforced by ``tests/test_splitwindow_parity.py``).
+
+See ``docs/EVENTSIM.md`` for the engine model and determinism contract.
+"""
+
+from repro.eventsim.engine import (
+    Component,
+    Engine,
+    Event,
+    EventQueue,
+    Port,
+)
+from repro.eventsim.fabric import BankedMemory, SyncFabric
+from repro.eventsim.splitwindow import (
+    EventSplitWindowProcessor,
+    simulate_split_event,
+)
+
+__all__ = [
+    "BankedMemory",
+    "Component",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "EventSplitWindowProcessor",
+    "Port",
+    "SyncFabric",
+    "simulate_split_event",
+]

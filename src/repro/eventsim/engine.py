@@ -1,0 +1,257 @@
+"""Heapq-driven discrete-event engine with a deterministic schedule.
+
+Determinism contract
+--------------------
+
+Every event carries a ``(time, priority, seq)`` key. The queue is a
+binary heap over that key, so pops are totally ordered:
+
+* events fire in non-decreasing ``time``;
+* at equal time, lower ``priority`` fires first (priorities partition a
+  cycle into phases — see :mod:`repro.eventsim.splitwindow`);
+* at equal time *and* priority, the event scheduled first fires first
+  (``seq`` is a monotonic counter assigned at schedule time).
+
+Nothing in the engine consults wall-clock time, hash randomization, or
+any other ambient state, so two runs that schedule the same events in
+the same order produce the same ``schedule_hash()``. Cancelled events
+stay in the heap but are skipped on pop and never fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Event:
+    """A scheduled callback with a deterministic ordering key."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        fn: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    @property
+    def key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it stays queued but never fires."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.key < other.key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time}, p={self.priority}, "
+            f"seq={self.seq}, {self.label!r}{state})"
+        )
+
+
+class EventQueue:
+    """Binary heap of :class:`Event` keyed by ``(time, priority, seq)``."""
+
+    __slots__ = ("_heap", "scheduled", "fired", "cancelled")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self.scheduled += 1
+
+    def pop(self) -> Optional[Event]:
+        """Next live event in key order, or None when drained.
+
+        Cancelled events are discarded lazily here rather than removed
+        at cancel time, keeping :meth:`Event.cancel` O(1).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self.cancelled += 1
+                continue
+            self.fired += 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self.cancelled += 1
+        return self._heap[0].time if self._heap else None
+
+
+class Engine:
+    """Event loop: schedule callbacks, run them in deterministic order."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self._seq = 0
+        self._hash = hashlib.sha256()
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(
+        self,
+        delay: int,
+        fn: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self.now + delay, fn, priority, label)
+
+    def schedule_at(
+        self,
+        time: int,
+        fn: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` at an absolute timestamp ``>= now``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(time, priority, self._seq, fn, label)
+        self._seq += 1
+        self.queue.push(event)
+        return event
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next event; False when the queue is drained."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("event queue delivered into the past")
+        self.now = event.time
+        self._hash.update(
+            f"{event.time}:{event.priority}:{event.seq}:{event.label}\n"
+            .encode()
+        )
+        event.fn()
+        return True
+
+    def run(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Drain the queue (optionally bounded); returns events fired.
+
+        ``until`` stops *before* firing any event with ``time > until``;
+        ``max_events`` is a wedge guard — exceeding it raises.
+        """
+        if self._running:
+            raise RuntimeError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise RuntimeError(
+                        f"event engine wedged: fired {fired} events "
+                        f"without draining (t={self.now})"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def schedule_hash(self) -> str:
+        """SHA-256 over every fired ``(time, priority, seq, label)``."""
+        return self._hash.hexdigest()
+
+
+class Port:
+    """One endpoint of a unidirectional message link between components.
+
+    ``send`` schedules delivery to the connected peer ``latency`` cycles
+    later (at ``delivery_priority``); the peer component's ``receive``
+    hook is invoked with the originating port name and the message.
+    """
+
+    __slots__ = ("component", "name", "peer", "latency", "delivery_priority")
+
+    def __init__(self, component: "Component", name: str) -> None:
+        self.component = component
+        self.name = name
+        self.peer: Optional["Port"] = None
+        self.latency = 0
+        self.delivery_priority = 0
+
+    def connect(
+        self, peer: "Port", latency: int = 0, delivery_priority: int = 0
+    ) -> None:
+        if latency < 0:
+            raise ValueError("link latency must be >= 0")
+        self.peer = peer
+        self.latency = latency
+        self.delivery_priority = delivery_priority
+
+    def send(self, message: Any, extra_delay: int = 0) -> Event:
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        peer = self.peer
+        return self.component.engine.schedule(
+            self.latency + extra_delay,
+            lambda: peer.component.receive(peer.name, message),
+            priority=self.delivery_priority,
+            label=f"{self.component.name}.{self.name}->{peer.component.name}",
+        )
+
+
+class Component:
+    """A named simulation actor owning ports on a shared engine."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+
+    def port(self, name: str) -> Port:
+        """Get-or-create a named port on this component."""
+        if name not in self.ports:
+            self.ports[name] = Port(self, name)
+        return self.ports[name]
+
+    def receive(self, port: str, message: Any) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} received on {port!r} "
+            "but defines no receive()"
+        )

@@ -1,0 +1,158 @@
+"""Cross-window sync fabric and banked memory for the event machine.
+
+The legacy cycle-driven split-window model treats the global
+address-based scheduler as a magic structure: a posted store address
+becomes visible to every unit ``1 + addr_scheduler_latency`` cycles
+after posting, with no transport cost and no bandwidth limit. The
+:class:`SyncFabric` generalizes posting into messages over a link with
+
+* **link latency** — extra cycles for the message to cross the fabric,
+* **bandwidth** — at most ``sync_bandwidth`` messages delivered per
+  cycle (0 = unbounded); excess messages queue FIFO behind earlier
+  ones, each taking the earliest cycle with a free delivery slot.
+
+With ``link_latency == 0`` and unbounded bandwidth the fabric is
+*degenerate*: posting is synchronous and the machine is bit-identical
+to the legacy model. Any finite bandwidth implies a real fabric, so
+evented deliveries always take at least one cycle.
+
+:class:`BankedMemory` adds per-bank contention in front of the magic
+memory hierarchy: loads hash to ``mem_banks`` interleaved banks (32-byte
+interleave, matching the L1 block), each accepting ``bank_ports``
+accesses per cycle; a conflicting access starts at the earliest cycle
+with a free bank port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.eventsim.engine import Event
+
+
+class SyncFabric:
+    """Bandwidth/latency model for posted-store-address messages.
+
+    The fabric does not schedule events itself; it computes the
+    deterministic *visibility cycle* of each message and lets the
+    machine schedule the delivery. Slots are assigned FIFO in post
+    order, which together with the engine's ``(time, priority, seq)``
+    ordering keeps the whole pipeline deterministic.
+    """
+
+    def __init__(self, link_latency: int, bandwidth: int) -> None:
+        self.link_latency = link_latency
+        self.bandwidth = bandwidth  # 0 = unbounded
+        #: Messages assigned to each delivery cycle (bandwidth > 0 only).
+        self._slots: Dict[int, int] = {}
+        #: Delivery cycle each in-flight store seq was assigned.
+        self._slot_of: Dict[int, int] = {}
+        #: In-flight delivery events by store seq, for squash cancel.
+        self._inflight: Dict[int, Event] = {}
+        self.posted = 0
+        self.queued = 0  # messages delayed behind a full slot
+        self.max_delay = 0  # worst queueing delay seen (beyond base)
+
+    @property
+    def evented(self) -> bool:
+        """False at the degenerate point where posting is synchronous."""
+        return self.link_latency > 0 or self.bandwidth > 0
+
+    def visibility(self, base: int) -> int:
+        """Earliest delivery cycle >= *base* with a free bandwidth slot."""
+        visible = base + self.link_latency
+        if self.bandwidth > 0:
+            while self._slots.get(visible, 0) >= self.bandwidth:
+                visible += 1
+        return visible
+
+    def claim(self, seq: int, base: int) -> int:
+        """Reserve the slot for store *seq* posting at *base*; return it."""
+        visible = self.visibility(base)
+        if self.bandwidth > 0:
+            self._slots[visible] = self._slots.get(visible, 0) + 1
+            self._slot_of[seq] = visible
+            if visible > base + self.link_latency:
+                self.queued += 1
+                self.max_delay = max(
+                    self.max_delay, visible - base - self.link_latency
+                )
+        self.posted += 1
+        return visible
+
+    def register(self, seq: int, event: Event) -> None:
+        """Track the delivery event for *seq* so squash can cancel it."""
+        self._inflight[seq] = event
+
+    def delivered(self, seq: int) -> None:
+        """Message for *seq* arrived; drop in-flight tracking."""
+        self._inflight.pop(seq, None)
+        self._slot_of.pop(seq, None)
+
+    def cancel_from(self, seq: int) -> None:
+        """Squash recovery: kill in-flight messages for seqs >= *seq*.
+
+        Cancelled messages release their bandwidth slots, so re-posted
+        stores after re-execution contend only with live traffic.
+        """
+        for s in [s for s in self._inflight if s >= seq]:
+            self._inflight.pop(s).cancel()
+            slot = self._slot_of.pop(s, None)
+            if slot is not None:
+                remaining = self._slots.get(slot, 0) - 1
+                if remaining > 0:
+                    self._slots[slot] = remaining
+                else:
+                    self._slots.pop(slot, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "fabric_posted": self.posted,
+            "fabric_queued": self.queued,
+            "fabric_max_queue_delay": self.max_delay,
+        }
+
+
+class BankedMemory:
+    """Per-bank contention in front of the magic memory hierarchy.
+
+    ``banks == 0`` disables contention entirely (bit-identical
+    passthrough to ``hierarchy.load``). Otherwise a load to address
+    ``a`` contends for bank ``(a >> 5) % banks`` (32-byte interleave);
+    each bank accepts ``ports`` accesses per cycle and a conflicting
+    access is pushed to the earliest later cycle with a free port.
+    """
+
+    def __init__(self, hierarchy, banks: int, ports: int) -> None:
+        self.hierarchy = hierarchy
+        self.banks = banks
+        self.ports = ports
+        self._used: List[Dict[int, int]] = [
+            {} for _ in range(max(banks, 0))
+        ]
+        self.accesses = 0
+        self.conflicts = 0
+        self.conflict_cycles = 0
+
+    def load(self, addr: int, cycle: int) -> int:
+        """Completion cycle of a load starting (at earliest) at *cycle*."""
+        if self.banks <= 0:
+            return self.hierarchy.load(addr, cycle)
+        bank = (addr >> 5) % self.banks
+        used = self._used[bank]
+        start = cycle
+        while used.get(start, 0) >= self.ports:
+            start += 1
+        used[start] = used.get(start, 0) + 1
+        self.accesses += 1
+        if start > cycle:
+            self.conflicts += 1
+            self.conflict_cycles += start - cycle
+        return self.hierarchy.load(addr, start)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "bank_accesses": self.accesses,
+            "bank_conflicts": self.conflicts,
+            "bank_conflict_cycles": self.conflict_cycles,
+        }

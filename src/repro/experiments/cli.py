@@ -28,7 +28,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.figures import (
     figure1, figure2, figure3, figure4, figure5, figure6, figure7,
-    summary_findings,
+    figure7_sweep, summary_findings,
 )
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.tables import table1, table3, table4, table_stalls
@@ -45,6 +45,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "figure5": figure5,
     "figure6": figure6,
     "figure7": figure7,
+    "figure7-sweep": figure7_sweep,
     "summary": summary_findings,
     "ablation-recovery": ablation_recovery,
     "ablation-predictors": ablation_predictors,
@@ -76,7 +77,8 @@ def _apply_backend(name) -> None:
 
 _ORDER = (
     "table1", "figure1", "table3", "figure2", "table4", "figure3",
-    "figure4", "figure5", "figure6", "figure7", "summary", "stalls",
+    "figure4", "figure5", "figure6", "figure7", "figure7-sweep",
+    "summary", "stalls",
     "ablation-recovery", "ablation-predictors", "ablation-window",
     "ablation-squash", "ablation-split",
 )

@@ -23,7 +23,11 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.config.presets import config_name
 from repro.config.processor import ProcessorConfig
-from repro.core.backend import resolve_backend, vector_limitation
+from repro.core.backend import (
+    resolve_backend,
+    split_backend_for,
+    vector_limitation,
+)
 from repro.core.processor import Processor
 from repro.core.result import SimResult
 from repro.splitwindow.processor import SplitWindowProcessor
@@ -142,6 +146,13 @@ def _config_key(config: ProcessorConfig) -> Tuple:
         config.split.enabled,
         config.split.num_units,
         config.split.task_size,
+        # Fabric knobs change timing, so they must be part of the key —
+        # omitting them made every point of a fabric sweep collide on
+        # the same store entry (fixed with SCHEMA_VERSION 3).
+        config.split.link_latency,
+        config.split.sync_bandwidth,
+        config.split.mem_banks,
+        config.split.bank_ports,
         config.observe,
     )
 
@@ -184,13 +195,20 @@ def run_benchmark(
     if config.split.enabled:
         # The split-window model has no functional-warm mode; its caches
         # warm during the run, and comparisons against it use the same
-        # treatment on both sides.
-        backend_name = "reference"
+        # treatment on both sides. Non-degenerate fabric settings exist
+        # only in the event-driven machine and force it; at degenerate
+        # settings the two models are bit-identical.
+        backend_name = split_backend_for(config, backend_name)
         trace = get_trace(name, plan.length, settings.seed)
         info = _dependences_for_length(
             name, plan.length, settings.seed, trace=trace
         )
-        result = SplitWindowProcessor(config, trace, info).run()
+        if backend_name == "eventsim":
+            from repro.eventsim.splitwindow import EventSplitWindowProcessor
+
+            result = EventSplitWindowProcessor(config, trace, info).run()
+        else:
+            result = SplitWindowProcessor(config, trace, info).run()
     elif backend_name == "vector" and vector_limitation(config) is None:
         from repro.core.vector import VectorProcessor
 

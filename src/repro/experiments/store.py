@@ -44,7 +44,10 @@ from repro.experiments.export import result_from_record, result_to_record
 
 #: Bump when the stored record layout or the meaning of any keyed
 #: field changes; every existing entry is then silently invalidated.
-SCHEMA_VERSION = 2
+#: v3: split-window sync-fabric knobs (link latency, bandwidth, memory
+#: banks) joined the runner's config key — v2 entries stored every
+#: fabric point of a split sweep under one colliding address.
+SCHEMA_VERSION = 3
 
 #: Environment variable naming the default store directory.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"

@@ -86,6 +86,12 @@ class SplitWindowProcessor:
             raise ValueError(
                 "split-window model supports NAV and NO policies"
             )
+        if not config.split.fabric_degenerate:
+            raise ValueError(
+                "non-degenerate sync-fabric settings (link latency, "
+                "bounded bandwidth, banked memory) are modelled only by "
+                "the event-driven backend (repro.eventsim)"
+            )
         self.config = config
         self.trace = trace
         self.dep_info = (

@@ -151,3 +151,52 @@ def test_minimize_shrinks_while_failure_persists(monkeypatch):
     small = minimize_cell(big)
     assert small.timing < big.timing
     assert fuzz_mod.run_cell(small)  # still reproduces
+
+
+# -- R6: split-window cells (event-driven fabric) ----------------------
+
+
+def _split_cell(**overrides):
+    base = dict(
+        benchmark="126.gcc", seed=0, window=128, scheduling="AS",
+        latency=0, timing=1500, warmup=500,
+        split_units=4, split_task=32, split_bandwidth=0,
+    )
+    base.update(overrides)
+    return FuzzCell(**base)
+
+
+def test_split_cell_dict_roundtrip_and_backward_compat():
+    cell = _split_cell(split_bandwidth=2)
+    assert FuzzCell.from_dict(cell.to_dict()) == cell
+    # Continuous-window cells serialize exactly as before the split
+    # fields existed, so CORPUS_VERSION 1 files stay valid both ways.
+    continuous = FuzzCell("126.gcc", 0, 128, "NAS", 0, 1500, 500)
+    doc = continuous.to_dict()
+    assert "split_units" not in doc
+    assert FuzzCell.from_dict(doc) == continuous
+
+
+def test_split_cell_builds_split_config():
+    cell = _split_cell(split_bandwidth=2, latency=1)
+    config = cell.config("NAV", latency=1)
+    assert config.split.enabled
+    assert config.split.num_units == 4
+    assert config.split.task_size == 32
+    assert config.split.sync_bandwidth == 2
+    assert config.memdep.addr_scheduler_latency == 1
+    assert tuple(cell.policies()) == ("NAV",)
+
+
+def test_split_cell_passes_r6_relations():
+    assert run_cell(_split_cell()) == []
+
+
+def test_sample_cell_emits_split_cells():
+    cells = [sample_cell(random.Random(seed)) for seed in range(40)]
+    split = [c for c in cells if c.split_units]
+    assert split  # the sampler reaches the split design space
+    for cell in split:
+        assert cell.scheduling == "AS"  # NAS has no latency axis
+        assert cell.split_units in (2, 4, 8)
+        assert cell.split_task in (16, 32)

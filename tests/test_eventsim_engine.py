@@ -1,0 +1,205 @@
+"""Property tests for the discrete-event engine (`repro.eventsim.engine`).
+
+Hypothesis drives the determinism contract stated in the module
+docstring: the same schedule of events always produces the same
+``schedule_hash``; pops are totally ordered by ``(time, priority,
+seq)``; no event is lost or fired before its timestamp; cancelled
+events never fire.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eventsim.engine import Component, Engine, Event, EventQueue, Port
+
+# A "schedule spec" is a list of (delay, priority, spawn) triples; each
+# entry becomes one root event, and ``spawn`` extra events are scheduled
+# *from inside* its callback (exercising schedule-during-run, which is
+# how the split-window machine drives itself cycle to cycle).
+SPECS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),    # delay
+        st.integers(min_value=0, max_value=4),     # priority
+        st.integers(min_value=0, max_value=2),     # follow-on events
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _drive(spec, cancel_every=0):
+    """Run a spec on a fresh engine; returns (engine, fired log).
+
+    The fired log records ``(now, label)`` at callback time. When
+    ``cancel_every`` is n > 0, every nth root event is cancelled before
+    the run starts.
+    """
+    engine = Engine()
+    fired = []
+
+    def make(label, spawn):
+        def fn():
+            fired.append((engine.now, label))
+            for k in range(spawn):
+                engine.schedule(
+                    k + 1, make(f"{label}.child{k}", 0),
+                    priority=0, label=f"{label}.child{k}",
+                )
+        return fn
+
+    roots = []
+    for i, (delay, priority, spawn) in enumerate(spec):
+        label = f"ev{i}"
+        roots.append(
+            engine.schedule(delay, make(label, spawn), priority, label)
+        )
+    if cancel_every:
+        for event in roots[::cancel_every]:
+            event.cancel()
+    engine.run()
+    return engine, fired
+
+
+@settings(max_examples=60, deadline=None)
+@given(SPECS)
+def test_same_schedule_same_hash(spec):
+    """Same seed/spec => bit-identical event schedule hash."""
+    first, fired_a = _drive(spec)
+    second, fired_b = _drive(spec)
+    assert first.schedule_hash() == second.schedule_hash()
+    assert fired_a == fired_b
+
+
+@settings(max_examples=60, deadline=None)
+@given(SPECS)
+def test_pops_are_totally_ordered(spec):
+    """Popped keys are strictly increasing under (time, priority, seq)."""
+    queue = EventQueue()
+    for i, (delay, priority, _) in enumerate(spec):
+        queue.push(Event(delay, priority, i, lambda: None, f"ev{i}"))
+    keys = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        keys.append(event.key)
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)  # seq makes the order total
+    assert len(keys) == len(spec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(SPECS)
+def test_no_event_lost_or_early(spec):
+    """Every live event fires exactly once, at its timestamp."""
+    engine = Engine()
+    fired = {}
+
+    def make(i):
+        return lambda: fired.setdefault(i, []).append(engine.now)
+
+    expected = {}
+    for i, (delay, priority, _) in enumerate(spec):
+        engine.schedule(delay, make(i), priority, f"ev{i}")
+        expected[i] = delay
+    engine.run()
+    assert set(fired) == set(expected)          # nothing lost
+    for i, times in fired.items():
+        assert times == [expected[i]]           # once, never early/late
+    assert engine.queue.fired == len(spec)
+    assert len(engine.queue) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(SPECS, st.integers(min_value=1, max_value=4))
+def test_cancelled_events_never_fire(spec, cancel_every):
+    engine, fired = _drive(spec, cancel_every=cancel_every)
+    cancelled_roots = {
+        f"ev{i}" for i in range(0, len(spec), cancel_every)
+    }
+    fired_labels = {label for _, label in fired}
+    assert not (cancelled_roots & fired_labels)
+    # Counter conservation after a full drain: everything scheduled was
+    # either fired or discarded as cancelled.
+    q = engine.queue
+    assert q.scheduled == q.fired + q.cancelled
+    assert q.cancelled >= len(cancelled_roots)
+
+
+@settings(max_examples=40, deadline=None)
+@given(SPECS)
+def test_time_is_monotonic_during_run(spec):
+    engine, fired = _drive(spec)
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert engine.now == (max(times) if times else 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10),  # link latency
+    st.integers(min_value=0, max_value=10),  # extra sender delay
+)
+def test_port_delivery_time(latency, extra):
+    """A message sent over a port arrives exactly latency+extra later."""
+    engine = Engine()
+    inbox = []
+
+    class Sink(Component):
+        def receive(self, port, message):
+            inbox.append((engine.now, port, message))
+
+    src = Component(engine, "src")
+    dst = Sink(engine, "dst")
+    src.port("out").connect(dst.port("in"), latency=latency,
+                            delivery_priority=3)
+    engine.schedule(
+        5, lambda: src.port("out").send("payload", extra_delay=extra)
+    )
+    engine.run()
+    assert inbox == [(5 + latency + extra, "in", "payload")]
+
+
+def test_schedule_into_the_past_rejected():
+    engine = Engine()
+    engine.schedule(3, lambda: None)
+    engine.run()
+    assert engine.now == 3
+    with pytest.raises(ValueError):
+        engine.schedule_at(1, lambda: None)
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    log = []
+    for t in (1, 4, 9):
+        engine.schedule(t, lambda t=t: log.append(t))
+    assert engine.run(until=4) == 2
+    assert log == [1, 4]
+    assert engine.run() == 1
+    assert log == [1, 4, 9]
+
+
+def test_wedge_guard_raises():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    with pytest.raises(RuntimeError, match="wedged"):
+        engine.run(max_events=50)
+
+
+def test_unconnected_port_and_default_receive_raise():
+    engine = Engine()
+    comp = Component(engine, "c")
+    with pytest.raises(RuntimeError, match="not connected"):
+        comp.port("out").send("x")
+    with pytest.raises(NotImplementedError):
+        comp.receive("in", "x")
+    with pytest.raises(ValueError):
+        comp.port("out").connect(Port(comp, "in"), latency=-1)

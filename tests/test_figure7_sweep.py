@@ -1,0 +1,75 @@
+"""Tests for the Figure 7 sweep artifact (scheduler latency x fabric
+bandwidth) and its R6 monotonicity guarantee."""
+
+import pytest
+
+from repro.experiments.cli import ARTIFACTS, _ORDER
+from repro.experiments.figures import figure7_sweep
+from repro.experiments.runner import ExperimentSettings, clear_results
+
+_SETTINGS = ExperimentSettings(
+    timing_instructions=1_500, warmup_instructions=500
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    clear_results()
+    return figure7_sweep(
+        _SETTINGS,
+        benchmarks=("126.gcc", "102.swim"),
+        latencies=(0, 1, 2),
+        bandwidths=(0, 2),
+    )
+
+
+def test_sweep_registered_as_cli_artifact():
+    assert "figure7-sweep" in ARTIFACTS
+    assert "figure7-sweep" in _ORDER
+    assert ARTIFACTS["figure7-sweep"] is figure7_sweep
+
+
+def test_sweep_covers_full_grid(report):
+    data = report.data
+    assert data["latencies"] == [0, 1, 2]
+    assert data["bandwidths"] == [0, 2]
+    # bandwidth 0 renders as the "inf" (idealized-fabric) column
+    assert set(data["cells"]) == {
+        f"lat{lat}_bw{bw}" for lat in (0, 1, 2) for bw in ("inf", 2)
+    }
+    assert len(report.rows) == 6
+    for cell in data["cells"].values():
+        assert cell["misspeculations"] >= 0
+        assert 0.0 <= cell["rate"] <= 1.0
+        assert all(ipc > 0 for ipc in cell["ipc"].values())
+
+
+def test_rates_monotonic_in_latency_per_bandwidth_column(report):
+    """The sweep's headline claim, asserted: R6 monotonicity holds.
+
+    Within each bandwidth column, miss-speculations must be
+    non-decreasing in scheduler latency (up to the calibrated R6
+    tolerance, which the artifact itself applies and records).
+    """
+    assert all(report.data["monotonic"].values()), (
+        f"per-column monotonicity check failed: "
+        f"{report.data['monotonic']}"
+    )
+
+
+def test_bounded_bandwidth_never_beats_ideal_fabric(report):
+    """At equal scheduler latency, a bounded fabric cannot
+    miss-speculate less than the idealized (infinite) one beyond the
+    R6 tolerance — messages can only arrive later."""
+    tolerance = report.data["tolerance"]
+    for lat in report.data["latencies"]:
+        ideal = report.data["cells"][f"lat{lat}_bwinf"]["misspeculations"]
+        bounded = report.data["cells"][f"lat{lat}_bw2"]["misspeculations"]
+        assert bounded >= ideal * (1.0 - tolerance)
+
+
+def test_report_renders_with_monotonicity_note(report):
+    text = report.render()
+    assert "Figure 7 sweep" in text
+    assert "inf" in text          # bandwidth-0 column label
+    assert "monotonic" in text.lower() or "non-decreasing" in text

@@ -1,0 +1,192 @@
+"""Golden-number parity for the split-window model, on BOTH engines.
+
+Mirrors ``test_golden_parity.py``: a committed fixture pins the exact
+``SimResult`` integers for a matrix of split-window cells (unit count x
+task size x scheduling/policy x scheduler latency), and every cell is
+replayed against *both* the legacy cycle-driven model
+(``repro.splitwindow``) and the event-driven model (``repro.eventsim``)
+at degenerate fabric settings, where the two are contractually
+bit-identical (see ``docs/EVENTSIM.md``).
+
+A mismatch therefore localizes immediately:
+
+* both engines drift from the fixture together -> the split-window
+  *semantics* changed (intentional? regenerate);
+* only ``eventsim`` drifts -> the event decomposition broke parity.
+
+Regenerate the fixture (legacy engine is the authority) with::
+
+    PYTHONPATH=src python tests/test_splitwindow_parity.py --regen
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.config import SchedulingModel, SpeculationPolicy
+from repro.config.presets import split_window
+from repro.eventsim import simulate_split_event
+from repro.splitwindow import simulate_split
+from repro.trace.dependences import compute_dependence_info
+from repro.workloads.catalog import get_trace
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "splitwindow_parity.json"
+)
+
+#: (benchmark, trace length) — one pointer-heavy integer stand-in, one
+#: regular FP stand-in, same pair the continuous-window golden suite pins.
+BENCHMARKS = (("126.gcc", 4_000), ("102.swim", 4_000))
+
+#: Every integer field of SimResult that the split model produces.
+FIELDS = (
+    "cycles", "committed", "committed_loads", "committed_stores",
+    "committed_branches", "misspeculations", "squashed_instructions",
+    "false_dependence_loads", "true_dependence_loads",
+    "false_dependence_latency", "branch_predictions",
+    "branch_mispredictions", "load_forwards", "speculative_loads",
+    "dcache_accesses", "dcache_misses", "icache_accesses",
+    "icache_misses", "l2_accesses", "l2_misses",
+)
+
+ENGINES = {
+    "legacy": simulate_split,
+    "eventsim": simulate_split_event,
+}
+
+
+def parity_configs():
+    """label -> split-window config (degenerate fabric only)."""
+    configs = {}
+    for units, task in ((2, 16), (4, 32), (8, 16)):
+        configs[f"u{units}t{task}-AS-NAV-lat0"] = split_window(
+            SchedulingModel.AS, SpeculationPolicy.NAIVE,
+            num_units=units, task_size=task,
+        )
+        configs[f"u{units}t{task}-NAS-NAV"] = split_window(
+            SchedulingModel.NAS, SpeculationPolicy.NAIVE,
+            num_units=units, task_size=task,
+        )
+    # Scheduler latency axis and the no-speculation policy, at the
+    # paper's headline organization (4 units x 32-instruction tasks).
+    for latency in (1, 2):
+        configs[f"u4t32-AS-NAV-lat{latency}"] = split_window(
+            SchedulingModel.AS, SpeculationPolicy.NAIVE,
+            addr_scheduler_latency=latency,
+        )
+    configs["u4t32-NAS-NO"] = split_window(
+        SchedulingModel.NAS, SpeculationPolicy.NO,
+    )
+    return configs
+
+
+def _cell_id(benchmark, label):
+    return f"{benchmark}/{label}"
+
+
+CELLS = [
+    (benchmark, length, label)
+    for benchmark, length in BENCHMARKS
+    for label in parity_configs()
+]
+
+
+def simulate_cell(benchmark, length, config, engine):
+    trace = get_trace(benchmark, length, seed=0)
+    dep_info = compute_dependence_info(trace)
+    result = ENGINES[engine](config, trace, dep_info)
+    return {field: getattr(result, field) for field in FIELDS}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(FIXTURE):
+        pytest.fail(
+            f"missing fixture {FIXTURE} — generate it with "
+            "`PYTHONPATH=src python tests/test_splitwindow_parity.py "
+            "--regen`"
+        )
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+# ``bench`` not ``benchmark``: the latter collides with the
+# pytest-benchmark plugin's fixture of that name.
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize(
+    "bench,length,label",
+    CELLS,
+    ids=[_cell_id(b, lab) for b, _, lab in CELLS],
+)
+def test_split_results_match_fixture(golden, bench, length, label,
+                                     engine):
+    cell_id = _cell_id(bench, label)
+    assert cell_id in golden["cells"], (
+        f"cell {cell_id} absent from fixture — regenerate with --regen"
+    )
+    expected = golden["cells"][cell_id]
+    measured = simulate_cell(
+        bench, length, parity_configs()[label], engine
+    )
+    drifted = {
+        field: (expected[field], measured[field])
+        for field in FIELDS
+        if expected[field] != measured[field]
+    }
+    assert not drifted, (
+        f"{engine} engine drifted from golden fixture on {cell_id}: "
+        + ", ".join(
+            f"{field} {want} -> {got}"
+            for field, (want, got) in sorted(drifted.items())
+        )
+        + ". If the split-window semantics changed intentionally, "
+        "regenerate with --regen; if only eventsim drifted, the event "
+        "decomposition broke the parity contract."
+    )
+
+
+def test_engines_agree_without_fixture():
+    """Direct legacy-vs-eventsim equality on one cell, fixture aside.
+
+    Cheap insurance against a stale fixture masking an engine split:
+    even right after --regen, these two must agree.
+    """
+    config = parity_configs()["u4t32-AS-NAV-lat1"]
+    legacy = simulate_cell("126.gcc", 4_000, config, "legacy")
+    event = simulate_cell("126.gcc", 4_000, config, "eventsim")
+    assert legacy == event
+
+
+def regenerate():
+    cells = {}
+    for benchmark, length in BENCHMARKS:
+        for label, config in parity_configs().items():
+            cell_id = _cell_id(benchmark, label)
+            cells[cell_id] = simulate_cell(
+                benchmark, length, config, "legacy"
+            )
+            print(f"  {cell_id}: cycles={cells[cell_id]['cycles']}")
+    doc = {
+        "description": (
+            "Golden split-window SimResult numbers (legacy engine is "
+            "the authority; eventsim must match bit-for-bit at "
+            "degenerate fabric settings)."
+        ),
+        "benchmarks": [list(pair) for pair in BENCHMARKS],
+        "cells": cells,
+    }
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    with open(FIXTURE, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE} ({len(cells)} cells)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

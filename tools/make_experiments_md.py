@@ -81,6 +81,29 @@ Figures 5–6) compete to recover — **F2**. Conservation
 (`commit + stall causes = 100%` of width × cycles) is exact per row;
 `docs/OBSERVABILITY.md` documents the attribution rules.
 """,
+    "figure7-sweep": """\
+**What a real fabric costs.** Figure 7 proper shows the split window
+miss-speculating where the continuous window does not, even with a
+0-cycle scheduler. This sweep prices the axes the paper holds ideal.
+The `inf`-bandwidth column is the legacy idealization: posted store
+addresses appear everywhere at once, so extra scheduler latency only
+lets a few more loads slip past the gate before visibility and the
+rate barely moves. The bounded columns run on the event-driven
+backend (`docs/EVENTSIM.md`), where a posted address is a *message*:
+a dependent load issuing after the store but before the message
+arrives consumed a value the fabric had not yet shown it — a
+miss-speculation no continuous window would commit. That visibility
+window roughly doubles the miss-speculation rate the moment the
+scheduler has any latency at all, and tightening bandwidth from 4 to
+1 message/cycle adds queueing delay on top (monotonically — the note
+line records the per-column R6 monotonicity check, which
+`tests/test_figure7_sweep.py` asserts). IPC moves far less than the
+miss-speculation rate: task-granular squash keeps re-execution off
+the commit critical path at these trace lengths, so the fabric's
+price is paid in wasted work and memory traffic, not raw cycles —
+consistent with the paper's framing that the split window's problem
+is *speculation quality*, not throughput.
+""",
 }
 
 

@@ -17,10 +17,14 @@ state can change (see ``repro.core.vector``). Golden parity shows the
 
 Together with the stall-conservation law (``commit_slots +
 stall_slots == width × cycles``, charged by the
-:class:`~repro.observe.stalls.StallAccountant` gap rule, which counts
-the same skipped cycles in its ``skipped_cycles`` field), this is the
+:class:`~repro.observe.stalls.StallAccountant` gap rule), this is the
 soundness oracle the property suite leans on: every elided cycle is a
 cycle the reference spent fully stalled, charged only to wait causes.
+The vector core *macro-steps*: beyond the reference's own fast-forward
+gaps it also elides the empty probe cycle the reference walks after
+every active cycle, so its skipped set is a superset of the
+accountant's ``skipped_cycles`` gap set — coverage, not equality, is
+the invariant (see ``tests/test_check_elision.py``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,259 @@
+"""Frontier-batched kernels for the vector backend.
+
+The vector core's inner loop is event-driven: most per-cycle work
+touches a handful of instructions, where plain CPython beats any array
+library's fixed call overhead. But the three hottest inner operations
+— dependence wakeup, memory-conflict search, and issue selection —
+scale with *frontier size*, and on wide frontiers the per-element
+interpreter dispatch dominates. Each of those operations lives here as
+a pair of twins:
+
+* a pure-Python scalar twin (``*_py``) — the reference semantics, used
+  for small frontiers and on numpy-free installs;
+* a numpy twin (``*_np``) — bit-identical results computed across the
+  whole frontier at once, engaged only above a size threshold where
+  the array overhead amortizes.
+
+Twin equivalence (including tie-breaking by sequence number) is pinned
+by hypothesis property tests (``tests/test_vector_kernels.py``); the
+integration is pinned by the golden-parity suite, which CI replays on
+the fallback path with ``REPRO_VECTOR_NO_NUMPY=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-free environments
+    np = None
+
+#: Environment switch: force the pure-Python twins everywhere (CI's
+#: explicit fallback leg), regardless of whether numpy imports.
+NO_NUMPY_ENV = "REPRO_VECTOR_NO_NUMPY"
+
+#: Frontier-size thresholds below which the scalar twin is faster than
+#: the numpy twin's fixed call overhead (measured on CPython 3.11; the
+#: exact crossover is machine-dependent but the shape is not).
+WAKEUP_MIN_FRONTIER = 64
+CONFLICT_MIN_STORES = 64
+ISSUE_MIN_FRONTIER = 64
+
+
+def numpy_active() -> bool:
+    """True when the numpy twins may be used."""
+    return np is not None and os.environ.get(NO_NUMPY_ENV, "0") != "1"
+
+
+# ---------------------------------------------------------------------------
+# CSR wakeup scatter
+# ---------------------------------------------------------------------------
+
+def wakeup_scatter_py(
+    wseq: Sequence[int],
+    wdata: Sequence[int],
+    done: int,
+    a_pend: List[int],
+    d_pend: List[int],
+    a_rdy: List[int],
+    d_rdy: List[int],
+) -> List[int]:
+    """Apply one completion's waiter updates; scalar twin.
+
+    ``wseq[i]``/``wdata[i]`` describe the live waiter records of a
+    producer whose result is ready at *done*: the consumer sequence
+    number and whether the dependence feeds store data (1) or an
+    operand/address (0). A consumer appears once per source operand it
+    was waiting on, so duplicates must accumulate.
+
+    Updates ``a_pend``/``d_pend`` (decrement per record) and
+    ``a_rdy``/``d_rdy`` (max with *done*) in place, and returns the
+    distinct touched sequence numbers in first-appearance order — the
+    sub-frontier the caller re-checks for readiness, in the same order
+    the scalar wakeup walk would have visited it.
+    """
+    touched: List[int] = []
+    seen = set()
+    for i, s in enumerate(wseq):
+        if wdata[i]:
+            d_pend[s] -= 1
+            if done > d_rdy[s]:
+                d_rdy[s] = done
+        else:
+            a_pend[s] -= 1
+            if done > a_rdy[s]:
+                a_rdy[s] = done
+        if s not in seen:
+            seen.add(s)
+            touched.append(s)
+    return touched
+
+
+def wakeup_scatter_np(
+    wseq: Sequence[int],
+    wdata: Sequence[int],
+    done: int,
+    a_pend: List[int],
+    d_pend: List[int],
+    a_rdy: List[int],
+    d_rdy: List[int],
+) -> List[int]:
+    """Numpy twin of :func:`wakeup_scatter_py`.
+
+    The scatter runs as two ``subtract.at``/``maximum.at`` pairs over
+    the frontier's index arrays (unbuffered, so duplicate consumers
+    accumulate exactly like the scalar walk); results are written back
+    into the caller's plain-list state.
+    """
+    seqs = np.asarray(wseq, dtype=np.int64)
+    data = np.asarray(wdata, dtype=bool)
+    for mask, pend, rdy in (
+        (data, d_pend, d_rdy), (~data, a_pend, a_rdy),
+    ):
+        idx = seqs[mask]
+        if not idx.size:
+            continue
+        uniq, counts = np.unique(idx, return_counts=True)
+        for s, c in zip(uniq.tolist(), counts.tolist()):
+            pend[s] -= c
+            if done > rdy[s]:
+                rdy[s] = done
+    # First-appearance order == index of first occurrence, ascending.
+    _, first = np.unique(seqs, return_index=True)
+    return seqs[np.sort(first)].tolist()
+
+
+# ---------------------------------------------------------------------------
+# Broadcast conflict search
+# ---------------------------------------------------------------------------
+
+def conflict_search_py(
+    l_seq: Sequence[int],
+    l_addr: Sequence[int],
+    l_size: Sequence[int],
+    s_seq: Sequence[int],
+    s_addr: Sequence[int],
+    s_size: Sequence[int],
+    s_vis: Optional[Sequence[int]] = None,
+    cycle: int = 0,
+) -> List[int]:
+    """Youngest older overlapping store per load; scalar twin.
+
+    For each load ``i``, returns the largest ``s_seq[j] < l_seq[i]``
+    whose ``[s_addr, s_addr + s_size)`` overlaps the load's byte range
+    (and, when *s_vis* is given, whose address is visible by *cycle*),
+    or ``-1``. Stores are given seq-sorted, so the reverse scan's first
+    hit is the youngest — the same tie-break the address scheduler's
+    per-load search applies.
+    """
+    out: List[int] = []
+    ns = len(s_seq)
+    for i, lseq in enumerate(l_seq):
+        addr = l_addr[i]
+        end = addr + l_size[i]
+        match = -1
+        for j in range(ns - 1, -1, -1):
+            if s_seq[j] >= lseq:
+                continue
+            if s_vis is not None and s_vis[j] > cycle:
+                continue
+            saddr = s_addr[j]
+            if saddr < end and addr < saddr + s_size[j]:
+                match = s_seq[j]
+                break
+        out.append(match)
+    return out
+
+
+def conflict_search_np(
+    l_seq: Sequence[int],
+    l_addr: Sequence[int],
+    l_size: Sequence[int],
+    s_seq: Sequence[int],
+    s_addr: Sequence[int],
+    s_size: Sequence[int],
+    s_vis: Optional[Sequence[int]] = None,
+    cycle: int = 0,
+) -> List[int]:
+    """Numpy twin of :func:`conflict_search_py`.
+
+    One broadcast ``(loads, stores)`` overlap mask instead of a
+    per-load reverse scan; the youngest match is the masked row-wise
+    max of the store seqs (identical to reverse-scan-first-hit because
+    seqs are unique).
+    """
+    ls = np.asarray(l_seq, dtype=np.int64)[:, None]
+    la = np.asarray(l_addr, dtype=np.int64)[:, None]
+    lz = np.asarray(l_size, dtype=np.int64)[:, None]
+    ss = np.asarray(s_seq, dtype=np.int64)[None, :]
+    sa = np.asarray(s_addr, dtype=np.int64)[None, :]
+    sz = np.asarray(s_size, dtype=np.int64)[None, :]
+    mask = (ss < ls) & (sa < la + lz) & (la < sa + sz)
+    if s_vis is not None:
+        mask &= np.asarray(s_vis, dtype=np.int64)[None, :] <= cycle
+    return np.where(mask, ss, -1).max(axis=1, initial=-1).tolist()
+
+
+# ---------------------------------------------------------------------------
+# Batched issue selection
+# ---------------------------------------------------------------------------
+
+def issue_select_py(
+    cand_fp: Sequence[int],
+    width: int,
+    fu_copies: int,
+) -> Tuple[List[int], List[int]]:
+    """Width/FU-class cut over a ready frontier; scalar twin.
+
+    *cand_fp* flags each candidate's FU class (1 = FP, 0 = integer) in
+    seq order (oldest first — the heap pops ascending). Walks the
+    frontier like the exec-issue loop: a candidate issues while fewer
+    than *width* have issued and its class has a free copy, otherwise
+    it is deferred to the next cycle. Returns ``(issue, defer)`` index
+    lists, both in frontier (= seq) order.
+    """
+    issue: List[int] = []
+    defer: List[int] = []
+    fu_int = 0
+    fu_fp = 0
+    for i, fp in enumerate(cand_fp):
+        if len(issue) >= width:
+            defer.append(i)
+            continue
+        if fp:
+            if fu_fp >= fu_copies:
+                defer.append(i)
+                continue
+            fu_fp += 1
+        else:
+            if fu_int >= fu_copies:
+                defer.append(i)
+                continue
+            fu_int += 1
+        issue.append(i)
+    return issue, defer
+
+
+def issue_select_np(
+    cand_fp: Sequence[int],
+    width: int,
+    fu_copies: int,
+) -> Tuple[List[int], List[int]]:
+    """Numpy twin of :func:`issue_select_py`.
+
+    Per-class exclusive cumulative ranks give the FU-copy cut; a
+    cumulative sum of the survivors gives the width cut. Both respect
+    the frontier's seq order, so the tie-break (oldest first) is
+    identical to the scalar walk.
+    """
+    fp = np.asarray(cand_fp, dtype=bool)
+    n = fp.shape[0]
+    rank_fp = np.cumsum(fp) - fp
+    rank_int = np.cumsum(~fp) - ~fp
+    fits_class = np.where(fp, rank_fp, rank_int) < fu_copies
+    issued_before = np.cumsum(fits_class) - fits_class
+    take = fits_class & (issued_before < width)
+    idx = np.arange(n)
+    return idx[take].tolist(), idx[~take].tolist()

@@ -26,6 +26,7 @@ import gc
 import heapq
 import os
 from collections import deque
+from itertools import repeat as _irepeat
 from typing import Dict, List, Optional
 
 from repro.branch.unit import BranchUnit
@@ -49,6 +50,7 @@ from repro.core.processor import (
     _GATE_PREDICTED,
     _GATE_SYNC,
 )
+from repro.core import kernels as _kernels
 from repro.core.result import SimResult
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import REG_ZERO
@@ -64,6 +66,11 @@ from repro.trace.sampling import SamplingPlan, make_sampling_plan
 try:  # optional: vectorized column decode (pure-Python fallback below)
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy-free environments
+    _np = None
+if _np is not None and not _kernels.numpy_active():
+    # REPRO_VECTOR_NO_NUMPY forces the pure-Python twins everywhere,
+    # including column decode (checked at import: CI's fallback leg
+    # sets the variable before the interpreter starts).
     _np = None
 
 _TAKEN_MAP = (None, False, True)
@@ -105,7 +112,7 @@ class _Columns:
         "n", "name", "suite", "ops", "opb", "pc", "size", "addr",
         "value", "target", "taken", "dest_eff", "srcs_off", "srcs_flat",
         "is_load_b", "is_store_b", "branch_b", "mem_b", "fp_b",
-        "dep_of", "stale_of", "prod_flat",
+        "dep_of", "stale_of", "prod_flat", "deps",
     )
 
 
@@ -137,6 +144,25 @@ def _attach_producers(col: _Columns) -> None:
         if d >= 0:
             rename[d] = s
     col.prod_flat = prod
+    # Per-seq dependence tuples: dispatch walks only real producers
+    # instead of re-deriving them from the flat operand columns every
+    # time. ``is_data`` marks the store-data operand (second source).
+    is_store_b = col.is_store_b
+    deps: List = []
+    for s in range(col.n):
+        lo = srcs_off[s]
+        hi = srcs_off[s + 1]
+        dd = None
+        for k in range(lo, hi):
+            p = prod[k]
+            if p >= 0:
+                rec = (p, 1 if is_store_b[s] and k == lo + 1 else 0)
+                if dd is None:
+                    dd = [rec]
+                else:
+                    dd.append(rec)
+        deps.append(tuple(dd) if dd else ())
+    col.deps = deps
 
 
 def _columns_from_compiled(compiled: CompiledTrace) -> _Columns:
@@ -322,6 +348,7 @@ class _VAddrSched:
     __slots__ = (
         "latency", "_unposted", "_seqs", "_addrs", "_sizes",
         "_visibles", "_blocks", "_max_visible", "posts", "searches",
+        "_np_search", "_mut", "_ck", "_cs", "_ca", "_cz", "_cv",
     )
 
     def __init__(self, latency: int) -> None:
@@ -335,6 +362,15 @@ class _VAddrSched:
         self._max_visible = -1
         self.posts = 0
         self.searches = 0
+        # Broadcast conflict-search kernel state: the live-store frontier
+        # mirrored as numpy arrays, rebuilt lazily when the mutation
+        # epoch (``_mut``) has moved past the cached one (``_ck``).
+        self._np_search = (
+            _kernels.conflict_search_np if _kernels.numpy_active() else None
+        )
+        self._mut = 0
+        self._ck = -1
+        self._cs = self._ca = self._cz = self._cv = None
 
     def on_store_dispatch(self, seq: int) -> None:
         self._unposted.append(seq)
@@ -371,6 +407,7 @@ class _VAddrSched:
         if visible > self._max_visible:
             self._max_visible = visible
         self.posts += 1
+        self._mut += 1
         return visible
 
     def _uncover(self, index: int) -> None:
@@ -385,8 +422,6 @@ class _VAddrSched:
                 del blocks[block]
 
     def remove_store(self, seq: int) -> None:
-        import bisect
-
         seqs = self._seqs
         index = bisect.bisect_left(seqs, seq)
         if index < len(seqs) and seqs[index] == seq:
@@ -395,10 +430,9 @@ class _VAddrSched:
             del self._addrs[index]
             del self._sizes[index]
             del self._visibles[index]
+            self._mut += 1
 
     def squash(self, from_seq: int) -> None:
-        import bisect
-
         cut = bisect.bisect_left(self._unposted, from_seq)
         del self._unposted[cut:]
         cut = bisect.bisect_left(self._seqs, from_seq)
@@ -408,6 +442,7 @@ class _VAddrSched:
         del self._addrs[cut:]
         del self._sizes[cut:]
         del self._visibles[cut:]
+        self._mut += 1
 
     def all_older_posted(self, seq: int, cycle: int) -> bool:
         if self._unposted and self._unposted[0] < seq:
@@ -426,8 +461,6 @@ class _VAddrSched:
         self, seq: int, addr: int, size: int, cycle: int
     ) -> int:
         """Seq of the youngest older visible overlapping store, or -1."""
-        import bisect
-
         self.searches += 1
         blocks = self._blocks
         end = addr + size
@@ -436,15 +469,36 @@ class _VAddrSched:
                 break
         else:
             return -1
+        seqs = self._seqs
+        search_np = self._np_search
+        if (
+            search_np is not None
+            and len(seqs) >= _kernels.CONFLICT_MIN_STORES
+        ):
+            # Broadcast the compare over the whole live-store frontier
+            # instead of reverse-scanning it one record at a time. The
+            # frontier arrays are cached across searches and rebuilt
+            # only when a post/remove/squash moved the epoch.
+            if self._ck != self._mut:
+                np = _kernels.np
+                self._cs = np.asarray(seqs, dtype=np.int64)
+                self._ca = np.asarray(self._addrs, dtype=np.int64)
+                self._cz = np.asarray(self._sizes, dtype=np.int64)
+                self._cv = np.asarray(self._visibles, dtype=np.int64)
+                self._ck = self._mut
+            return search_np(
+                (seq,), (addr,), (size,),
+                self._cs, self._ca, self._cz, self._cv, cycle,
+            )[0]
         addrs = self._addrs
         sizes = self._sizes
         visibles = self._visibles
-        for i in range(bisect.bisect_left(self._seqs, seq) - 1, -1, -1):
+        for i in range(bisect.bisect_left(seqs, seq) - 1, -1, -1):
             if visibles[i] > cycle:
                 continue
             raddr = addrs[i]
             if raddr < end and addr < raddr + sizes[i]:
-                return self._seqs[i]
+                return seqs[i]
         return -1
 
 
@@ -465,6 +519,7 @@ class VectorProcessor:
         *,
         elide: Optional[bool] = None,
         record_elisions: bool = False,
+        kernel_times: bool = False,
     ) -> None:
         if config.split.enabled:
             raise ValueError(
@@ -560,6 +615,14 @@ class VectorProcessor:
         self._record_elisions = bool(record_elisions)
         self.skipped_cycles = 0
         self.elided_ranges: List = []
+        # Per-kernel wall-time accounting (``--kernel-times``): ns spent
+        # in each phase of the cycle loop plus an invocation count, so a
+        # perf postmortem reads straight out of ``extra`` instead of
+        # cProfile archaeology. Off by default: the flag is checked once
+        # per phase per active cycle (a single cheap truth test).
+        self._kernel_times = bool(kernel_times)
+        self.phase_ns: Dict[str, int] = {}
+        self.phase_calls: Dict[str, int] = {}
 
         n = col.n
         # Per-seq dynamic state (reference Entry fields). Allocated once
@@ -591,6 +654,25 @@ class VectorProcessor:
         self.fd_start = [-1] * n      # fd_wait_start
         self.fd_cls = bytearray(n)    # 0=None 1="false" 2="true"
         self.fd_res = [-1] * n        # fd_resolved_cycle
+
+        # Fetch run table: ``_f_run[s]`` is the length of the maximal
+        # run of non-branch instructions starting at ``s`` that share
+        # s's icache block (0 when s itself is a branch). The fetch
+        # loop bulk-appends whole runs instead of walking per-op.
+        shift = self._f_block_shift
+        pcs = col.pc
+        br = col.branch_b
+        runs = [0] * (n + 1)
+        i = n - 1
+        while i >= 0:
+            if not br[i]:
+                nxt = runs[i + 1]
+                if nxt and (pcs[i + 1] >> shift) == (pcs[i] >> shift):
+                    runs[i] = nxt + 1
+                else:
+                    runs[i] = 1
+            i -= 1
+        self._f_run = runs
 
         self.cycle = 0
         self._next_flush = memdep.flush_interval
@@ -627,13 +709,36 @@ class VectorProcessor:
         total.extra["elide"] = 1 if self._elide else 0
         if self._record_elisions:
             total.extra["elided_ranges"] = list(self.elided_ranges)
+        if self._kernel_times:
+            total.extra["vector_phase_ns"] = dict(
+                sorted(self.phase_ns.items())
+            )
+            total.extra["vector_phase_calls"] = dict(
+                sorted(self.phase_calls.items())
+            )
         return total
+
+    def _phase_add(self, name: str, ns: int, calls: int = 1) -> None:
+        pns = self.phase_ns
+        pns[name] = pns.get(name, 0) + ns
+        calls_d = self.phase_calls
+        calls_d[name] = calls_d.get(name, 0) + calls
 
     # ------------------------------------------------------------------
     # functional warm-up (sampling)
     # ------------------------------------------------------------------
 
     def _warm_segment(self, start: int, stop: int) -> None:
+        if self._kernel_times:
+            from time import perf_counter_ns
+
+            t0 = perf_counter_ns()
+            self._warm_segment_inner(start, stop)
+            self._phase_add("warm", perf_counter_ns() - t0)
+            return
+        self._warm_segment_inner(start, stop)
+
+    def _warm_segment_inner(self, start: int, stop: int) -> None:
         col = self.col
         hierarchy = self.hierarchy
         icache_touch = hierarchy.icache.touch
@@ -720,10 +825,22 @@ class VectorProcessor:
             _VAddrSched(cfg.memdep.addr_scheduler_latency)
             if self.as_mode else None
         )
-        self._events: List = []
-        self._event_serial = 0
+        # Calendar event queue: a bucket per distinct fire time (dict
+        # time -> FIFO list of ``(kind, seq, ref)``) plus a heap of the
+        # distinct times. Every schedule is strictly future, so a
+        # drained bucket can never recur and the heap sees one push per
+        # bucket instead of one per event; FIFO order within a bucket
+        # is exactly the reference core's event-serial tie-break.
+        self._evq: Dict[int, List] = {}
+        self._evt: List[int] = []
+        # Next-cycle fast lane: events scheduled for ``cycle + 1`` (the
+        # dominant case — single-cycle ALU/load latencies) skip the
+        # bucket dict and heap entirely. The drain merges the lane into
+        # its bucket once per active cycle, preserving schedule order
+        # (bucketed events for the same time were scheduled earlier).
+        self._nx: List = []
+        self._nx_time = -1
         self._hint = -1
-        self._progress = False
         # Memoized memory scan: ``mem_dirty`` means state relevant to the
         # memory-issue gates may have changed since the last no-progress
         # scan; ``mem_wake`` is that scan's min unblock time (-1: none).
@@ -736,15 +853,37 @@ class VectorProcessor:
             branch_unit.predictions, branch_unit.mispredictions,
         )
 
-        events = self._events
+        evq = self._evq
+        evt = self._evt
+        nx = self._nx
         rp = self.rp
         issue_memory = self._issue_memory
         fetch_tick = self._fetch_tick
         maybe_flush = self._maybe_flush_tables
-        on_complete = self._on_complete
         on_store_write = self._on_store_write
-        on_load_dispatch = self._on_load_dispatch
-        on_store_dispatch = self._on_store_dispatch
+        mp_push = self._mp_push
+        resume_after_branch = self._resume_after_branch
+        schedule = self._schedule
+        pol = self.policy
+        load_hook = (
+            self._on_load_dispatch_policy
+            if pol in (
+                SpeculationPolicy.SELECTIVE, SpeculationPolicy.SYNC,
+                SpeculationPolicy.STORE_SETS,
+            ) else None
+        )
+        store_hook = (
+            self._on_store_dispatch_policy
+            if pol in (
+                SpeculationPolicy.STORE_BARRIER, SpeculationPolicy.SYNC,
+                SpeculationPolicy.STORE_SETS,
+            ) else None
+        )
+        us_dispatch = self.unexec_stores._seqs.append
+        as_unposted = (
+            self.addr_sched._unposted.append if self.as_mode else None
+        )
+        dep_of = col.dep_of
         do_store_nas = self._do_issue_store_nas
         do_store_as = self._do_issue_store_agen_as
         reset_entry = self._reset_entry
@@ -774,6 +913,8 @@ class VectorProcessor:
         in_mp = self.in_mp
         lat = self.lat
         waiters = self.waiters
+        execd = self.execd
+        consumers = self.consumers
         addr_sched = self.addr_sched
         store_sets = self.store_sets
         det = self._det
@@ -782,8 +923,7 @@ class VectorProcessor:
         branch_b = col.branch_b
         fp_b = col.fp_b
         opb = col.opb
-        srcs_off = col.srcs_off
-        prod_flat = col.prod_flat
+        deps = col.deps
         ev_ready = _EV_READY
         ev_complete = _EV_COMPLETE
         ev_write = _EV_WRITE
@@ -796,6 +936,15 @@ class VectorProcessor:
         f_stop = self.f_stop
         elide = self._elide
         as_mode = self.as_mode
+        # Frontier-batched kernels (repro.core.kernels): the numpy twins
+        # engage only above the frontier-size thresholds, and not at all
+        # when numpy is absent or REPRO_VECTOR_NO_NUMPY is set. Read at
+        # segment start so tests can patch thresholds per run.
+        use_np_kernels = _kernels.numpy_active()
+        wakeup_np = _kernels.wakeup_scatter_np if use_np_kernels else None
+        wakeup_min = _kernels.WAKEUP_MIN_FRONTIER
+        issue_np = _kernels.issue_select_np if use_np_kernels else None
+        issue_min = _kernels.ISSUE_MIN_FRONTIER
         record = self.elided_ranges if self._record_elisions else None
         has_tables = (
             self.predictor is not None
@@ -803,6 +952,18 @@ class VectorProcessor:
             or self.store_sets is not None
         )
         cycle = self.cycle
+        kt = self._kernel_times
+        if kt:
+            from time import perf_counter_ns as _pcns
+
+            _pns = self.phase_ns
+            _pcalls = self.phase_calls
+            for _name in (
+                "advance", "events", "commit", "mem_issue",
+                "exec_issue", "dispatch", "fetch",
+            ):
+                _pns.setdefault(_name, 0)
+                _pcalls.setdefault(_name, 0)
         # Commit-side counters accumulate in locals for the whole
         # segment and flush into ``stats`` once, after the loop.
         c_committed = 0
@@ -817,20 +978,43 @@ class VectorProcessor:
         while True:
             if (
                 not buffer and self.f_pos >= f_stop
-                and not self.w_count and not events
+                and not self.w_count and not evq and not nx
             ):
                 break
             # -- advance clock (the event horizon) ----------------------
-            if self._progress or rp:
-                self._progress = False
+            # The step/jump decision is fully state-driven: walk the
+            # next cycle only when the ready pool holds candidates or
+            # the memory scan memo is dirty; otherwise jump straight to
+            # the earliest standing wake source (scan wake, events,
+            # commit head, fetch buffer head, fetch resume). Unlike the
+            # reference core — which walks one probe cycle after every
+            # active one before its ``_advance_clock`` can jump — this
+            # elides the probe too when nothing can interact there; the
+            # landing cycle is the same either way, so the simulated
+            # trajectory is identical (macro-stepping, see docs/PERF.md).
+            if kt:
+                _t = _pcns()
+            if rp or self.mem_dirty:
                 cycle += 1
             else:
                 best = self._hint
                 self._hint = -1
-                if events:
-                    when = events[0][0]
+                when = self.mem_wake
+                if when >= 0 and (best < 0 or when < best):
+                    best = when
+                if evt:
+                    when = evt[0]
                     if best < 0 or when < best:
                         best = when
+                if nx:
+                    when = self._nx_time
+                    if best < 0 or when < best:
+                        best = when
+                if self.w_count:
+                    h = self.w_head
+                    done = write[h] if is_store_b[h] else comp[h]
+                    if done >= 0 and (best < 0 or done < best):
+                        best = done
                 if buffer:
                     when = buffer[0][1]
                     if best < 0 or when < best:
@@ -852,37 +1036,226 @@ class VectorProcessor:
                         f"writes={len(self.swp_items) - self.swp_dead})"
                     )
                 nxt = cycle + 1
-                if best > nxt:
-                    if elide:
-                        self.skipped_cycles += best - nxt
-                        if record is not None:
-                            record.append((nxt, best))
-                        cycle = best
-                    else:
-                        cycle = nxt
+                if best > nxt and elide and (
+                    not has_tables or self._next_flush > nxt
+                ):
+                    # Table-flush boundaries pin the walk: the reference
+                    # flushes at the end of every cycle it walks, so a
+                    # boundary on the probe cycle must be walked here too
+                    # or the tables would be consulted pre-flush later.
+                    self.skipped_cycles += best - nxt
+                    if record is not None:
+                        record.append((nxt, best))
+                    cycle = best
                 else:
                     cycle = nxt
             self.cycle = cycle
+            if kt:
+                _now = _pcns()
+                _pns["advance"] += _now - _t
+                _pcalls["advance"] += 1
+                _t = _now
             # -- events (inlined _process_events) -----------------------
-            if events and events[0][0] <= cycle:
-                while events and events[0][0] <= cycle:
-                    ev = heappop(events)
-                    s = ev[3]
-                    if ev[4] != serial[s] or sq[s]:
-                        continue
-                    kind = ev[2]
-                    if kind == ev_ready:
-                        if not in_rp[s]:
-                            in_rp[s] = 1
-                            rp_ref[s] = serial[s]
-                            heappush(rp, s)
-                    elif kind == ev_complete:
-                        on_complete(s)
-                    elif kind == ev_write:
-                        on_store_write(s)
-                    else:  # _EV_POST
-                        self._progress = True
-                self.mem_dirty = True
+            if nx and self._nx_time <= cycle:
+                # Fold the next-cycle lane into its bucket; bucketed
+                # events for the same time were scheduled on earlier
+                # cycles, so bucket-then-lane is schedule order.
+                t = self._nx_time
+                b = evq.get(t)
+                if b is None:
+                    evq[t] = nx
+                    heappush(evt, t)
+                else:
+                    b.extend(nx)
+                self._nx = nx = []
+            if evt and evt[0] <= cycle:
+                dirty = False
+                while evt and evt[0] <= cycle:
+                    for ev in evq.pop(heappop(evt)):
+                        s = ev[1]
+                        if ev[2] != serial[s] or sq[s]:
+                            continue
+                        kind = ev[0]
+                        if kind == ev_ready:
+                            if not in_rp[s]:
+                                in_rp[s] = 1
+                                rp_ref[s] = serial[s]
+                                heappush(rp, s)
+                        elif kind == ev_complete:
+                            # Completion + wakeup walk (was _on_complete):
+                            # drain every waiter of ``s`` in one pass —
+                            # the scalar twin of the CSR wakeup scatter.
+                            done = comp[s]
+                            if done > cycle:
+                                # Pushed out (selective re-execution).
+                                schedule(done, ev_complete, s)
+                                continue
+                            execd[s] = 1
+                            wl = waiters[s]
+                            if (
+                                wl and wakeup_np is not None
+                                and len(wl) >= wakeup_min
+                            ):
+                                # Wide frontier: apply the whole waiter
+                                # scatter in one kernel call, then run
+                                # the readiness dispatch once per
+                                # distinct consumer. Same outcome as
+                                # the record-by-record walk below: a
+                                # consumer only becomes ready at its
+                                # last record (each record decrements a
+                                # pend count readiness requires at
+                                # zero), and push order is not
+                                # observable for ready events (heap)
+                                # or mem-pool pushes (seq-sorted).
+                                lseq = []
+                                ldat = []
+                                for wrec in wl:
+                                    wseq = wrec[0]
+                                    if (
+                                        wrec[2] != serial[wseq]
+                                        or sq[wseq]
+                                    ):
+                                        continue
+                                    lseq.append(wseq)
+                                    ldat.append(wrec[1])
+                                for wseq in wakeup_np(
+                                    lseq, ldat, done,
+                                    a_pend, d_pend, a_rdy, d_rdy,
+                                ):
+                                    if issue[wseq] >= 0 or in_rp[wseq]:
+                                        if (
+                                            as_mode and is_store_b[wseq]
+                                            and agen[wseq] >= 0
+                                            and not d_pend[wseq]
+                                            and not in_mp[wseq]
+                                            and write[wseq] < 0
+                                        ):
+                                            if mp_push(
+                                                self.swp_items, wseq
+                                            ):
+                                                self.swp_live = None
+                                            dirty = True
+                                        continue
+                                    if is_store_b[wseq] and not as_mode:
+                                        if a_pend[wseq] or d_pend[wseq]:
+                                            continue
+                                        ready_at = a_rdy[wseq]
+                                        if d_rdy[wseq] > ready_at:
+                                            ready_at = d_rdy[wseq]
+                                    else:
+                                        if a_pend[wseq]:
+                                            continue
+                                        ready_at = a_rdy[wseq]
+                                    wref = serial[wseq]
+                                    if ready_at <= cycle:
+                                        in_rp[wseq] = 1
+                                        rp_ref[wseq] = wref
+                                        heappush(rp, wseq)
+                                    elif ready_at == cycle + 1:
+                                        self._nx_time = ready_at
+                                        nx.append(
+                                            (ev_ready, wseq, wref)
+                                        )
+                                    else:
+                                        b = evq.get(ready_at)
+                                        if b is None:
+                                            evq[ready_at] = [
+                                                (ev_ready, wseq, wref)
+                                            ]
+                                            heappush(evt, ready_at)
+                                        else:
+                                            b.append(
+                                                (ev_ready, wseq, wref)
+                                            )
+                                if as_mode:
+                                    cl = consumers[s]
+                                    if cl:
+                                        cl.extend(wl)
+                                    else:
+                                        consumers[s] = wl
+                                waiters[s] = []
+                            elif wl:
+                                for wseq, is_data, wref in wl:
+                                    if wref != serial[wseq] or sq[wseq]:
+                                        continue
+                                    if is_data:
+                                        d_pend[wseq] -= 1
+                                        if done > d_rdy[wseq]:
+                                            d_rdy[wseq] = done
+                                    else:
+                                        a_pend[wseq] -= 1
+                                        if done > a_rdy[wseq]:
+                                            a_rdy[wseq] = done
+                                    if issue[wseq] >= 0 or in_rp[wseq]:
+                                        # Already issued/queued: only the
+                                        # AS store data arrival matters.
+                                        if (
+                                            as_mode and is_store_b[wseq]
+                                            and agen[wseq] >= 0
+                                            and not d_pend[wseq]
+                                            and not in_mp[wseq]
+                                            and write[wseq] < 0
+                                        ):
+                                            if mp_push(
+                                                self.swp_items, wseq
+                                            ):
+                                                self.swp_live = None
+                                            dirty = True
+                                        continue
+                                    if is_store_b[wseq] and not as_mode:
+                                        if a_pend[wseq] or d_pend[wseq]:
+                                            continue
+                                        ready_at = a_rdy[wseq]
+                                        if d_rdy[wseq] > ready_at:
+                                            ready_at = d_rdy[wseq]
+                                    else:
+                                        if a_pend[wseq]:
+                                            continue
+                                        ready_at = a_rdy[wseq]
+                                    if ready_at <= cycle:
+                                        in_rp[wseq] = 1
+                                        rp_ref[wseq] = wref
+                                        heappush(rp, wseq)
+                                    elif ready_at == cycle + 1:
+                                        self._nx_time = ready_at
+                                        nx.append(
+                                            (ev_ready, wseq, wref)
+                                        )
+                                    else:
+                                        b = evq.get(ready_at)
+                                        if b is None:
+                                            evq[ready_at] = [
+                                                (ev_ready, wseq, wref)
+                                            ]
+                                            heappush(evt, ready_at)
+                                        else:
+                                            b.append(
+                                                (ev_ready, wseq, wref)
+                                            )
+                                if as_mode:
+                                    cl = consumers[s]
+                                    if cl:
+                                        cl.extend(wl)
+                                    else:
+                                        consumers[s] = wl
+                                waiters[s] = []
+                            if branch_b[s]:
+                                resume_after_branch(s, done)
+                        elif kind == ev_write:
+                            on_store_write(s)
+                            dirty = True
+                        else:  # _EV_POST
+                            dirty = True
+                if dirty:
+                    # Only store writes, address posts and AS store-data
+                    # pushes can move a memory gate; ALU/load completions
+                    # wake through the ready pool.
+                    self.mem_dirty = True
+                if kt:
+                    _now = _pcns()
+                    _pns["events"] += _now - _t
+                    _pcalls["events"] += 1
+                    _t = _now
             # -- commit (inlined) ---------------------------------------
             if self.w_count:
                 h = self.w_head
@@ -931,26 +1304,108 @@ class VectorProcessor:
                         if done < 0 or done > cycle:
                             break
                     self.w_count = w_count
-                    self._progress = True
                     if as_mode:
                         # Retiring a store removes it from the address
                         # scheduler, which can open an AS load gate; no
                         # NAS gate reads anything commit touches.
                         self.mem_dirty = True
+            if kt:
+                _now = _pcns()
+                _pns["commit"] += _now - _t
+                _pcalls["commit"] += 1
+                _t = _now
             self.fu_ports = 0
             if self.mem_dirty or 0 <= self.mem_wake <= cycle:
                 issue_memory()
-            else:
-                # The skipped scan would have re-merged its (unchanged)
-                # local unblock hint into ``_hint`` — do just that merge
-                # so the horizon matches the reference core exactly.
-                when = self.mem_wake
-                if when >= 0:
-                    best = self._hint
-                    if best < 0 or when < best:
-                        self._hint = when
+                if kt:
+                    _now = _pcns()
+                    _pns["mem_issue"] += _now - _t
+                    _pcalls["mem_issue"] += 1
+                    _t = _now
+            # (A skipped scan needs no hint merge: ``mem_wake`` stands
+            # as its own term in the advance-clock horizon above.)
             # -- issue (inlined _issue_exec) ----------------------------
-            if rp:
+            batched = False
+            if issue_np is not None and len(rp) >= issue_min:
+                # Batched issue selection: drain up to the scan budget
+                # of valid candidates and cut by width and FU copies in
+                # one kernel call. Only a store-free, all-ready frontier
+                # takes the kernel — stores interact through ports and
+                # store-load synchronization, and a not-ready candidate
+                # changes the scan accounting — anything else restores
+                # the pool untouched (collection only pops, it has no
+                # other effects) and the scalar walk below runs as-is.
+                cand = []
+                while len(cand) < scan_budget and rp:
+                    t = heappop(rp)
+                    if rp_ref[t] != serial[t] or not in_rp[t]:
+                        continue
+                    in_rp[t] = 0
+                    if sq[t]:
+                        continue
+                    cand.append(t)
+                for t in cand:
+                    if is_store_b[t] or a_pend[t] or a_rdy[t] > cycle:
+                        break
+                else:
+                    batched = bool(cand)
+                if batched:
+                    take, defer = issue_np(
+                        [fp_b[t] for t in cand],
+                        issue_width, fu_copies,
+                    )
+                    for i in take:
+                        s = cand[i]
+                        issue[s] = cycle
+                        if is_load_b[s]:
+                            done = cycle + 1
+                            agen[s] = done
+                            if not in_mp[s]:
+                                in_mp[s] = 1
+                                mps = self._mp_serial + 1
+                                self._mp_serial = mps
+                                li = self.load_items
+                                if not li or s > li[-1][0]:
+                                    li.append((s, mps, serial[s]))
+                                else:
+                                    insort(li, (s, mps, serial[s]))
+                                self.load_live = None
+                            best = self._hint
+                            if best < 0 or done < best:
+                                self._hint = done
+                        else:
+                            done = cycle + lat[opb[s]]
+                            comp[s] = done
+                            if done == cycle + 1:
+                                self._nx_time = done
+                                nx.append((ev_complete, s, serial[s]))
+                            else:
+                                b = evq.get(done)
+                                if b is None:
+                                    evq[done] = [
+                                        (ev_complete, s, serial[s])
+                                    ]
+                                    heappush(evt, done)
+                                else:
+                                    b.append(
+                                        (ev_complete, s, serial[s])
+                                    )
+                    for i in defer:
+                        s = cand[i]
+                        in_rp[s] = 1
+                        rp_ref[s] = serial[s]
+                        heappush(rp, s)
+                    self.mem_dirty = True
+                    if kt:
+                        _now = _pcns()
+                        _pns["exec_issue"] += _now - _t
+                        _pcalls["exec_issue"] += 1
+                        _t = _now
+                else:
+                    for t in cand:
+                        in_rp[t] = 1
+                        heappush(rp, t)
+            if rp and not batched:
                 scans = scan_budget
                 deferred = []
                 ie_progress = False
@@ -983,12 +1438,18 @@ class VectorProcessor:
                     else:
                         ready_at = a_rdy[s]
                     if ready_at > cycle:
-                        es = self._event_serial + 1
-                        self._event_serial = es
-                        heappush(
-                            events,
-                            (ready_at, es, ev_ready, s, serial[s]),
-                        )
+                        if ready_at == cycle + 1:
+                            self._nx_time = ready_at
+                            nx.append((ev_ready, s, serial[s]))
+                        else:
+                            b = evq.get(ready_at)
+                            if b is None:
+                                evq[ready_at] = [
+                                    (ev_ready, s, serial[s])
+                                ]
+                                heappush(evt, ready_at)
+                            else:
+                                b.append((ev_ready, s, serial[s]))
                         continue
                     uses_fp = fp_b[s]
                     if (fu_fp if uses_fp else fu_int) >= fu_copies:
@@ -1043,12 +1504,20 @@ class VectorProcessor:
                             issue[s] = cycle
                             done = cycle + lat[opb[s]]
                             comp[s] = done
-                            es = self._event_serial + 1
-                            self._event_serial = es
-                            heappush(
-                                events,
-                                (done, es, ev_complete, s, serial[s]),
-                            )
+                            if done == cycle + 1:
+                                self._nx_time = done
+                                nx.append((ev_complete, s, serial[s]))
+                            else:
+                                b = evq.get(done)
+                                if b is None:
+                                    evq[done] = [
+                                        (ev_complete, s, serial[s])
+                                    ]
+                                    heappush(evt, done)
+                                else:
+                                    b.append(
+                                        (ev_complete, s, serial[s])
+                                    )
                     ie_progress = True
                 if deferred:
                     for s in deferred:
@@ -1057,8 +1526,12 @@ class VectorProcessor:
                         heappush(rp, s)
                     ie_progress = True
                 if ie_progress:
-                    self._progress = True
                     self.mem_dirty = True
+                if kt:
+                    _now = _pcns()
+                    _pns["exec_issue"] += _now - _t
+                    _pcalls["exec_issue"] += 1
+                    _t = _now
             # -- dispatch (inlined) -------------------------------------
             if (
                 buffer and self.w_count < w_size
@@ -1080,16 +1553,12 @@ class VectorProcessor:
                     if ser > 1:
                         reset_entry(s)
                     is_store = is_store_b[s]
-                    lo = srcs_off[s]
-                    hi = srcs_off[s + 1]
                     ap = 0
                     dp = 0
                     w_head = self.w_head
-                    for k in range(lo, hi):
-                        p = prod_flat[k]
+                    for p, is_data in deps[s]:
                         if p < w_head:
                             continue
-                        is_data = bool(is_store) and k == lo + 1
                         pdone = comp[p]
                         if pdone >= 0:
                             if is_data:
@@ -1114,11 +1583,27 @@ class VectorProcessor:
                     w_count += 1
                     self.w_count = w_count
                     budget -= 1
-                    self._progress = True
                     if is_load_b[s]:
-                        on_load_dispatch(s)
+                        # Dependence-detection record (was the common
+                        # prefix of _on_load_dispatch).
+                        ds = dep_of[s]
+                        if ds >= 0:
+                            rec = (s, ser)
+                            dl = det.get(ds)
+                            if dl is None:
+                                det[ds] = [rec]
+                            else:
+                                dl.append(rec)
+                        if load_hook is not None:
+                            load_hook(s)
                     elif is_store:
-                        on_store_dispatch(s)
+                        # Stores dispatch in program order, so the
+                        # tracker append needs no ordering check here.
+                        us_dispatch(s)
+                        if as_unposted is not None:
+                            as_unposted(s)
+                        if store_hook is not None:
+                            store_hook(s)
                     # _maybe_ready for a fresh entry (issue < 0, not in
                     # the ready pool), inlined:
                     if is_store and not as_mode:
@@ -1135,20 +1620,33 @@ class VectorProcessor:
                         in_rp[s] = 1
                         rp_ref[s] = ser
                         heappush(rp, s)
+                    elif ready_at == cycle + 1:
+                        self._nx_time = ready_at
+                        nx.append((ev_ready, s, ser))
                     else:
-                        es = self._event_serial + 1
-                        self._event_serial = es
-                        heappush(
-                            events, (ready_at, es, ev_ready, s, ser)
-                        )
+                        b = evq.get(ready_at)
+                        if b is None:
+                            evq[ready_at] = [(ev_ready, s, ser)]
+                            heappush(evt, ready_at)
+                        else:
+                            b.append((ev_ready, s, ser))
+                if kt:
+                    _now = _pcns()
+                    _pns["dispatch"] += _now - _t
+                    _pcalls["dispatch"] += 1
+                    _t = _now
             if (
                 self.f_wait < 0
                 and cycle >= self.f_stalled
                 and self.f_pos < f_stop
                 and len(buffer) < f_cap
-                and fetch_tick(cycle)
             ):
-                self._progress = True
+                if kt:
+                    _t = _pcns()
+                fetch_tick(cycle)
+                if kt:
+                    _pns["fetch"] += _pcns() - _t
+                    _pcalls["fetch"] += 1
             if has_tables and cycle >= self._next_flush:
                 maybe_flush()
 
@@ -1173,91 +1671,19 @@ class VectorProcessor:
     # -- clock ---------------------------------------------------------
 
     def _schedule(self, cycle: int, kind: int, seq: int) -> None:
-        self._event_serial += 1
-        heapq.heappush(
-            self._events,
-            (cycle, self._event_serial, kind, seq, self.serial[seq]),
-        )
+        if cycle == self.cycle + 1:
+            self._nx_time = cycle
+            self._nx.append((kind, seq, self.serial[seq]))
+            return
+        evq = self._evq
+        b = evq.get(cycle)
+        if b is None:
+            evq[cycle] = [(kind, seq, self.serial[seq])]
+            heapq.heappush(self._evt, cycle)
+        else:
+            b.append((kind, seq, self.serial[seq]))
 
     # -- events --------------------------------------------------------
-
-    def _on_complete(self, seq: int) -> None:
-        done = self.comp[seq]
-        if done >= 0 and done > self.cycle:
-            self._schedule(done, _EV_COMPLETE, seq)
-            return
-        self.execd[seq] = 1
-        waiters = self.waiters[seq]
-        if waiters:
-            cycle = self.cycle
-            serial = self.serial
-            sq = self.sq
-            d_pend = self.d_pend
-            a_pend = self.a_pend
-            d_rdy = self.d_rdy
-            a_rdy = self.a_rdy
-            issue = self.issue
-            in_rp = self.in_rp
-            rp_ref = self.rp_ref
-            rp = self.rp
-            heappush = heapq.heappush
-            is_store_b = self.col.is_store_b
-            as_mode = self.as_mode
-            schedule = self._schedule
-            for wseq, is_data, wref in waiters:
-                if wref != serial[wseq] or sq[wseq]:
-                    continue
-                if is_data:
-                    d_pend[wseq] -= 1
-                    if done > d_rdy[wseq]:
-                        d_rdy[wseq] = done
-                else:
-                    a_pend[wseq] -= 1
-                    if done > a_rdy[wseq]:
-                        a_rdy[wseq] = done
-                # Wakeup check, fused (was _maybe_ready): decide whether
-                # this waiter is now fully ready and push/schedule it.
-                if issue[wseq] >= 0 or in_rp[wseq]:
-                    # Already issued (or queued): only the AS store
-                    # data-arrival path can still matter here.
-                    if (
-                        as_mode and is_store_b[wseq]
-                        and self.agen[wseq] >= 0
-                        and not d_pend[wseq]
-                        and not self.in_mp[wseq]
-                        and self.write[wseq] < 0
-                    ):
-                        if self._mp_push(self.swp_items, wseq):
-                            self.swp_live = None
-                        self._progress = True
-                    continue
-                if is_store_b[wseq] and not as_mode:
-                    if a_pend[wseq] or d_pend[wseq]:
-                        continue
-                    ready_at = a_rdy[wseq]
-                    if d_rdy[wseq] > ready_at:
-                        ready_at = d_rdy[wseq]
-                else:
-                    if a_pend[wseq]:
-                        continue
-                    ready_at = a_rdy[wseq]
-                if ready_at <= cycle:
-                    # _rp_push with the in_rp/sq guards pre-satisfied.
-                    in_rp[wseq] = 1
-                    rp_ref[wseq] = wref
-                    heappush(rp, wseq)
-                else:
-                    schedule(ready_at, _EV_READY, wseq)
-            if self.as_mode:
-                consumers = self.consumers[seq]
-                if consumers:
-                    consumers.extend(waiters)
-                else:
-                    self.consumers[seq] = waiters
-            self.waiters[seq] = []
-        if self.col.branch_b[seq]:
-            self._resume_after_branch(seq, done)
-        self._progress = True
 
     def _on_store_write(self, seq: int) -> None:
         wc = self.write[seq]
@@ -1267,7 +1693,6 @@ class VectorProcessor:
         cycle = wc
         self.execd[seq] = 1
         self.hierarchy.store(self.col.addr[seq], cycle)
-        self._progress = True
 
         records = self._det.get(seq)
         if not records:
@@ -1544,16 +1969,10 @@ class VectorProcessor:
         self.fd_cls[s] = 0
         self.fd_res[s] = -1
 
-    def _on_load_dispatch(self, s: int) -> None:
-        ds = self.col.dep_of[s]
-        if ds >= 0:
-            det = self._det
-            rec = (s, self.serial[s])
-            dl = det.get(ds)
-            if dl is None:
-                det[ds] = [rec]
-            else:
-                dl.append(rec)
+    def _on_load_dispatch_policy(self, s: int) -> None:
+        # Policy-specific load-dispatch work; the dependence-detection
+        # record is inlined at the dispatch site (it applies to every
+        # policy), so only SELECTIVE/SYNC/STORE_SETS land here.
         policy = self.policy
         if policy is SpeculationPolicy.SELECTIVE:
             if self.predictor.predicts_dependence(self.col.pc[s]):
@@ -1590,10 +2009,9 @@ class VectorProcessor:
                         self.sync_ws[s] = ws
                         self.sync_ws_ref[s] = ref
 
-    def _on_store_dispatch(self, s: int) -> None:
-        self.unexec_stores.on_dispatch(s)
-        if self.addr_sched is not None:
-            self.addr_sched.on_store_dispatch(s)
+    def _on_store_dispatch_policy(self, s: int) -> None:
+        # Policy-specific store-dispatch work; the unexecuted-store and
+        # address-scheduler bookkeeping is inlined at the dispatch site.
         policy = self.policy
         if policy is SpeculationPolicy.STORE_BARRIER:
             if self.predictor.predicts_dependence(self.col.pc[s]):
@@ -1647,8 +2065,6 @@ class VectorProcessor:
         if not items or s > items[-1][0]:
             items.append(item)
         else:
-            import bisect
-
             bisect.insort(items, item)
         return True
 
@@ -1686,16 +2102,6 @@ class VectorProcessor:
         else:
             self.swp_live = live
         return live
-
-    def _mp_remove(self, which: str, s: int) -> None:
-        if self.in_mp[s]:
-            self.in_mp[s] = 0
-            if which == "load":
-                self.load_dead += 1
-                self.load_live = None
-            else:
-                self.swp_dead += 1
-                self.swp_live = None
 
     # -- issue ---------------------------------------------------------
 
@@ -1748,9 +2154,8 @@ class VectorProcessor:
         cycle = self.cycle
         kind = self._gate_kind
         # ``wake`` collects only this scan's own unblock times; it is
-        # merged into ``_hint`` at the end (same min the reference's
-        # seeded write-back computes) and kept as the standing wake time
-        # for the skip guard in the main loop.
+        # kept as the standing wake time for the advance-clock horizon
+        # in the main loop.
         wake = -1
         progress = False
         blocked_tail = -1
@@ -1763,15 +2168,46 @@ class VectorProcessor:
             blocked_from = None
         col = self.col
         is_store_b = col.is_store_b
+        col_addr = col.addr
+        col_size = col.size
         agen = self.agen
-        note_fd_wait = self._note_fd_wait
+        write = self.write
+        comp = self.comp
+        d_rdy = self.d_rdy
+        in_mp = self.in_mp
+        memc = self.memc
+        spec = self.spec
+        fwd = self.fwd
+        serial = self.serial
         fd_start = self.fd_start
+        fd_res = self.fd_res
+        note_fd_wait = self._note_fd_wait
+        store_buffer = self.store_buffer
+        sb_blocks = store_buffer._blocks
+        sb_search = store_buffer.search
+        hier_load = self.hierarchy.load
+        unexec_seqs = self.unexec_stores._seqs
+        evq = self._evq
+        evt = self._evt
+        nx = self._nx
+        ncy = cycle + 1
+        heappush = heapq.heappush
+        ev_complete = _EV_COMPLETE
+        ev_write = _EV_WRITE
+        gate_open = kind == _GATE_OPEN
+        gate_as = kind == _GATE_AS
+        if gate_as:
+            sched = self.addr_sched
+            as_lat = sched.latency
+            as_no = self.policy is SpeculationPolicy.NO
+            yom = sched.youngest_older_match
+            aop = sched.all_older_posted
         for s in candidates:
             if not ports_left:
                 progress = True
                 break
             if is_store_b[s]:
-                ready = self.d_rdy[s]
+                ready = d_rdy[s]
                 a = agen[s]
                 if a > ready:
                     ready = a
@@ -1780,15 +2216,19 @@ class VectorProcessor:
                         wake = ready
                     continue
                 ports_left -= 1
-                self._mp_remove("swp", s)
+                if in_mp[s]:
+                    in_mp[s] = 0
+                    self.swp_dead += 1
+                    self.swp_live = None
                 wc = cycle + 1
-                self.write[s] = wc
-                self.comp[s] = wc
+                write[s] = wc
+                comp[s] = wc
                 self.unexec_stores.on_execute(s)
                 if self.barrier[s]:
                     self.barrier_stores.on_execute(s)
                 self._store_buffer_insert(s, data_ready=cycle + 1)
-                self._schedule(wc, _EV_WRITE, s)
+                self._nx_time = wc
+                nx.append((ev_write, s, serial[s]))
                 progress = True
                 continue
             # -- loads: the policy gate, inlined -----------------------
@@ -1797,8 +2237,27 @@ class VectorProcessor:
                 if a >= 0 and (wake < 0 or a < wake):
                     wake = a
                 continue
-            if kind == _GATE_OPEN:
+            if gate_open:
                 pass
+            elif gate_as:
+                # _load_gate_as, inlined.
+                search_from = a + as_lat
+                if cycle < search_from:
+                    if wake < 0 or search_from < wake:
+                        wake = search_from
+                    continue
+                if as_no and not aop(s, cycle):
+                    note_fd_wait(s)
+                    continue
+                m = yom(s, col_addr[s], col_size[s], cycle)
+                if m >= 0:
+                    wc = write[m]
+                    if wc < 0:
+                        continue
+                    if cycle < wc:
+                        if wake < 0 or wc < wake:
+                            wake = wc
+                        continue
             elif kind == _GATE_ALL_STORES:
                 if blocked_from is not None and blocked_from < s:
                     # The gate is global: every younger candidate is
@@ -1823,7 +2282,7 @@ class VectorProcessor:
                 ws = self.sync_ws[s]
                 if (
                     ws >= 0
-                    and self.sync_ws_ref[s] == self.serial[ws]
+                    and self.sync_ws_ref[s] == serial[ws]
                     and not self.sq[ws]
                     and not self.execd[ws]
                 ):
@@ -1834,7 +2293,7 @@ class VectorProcessor:
                         if wake < 0 or issued + 1 < wake:
                             wake = issued + 1
                         continue
-            elif kind == _GATE_ORACLE:
+            else:  # _GATE_ORACLE
                 # ``ds`` is older than the live load s, so it is in the
                 # window exactly when it has not committed yet.
                 ds = col.dep_of[s]
@@ -1848,19 +2307,58 @@ class VectorProcessor:
                         if wake < 0 or issued + 1 < wake:
                             wake = issued + 1
                         continue
-            else:  # _GATE_AS
-                open_, gate_hint = self._load_gate_as(s)
-                if not open_:
-                    if gate_hint is not None and (
-                        wake < 0 or gate_hint < wake
-                    ):
-                        wake = gate_hint
-                    continue
-            if fd_start[s] >= 0 and self.fd_res[s] < 0:
-                self.fd_res[s] = cycle
+            if fd_start[s] >= 0 and fd_res[s] < 0:
+                fd_res[s] = cycle
             ports_left -= 1
-            self._mp_remove("load", s)
-            self._access_memory(s)
+            if in_mp[s]:
+                in_mp[s] = 0
+                self.load_dead += 1
+                self.load_live = None
+            # -- _access_memory, inlined ------------------------------
+            memc[s] = cycle
+            if unexec_seqs and unexec_seqs[0] < s:
+                spec[s] = 1
+            addr = col_addr[s]
+            size = col_size[s]
+            # Block-granular prefilter (the same one ``search`` runs):
+            # most loads overlap no buffered store — answer those
+            # without the call.
+            blk = addr >> 3
+            end_blk = (addr + size - 1) >> 3
+            if blk == end_blk:
+                overlap = blk in sb_blocks
+            else:
+                overlap = False
+                while blk <= end_blk:
+                    if blk in sb_blocks:
+                        overlap = True
+                        break
+                    blk += 1
+            buffered = None
+            if overlap:
+                buffered, full = sb_search(s, addr, size)
+            if buffered is None:
+                complete = hier_load(addr, cycle)
+            elif full:
+                drc = buffered.data_ready_cycle + 1
+                complete = drc if drc > cycle + 1 else cycle + 1
+                fwd[s] = buffered.seq
+            else:
+                dstart = buffered.data_ready_cycle
+                if dstart < cycle:
+                    dstart = cycle
+                complete = hier_load(addr, dstart)
+            comp[s] = complete
+            if complete == ncy:
+                self._nx_time = complete
+                nx.append((ev_complete, s, serial[s]))
+            else:
+                b = evq.get(complete)
+                if b is None:
+                    evq[complete] = [(ev_complete, s, serial[s])]
+                    heappush(evt, complete)
+                else:
+                    b.append((ev_complete, s, serial[s]))
             progress = True
         if blocked_tail >= 0:
             # Tail of an ALL_STORES/BARRIER scan: the gate blocks every
@@ -1880,59 +2378,12 @@ class VectorProcessor:
                 elif fd_start[t] < 0:
                     note_fd_wait(t)
         self.fu_ports = self._memory_ports - ports_left
-        if wake >= 0:
-            hint = self._hint
-            if hint < 0 or wake < hint:
-                self._hint = wake
+        # No hint merge: ``mem_wake`` is a standing advance-clock term.
         self.mem_wake = wake
         if progress:
-            self._progress = True
             self.mem_dirty = True
         else:
             self.mem_dirty = False
-
-    def _access_memory(self, s: int) -> None:
-        cycle = self.cycle
-        col = self.col
-        self.memc[s] = cycle
-        if self.unexec_stores.any_older_than(s):
-            self.spec[s] = 1
-        addr = col.addr[s]
-        buffered, full = self.store_buffer.search(
-            s, addr, col.size[s]
-        )
-        if buffered is not None and full:
-            complete = max(cycle + 1, buffered.data_ready_cycle + 1)
-            self.fwd[s] = buffered.seq
-        elif buffered is not None:
-            start = max(cycle, buffered.data_ready_cycle)
-            complete = self.hierarchy.load(addr, start)
-        else:
-            complete = self.hierarchy.load(addr, cycle)
-        self.comp[s] = complete
-        self._schedule(complete, _EV_COMPLETE, s)
-
-    def _load_gate_as(self, s: int):
-        cycle = self.cycle
-        sched = self.addr_sched
-        search_from = self.agen[s] + sched.latency
-        if cycle < search_from:
-            return False, search_from
-        if self.policy is SpeculationPolicy.NO:
-            if not sched.all_older_posted(s, cycle):
-                self._note_fd_wait(s)
-                return False, None
-        col = self.col
-        m = sched.youngest_older_match(
-            s, col.addr[s], col.size[s], cycle
-        )
-        if m >= 0:
-            wc = self.write[m]
-            if wc < 0:
-                return False, None
-            if cycle < wc:
-                return False, wc
-        return True, None
 
     def _note_fd_wait(self, s: int) -> None:
         if self.fd_start[s] >= 0:
@@ -1975,6 +2426,7 @@ class VectorProcessor:
         fetch_block = self.hierarchy.fetch
         pos = self.f_pos
         stop = self.f_stop
+        runs = self._f_run
         while (
             fetched < width
             and len(buffer) < buffer_cap
@@ -1997,6 +2449,27 @@ class VectorProcessor:
                 if available > hit_by:
                     self.f_stalled = available
                     break
+            k = runs[pos]
+            if k > 1:
+                # Bulk-append the same-block non-branch run, clipped to
+                # the width / buffer / segment limits.
+                lim = width - fetched
+                room = buffer_cap - len(buffer)
+                if room < lim:
+                    lim = room
+                room = stop - pos
+                if room < lim:
+                    lim = room
+                if k > lim:
+                    k = lim
+                if k > 1:
+                    end = pos + k
+                    buffer.extend(
+                        zip(range(pos, end), _irepeat(dispatch_at))
+                    )
+                    pos = end
+                    fetched += k
+                    continue
             s = pos
             pos += 1
             buffer.append((s, dispatch_at))

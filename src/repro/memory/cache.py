@@ -105,10 +105,16 @@ class SetAssocCache:
         ways = self._tags[bank][(block >> self._set_shift) & self._set_mask]
         tag = block
         mshr_bank = self._mshrs.bank(bank)
-        if tag in ways:
-            i = ways.index(tag)
-            if i:
-                ways.insert(0, ways.pop(i))
+        # MRU fast path first: locality makes ``ways[0]`` the common
+        # case, and it needs neither the membership scan nor a reorder.
+        if ways and ways[0] == tag:
+            hit = True
+        elif tag in ways:
+            ways.insert(0, ways.pop(ways.index(tag)))
+            hit = True
+        else:
+            hit = False
+        if hit:
             # The tag is installed when the fill is *requested*; if
             # the fill is still in flight this access merges into it
             # (a secondary miss) rather than hitting instantly. Most
@@ -129,7 +135,12 @@ class SetAssocCache:
         )
         fill_done += self._fill_delta
         ready = mshr_bank.allocate(tag, fill_done, start)
-        self._install(ways, tag)
+        # Install without the membership re-scan: the miss path has
+        # just proven the tag absent, and ``_next_level`` cannot
+        # re-enter this level's tag array.
+        ways.insert(0, tag)
+        if len(ways) > self._assoc:
+            ways.pop()
         return AccessResult(max(ready, start + 1), False)
 
     def _install(self, ways: List[int], tag: int) -> None:
@@ -145,8 +156,12 @@ class SetAssocCache:
         Used by functional warm-up: the block becomes resident
         immediately, without occupying a bank slot or an MSHR.
         """
-        block = self.block_address(addr)
-        ways = self._tags[self._bank_of(block)][self._set_of(block)]
+        block = addr >> self._block_shift
+        ways = self._tags[block & self._bank_mask][
+            (block >> self._set_shift) & self._set_mask
+        ]
+        if ways and ways[0] == block:
+            return
         self._install(ways, block)
 
     # -- introspection ------------------------------------------------------

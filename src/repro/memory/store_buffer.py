@@ -12,22 +12,49 @@ value, a partial overlap forces the load to wait for the store to drain
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 
-@dataclass
 class StoreBufferEntry:
-    """One buffered store."""
+    """One buffered store.
 
-    seq: int
-    addr: int
-    size: int
-    value: Optional[int]
-    #: Cycle at which the store's data is available for forwarding.
-    data_ready_cycle: int
-    #: Cycle at which the store has drained to the data cache.
-    drain_cycle: Optional[int] = None
+    A plain slotted class rather than a dataclass: one entry is built
+    per executed store, and the dataclass ``__init__`` plus the
+    per-instance dict are measurable on that path (``slots=True`` would
+    do, but the py3.9 leg predates it).
+
+    ``data_ready_cycle`` is when the store's data is available for
+    forwarding; ``drain_cycle`` is when it has drained to the data
+    cache (None while still buffered).
+    """
+
+    __slots__ = (
+        "seq", "addr", "size", "value", "data_ready_cycle", "drain_cycle",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        addr: int,
+        size: int,
+        value: Optional[int],
+        data_ready_cycle: int,
+        drain_cycle: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.addr = addr
+        self.size = size
+        self.value = value
+        self.data_ready_cycle = data_ready_cycle
+        self.drain_cycle = drain_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreBufferEntry(seq={self.seq}, addr={self.addr}, "
+            f"size={self.size}, value={self.value}, "
+            f"data_ready_cycle={self.data_ready_cycle}, "
+            f"drain_cycle={self.drain_cycle})"
+        )
 
 
 class StoreBuffer:

@@ -159,6 +159,49 @@ def test_gate_exit_0_on_healthy_ratio(tmp_path, capsys):
     assert "geomean" in capsys.readouterr().out
 
 
+def test_gate_excludes_unequal_work_cells(tmp_path, capsys, monkeypatch):
+    # A --quick measurement (different warm/timed split, different
+    # committed count) must never be compared against a full-run
+    # baseline cell: the mismatched cell is excluded from the geomean
+    # and recorded (with both sides' counts) under unequal_work.
+    monkeypatch.setattr(ci_bench, "_head_commit_message", lambda: "x")
+    measured = _gate_record("vector", {"a:NO": 10.0, "b:SYNC": 50.0})
+    measured["cells"]["a:NO"].update(
+        warmup_instructions=2_000, timing_instructions=6_000,
+        committed=6_000,
+    )
+    measured["cells"]["b:SYNC"].update(
+        warmup_instructions=6_000, timing_instructions=20_000,
+        committed=20_000,
+    )
+    baseline = _gate_record("vector", {"a:NO": 100.0, "b:SYNC": 50.0})
+    baseline["cells"]["a:NO"].update(
+        warmup_instructions=6_000, timing_instructions=20_000,
+        committed=20_000,
+    )
+    baseline["cells"]["b:SYNC"].update(
+        warmup_instructions=6_000, timing_instructions=20_000,
+        committed=20_000,
+    )
+    verdict_path = tmp_path / "verdict.json"
+    rc = ci_bench.main(
+        ["--gate", _write(tmp_path / "measured.json", measured),
+         "--gate-baseline", _write(tmp_path / "baseline.json", baseline),
+         "--gate-threshold", "0.25", "--gate-out", str(verdict_path)]
+    )
+    # The 10x-regressed cell carried unequal work, so it is excluded
+    # and the gate passes on the remaining (healthy) cell.
+    assert rc == 0
+    verdict = json.loads(verdict_path.read_text())
+    assert set(verdict["cells"]) == {"b:SYNC"}
+    assert set(verdict["unequal_work"]) == {"a:NO"}
+    counts = verdict["unequal_work"]["a:NO"]
+    assert counts["measured_committed"] == 6_000
+    assert counts["baseline_committed"] == 20_000
+    assert verdict["cells"]["b:SYNC"]["measured_committed"] == 20_000
+    assert "unequal work" in capsys.readouterr().out
+
+
 def test_gate_exit_1_on_regression(tmp_path, capsys, monkeypatch):
     # Pin the commit message so a real [perf-baseline-bump] in the
     # repo's head commit can't silently turn this into an override.

@@ -1,0 +1,189 @@
+"""Twin equivalence for the frontier-batched kernels.
+
+Each kernel in ``repro.core.kernels`` ships a pure-Python scalar twin
+and a numpy twin. The property tests drive both on randomized
+frontiers and require bit-identical outputs — including identical
+tie-breaking by sequence number — because the vector core switches
+between them on a size threshold and the golden-parity guarantee must
+hold on either side of it. The integration test then forces every
+threshold to 1 so a real benchmark cell exercises the numpy paths
+end-to-end against the reference core.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.check.elision import PARITY_FIELDS
+from repro.config import (
+    SchedulingModel,
+    SpeculationPolicy,
+    continuous_window_128,
+)
+from repro.core import kernels
+from repro.core.processor import Processor
+from repro.core.vector import VectorProcessor
+from repro.trace.dependences import compute_dependence_info
+from repro.trace.sampling import make_sampling_plan
+
+numpy = pytest.importorskip("numpy")
+
+if not kernels.numpy_active():  # pragma: no cover - fallback-leg CI
+    pytest.skip(
+        "numpy twins disabled (REPRO_VECTOR_NO_NUMPY)",
+        allow_module_level=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CSR wakeup scatter
+# ---------------------------------------------------------------------------
+
+@st.composite
+def wakeup_frontiers(draw):
+    """Waiter records over a small seq space, duplicates included."""
+    n = draw(st.integers(min_value=1, max_value=64))
+    size = draw(st.integers(min_value=0, max_value=128))
+    wseq = draw(st.lists(
+        st.integers(min_value=0, max_value=n - 1),
+        min_size=size, max_size=size,
+    ))
+    wdata = draw(st.lists(
+        st.integers(min_value=0, max_value=1),
+        min_size=size, max_size=size,
+    ))
+    # Pend counts at least the number of records per (seq, kind), so
+    # the scatter never goes negative (the core guarantees this: one
+    # record per outstanding source operand).
+    a_pend = [0] * n
+    d_pend = [0] * n
+    for s, is_data in zip(wseq, wdata):
+        if is_data:
+            d_pend[s] += 1
+        else:
+            a_pend[s] += 1
+    a_pend = [
+        p + draw(st.integers(min_value=0, max_value=2)) for p in a_pend
+    ]
+    d_pend = [
+        p + draw(st.integers(min_value=0, max_value=2)) for p in d_pend
+    ]
+    rdy = st.integers(min_value=-1, max_value=50)
+    a_rdy = draw(st.lists(rdy, min_size=n, max_size=n))
+    d_rdy = draw(st.lists(rdy, min_size=n, max_size=n))
+    done = draw(st.integers(min_value=0, max_value=60))
+    return wseq, wdata, done, a_pend, d_pend, a_rdy, d_rdy
+
+
+@settings(max_examples=200, deadline=None)
+@given(frontier=wakeup_frontiers())
+def test_wakeup_scatter_twins_agree(frontier):
+    wseq, wdata, done, a_pend, d_pend, a_rdy, d_rdy = frontier
+    state_py = [list(a_pend), list(d_pend), list(a_rdy), list(d_rdy)]
+    state_np = [list(a_pend), list(d_pend), list(a_rdy), list(d_rdy)]
+    out_py = kernels.wakeup_scatter_py(wseq, wdata, done, *state_py)
+    out_np = kernels.wakeup_scatter_np(wseq, wdata, done, *state_np)
+    assert state_py == state_np
+    assert out_py == out_np  # first-appearance order, exactly
+
+
+# ---------------------------------------------------------------------------
+# broadcast conflict search
+# ---------------------------------------------------------------------------
+
+@st.composite
+def conflict_frontiers(draw):
+    """Loads against a seq-sorted store frontier in a tiny heap."""
+    n_loads = draw(st.integers(min_value=0, max_value=24))
+    n_stores = draw(st.integers(min_value=0, max_value=24))
+    seq_pool = draw(st.permutations(list(range(64))))
+    s_seq = sorted(seq_pool[:n_stores])
+    l_seq = seq_pool[n_stores:n_stores + n_loads]
+    addr = st.integers(min_value=0x100, max_value=0x140)
+    size = st.sampled_from((1, 2, 4, 8))
+    l_addr = draw(st.lists(addr, min_size=n_loads, max_size=n_loads))
+    l_size = draw(st.lists(size, min_size=n_loads, max_size=n_loads))
+    s_addr = draw(st.lists(addr, min_size=n_stores, max_size=n_stores))
+    s_size = draw(st.lists(size, min_size=n_stores, max_size=n_stores))
+    use_vis = draw(st.booleans())
+    s_vis = (
+        draw(st.lists(
+            st.integers(min_value=0, max_value=20),
+            min_size=n_stores, max_size=n_stores,
+        )) if use_vis else None
+    )
+    cycle = draw(st.integers(min_value=0, max_value=20))
+    return l_seq, l_addr, l_size, s_seq, s_addr, s_size, s_vis, cycle
+
+
+@settings(max_examples=200, deadline=None)
+@given(frontier=conflict_frontiers())
+def test_conflict_search_twins_agree(frontier):
+    out_py = kernels.conflict_search_py(*frontier)
+    out_np = kernels.conflict_search_np(*frontier)
+    assert out_py == out_np
+
+
+def test_conflict_search_picks_youngest_older_store():
+    # Two overlapping older stores: the younger one (seq 5) wins; the
+    # younger-than-load store (seq 9) is never a match.
+    out = kernels.conflict_search_py(
+        [7], [0x100], [4], [2, 5, 9], [0x100, 0x102, 0x100], [4, 4, 4],
+    )
+    assert out == [5]
+    assert out == kernels.conflict_search_np(
+        [7], [0x100], [4], [2, 5, 9], [0x100, 0x102, 0x100], [4, 4, 4],
+    )
+
+
+# ---------------------------------------------------------------------------
+# batched issue selection
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cand_fp=st.lists(
+        st.integers(min_value=0, max_value=1), min_size=0, max_size=64
+    ),
+    width=st.integers(min_value=1, max_value=16),
+    fu_copies=st.integers(min_value=1, max_value=8),
+)
+def test_issue_select_twins_agree(cand_fp, width, fu_copies):
+    out_py = kernels.issue_select_py(cand_fp, width, fu_copies)
+    out_np = kernels.issue_select_np(cand_fp, width, fu_copies)
+    assert out_py == out_np
+    issue, defer = out_py
+    # Structural invariants: a partition of the frontier, oldest-first.
+    assert sorted(issue + defer) == list(range(len(cand_fp)))
+    assert len(issue) <= width
+    assert sum(cand_fp[i] for i in issue) <= fu_copies
+    assert sum(1 - cand_fp[i] for i in issue) <= fu_copies
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: kernels forced on must stay bit-identical to the reference
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduling,policy", [
+    ("NAS", SpeculationPolicy.NAIVE),
+    ("AS", SpeculationPolicy.NAIVE),
+    ("NAS", SpeculationPolicy.STORE_SETS),
+])
+def test_forced_kernel_paths_match_reference(
+    monkeypatch, scheduling, policy
+):
+    """Thresholds at 1: every frontier takes the numpy kernel path."""
+    from repro.workloads.catalog import get_trace
+
+    monkeypatch.setattr(kernels, "WAKEUP_MIN_FRONTIER", 1)
+    monkeypatch.setattr(kernels, "CONFLICT_MIN_STORES", 1)
+    monkeypatch.setattr(kernels, "ISSUE_MIN_FRONTIER", 1)
+
+    trace = get_trace("126.gcc", 2500, 77)
+    info = compute_dependence_info(trace)
+    plan = make_sampling_plan(len(trace))
+    config = continuous_window_128(SchedulingModel(scheduling), policy)
+
+    vres = VectorProcessor(config, trace, info).run(plan)
+    rres = Processor(config, trace, info).run(plan)
+    for field in PARITY_FIELDS:
+        assert getattr(vres, field) == getattr(rres, field), field

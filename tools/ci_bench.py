@@ -27,7 +27,12 @@ comparator used by the ``perf-smoke`` job: compare a fresh
 ``perf_bench`` measurement against the committed per-backend baseline
 (``--gate-baseline``), write a machine-readable verdict
 (``--gate-out``), and **fail** when the KIPS geomean over overlapping
-cells regresses by more than ``--gate-threshold``. Intentional
+cells regresses by more than ``--gate-threshold``. Cells whose pinned
+per-cell work (warm-up/timed instruction split, committed count)
+disagrees between the two files — e.g. a ``--quick`` measurement
+against a full baseline — are excluded from the geomean and recorded
+under ``unequal_work`` in the verdict, so the gate never compares
+unequal work. Intentional
 baseline refreshes ride a ``[perf-baseline-bump]`` marker in the head
 commit message (checked via ``$CI_COMMIT_MESSAGE`` or ``git log -1``),
 which records the override in the verdict instead of failing — see
@@ -101,15 +106,43 @@ def run_gate(args) -> int:
 
     base_cells = baseline.get("cells", {})
     cells = {}
+    unequal_work = {}
     for label, cell in measured.get("cells", {}).items():
-        old = base_cells.get(label, {}).get("kips")
+        base = base_cells.get(label, {})
+        old = base.get("kips")
         new = cell.get("kips")
-        if old and new:
-            cells[label] = {
-                "baseline_kips": old,
-                "measured_kips": new,
-                "ratio": round(new / old, 4),
-            }
+        if not (old and new):
+            continue
+        # Never compare unequal work: a --quick measurement against a
+        # full baseline (or any warm/timed drift) is a different
+        # simulation, not a perf signal. Cells record their pinned
+        # split and committed count; when both sides carry them and
+        # they disagree, the cell is excluded and recorded as such.
+        counts = {}
+        mismatch = False
+        for key in (
+            "warmup_instructions", "timing_instructions", "committed",
+        ):
+            got, want = cell.get(key), base.get(key)
+            if got is not None and want is not None:
+                counts[f"measured_{key}"] = got
+                counts[f"baseline_{key}"] = want
+                if got != want:
+                    mismatch = True
+        if mismatch:
+            unequal_work[label] = counts
+            continue
+        cells[label] = dict(
+            baseline_kips=old,
+            measured_kips=new,
+            ratio=round(new / old, 4),
+            **counts,
+        )
+    if unequal_work:
+        print(
+            f"excluded {len(unequal_work)} cell(s) with unequal "
+            f"work: {', '.join(sorted(unequal_work))}"
+        )
     ratio = _geomean([c["ratio"] for c in cells.values()])
     regressed = bool(cells) and ratio < 1.0 - args.gate_threshold
     override = regressed and BUMP_MARKER in _head_commit_message()
@@ -121,6 +154,7 @@ def run_gate(args) -> int:
         "baseline": args.gate_baseline,
         "threshold": args.gate_threshold,
         "cells": cells,
+        "unequal_work": unequal_work,
         "geomean_ratio": round(ratio, 4) if cells else None,
         "regressed": regressed,
         "override": override,

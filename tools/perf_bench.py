@@ -139,7 +139,8 @@ MIN_TIME_MAX_PASSES = 64
 
 
 def measure_cell(config, trace, info, plan, repeat,
-                 backend="reference", compiled=None, min_time=0.0):
+                 backend="reference", compiled=None, min_time=0.0,
+                 kernel_times=False):
     """Best-of wall time for one cold simulation.
 
     Construction happens outside the timer for both backends, so the
@@ -151,6 +152,11 @@ def measure_cell(config, trace, info, plan, repeat,
     (capped at ``MIN_TIME_MAX_PASSES``), which stabilizes best-of
     numbers for sub-millisecond cells on noisy hosts. The reported
     number is always the minimum observed pass.
+
+    With *kernel_times* (vector backend only) one extra pass runs with
+    the per-phase wall-time counters enabled and the breakdown lands in
+    the cell record — the timed passes stay uninstrumented, so the
+    KIPS number is unaffected by the instrumentation overhead.
     """
     from repro.core.processor import Processor
 
@@ -189,6 +195,16 @@ def measure_cell(config, trace, info, plan, repeat,
     skipped = result.extra.get("skipped_cycles")
     if skipped is not None:
         cell["skipped_cycles"] = skipped
+    if kernel_times and backend == "vector":
+        from repro.core.vector import VectorProcessor
+
+        timed = VectorProcessor(
+            config, compiled, kernel_times=True
+        ).run(plan)
+        cell["kernel_times"] = {
+            "phase_ns": timed.extra.get("vector_phase_ns", {}),
+            "phase_calls": timed.extra.get("vector_phase_calls", {}),
+        }
     return cell, result
 
 
@@ -267,13 +283,19 @@ def run_bench(args):
 
     measured = {}
     parity_failures = []
-    for label, bench, _, _, config in points:
+    for label, bench, w, length, config in points:
         trace, info, compiled, plan = resources[bench]
         measured[label], result = measure_cell(
             config, trace, info, plan, args.repeat,
             backend=args.backend, compiled=compiled,
-            min_time=args.min_time,
+            min_time=args.min_time, kernel_times=args.kernel_times,
         )
+        # Pin the work per cell: the gate comparator refuses to
+        # compare cells measured over a different warm/timed split
+        # (e.g. --quick vs full), so unequal work can never masquerade
+        # as a KIPS change.
+        measured[label]["warmup_instructions"] = w
+        measured[label]["timing_instructions"] = length - w
         skipped = measured[label].get("skipped_cycles")
         note = f"  skipped {skipped}" if skipped is not None else ""
         print(
@@ -799,6 +821,12 @@ def main(argv=None):
                         help="after timing each cell, run it once on "
                              "the reference backend and assert every "
                              "parity counter is identical")
+    parser.add_argument("--kernel-times", action="store_true",
+                        help="vector backend: run one extra "
+                             "instrumented pass per cell and record "
+                             "the per-phase wall-time breakdown "
+                             "(extra['vector_phase_ns']) in the cell; "
+                             "the timed passes stay uninstrumented")
     parser.add_argument("--profile", default=None, metavar="OUT.prof",
                         help="cProfile the first cell into OUT.prof")
     parser.add_argument("--compare", default=None, metavar="BEFORE.json",
